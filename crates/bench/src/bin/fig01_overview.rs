@@ -1,0 +1,24 @@
+//! Fig. 1: end-to-end phase breakdown under CC-off, CC-on, and CC-on+UVM.
+
+use hcc_bench::figures::fig01;
+use hcc_bench::report;
+
+fn main() {
+    report::section("Fig. 1 — end-to-end overview (gemm-class app)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "scenario", "mem", "launch", "kernel", "other", "span"
+    );
+    for r in fig01::rows() {
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            r.label,
+            r.breakdown.mem.to_string(),
+            r.breakdown.launch.to_string(),
+            r.breakdown.kernel.to_string(),
+            r.breakdown.other.to_string(),
+            r.breakdown.span.to_string(),
+        );
+        println!("  [{}]", r.breakdown.render_bar(60));
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 2: the CPU–GPU confidential-computing architecture, rendered as
+//! text, with each component annotated by the crate/module that realizes
+//! it in this repository and the calibrated cost it contributes.
+
+use hcc_types::calib::Calibration;
+
+fn main() {
+    let calib = Calibration::paper();
+    let hypercall = calib.tdx.hypercall();
+    let vmexit = calib.tdx.vmexit;
+    println!(
+        r#"Fig. 2 — architecture overview (trusted components marked [T])
+
+  +------------------------- host (untrusted) --------------------------+
+  |  hypervisor (QEMU)            bounce buffer / swiotlb               |
+  |        ^                      hcc_tee::BounceBufferPool             |
+  |        | hypercalls           (shared pages, set_memory_decrypted)  |
+  +--------|-------------------------------------------|----------------+
+           |                                            |
+  +--------v---------------------+                      |  PCIe 5.0 x16
+  | [T] Intel TDX module (SEAM)  |                      |  AES-GCM (SPDM session)
+  |     hcc_tee::TdContext       |                      |  hcc_crypto::gcm + SpdmSession
+  |     tdx_hypercall {hypercall} vs vmexit {vmexit}    |
+  +--------^---------------------+                      |
+           |                                            |
+  +--------|------------- trust domain [T] -------------|----------------+
+  |  guest OS + NVIDIA driver          private memory (TME-MK, AES-XTS) |
+  |  hcc_runtime::CudaContext          hcc_tee::PrivateMemory           |
+  |  app / workloads                   hcc_workloads::*                 |
+  +-----------------------------------------------------|----------------+
+                                                         |
+  +------------------------- GPU package [T] -----------v----------------+
+  |  command processor (channel rings, depth {ring})                     |
+  |  hcc_gpu::CommandProcessor  -> LQT when the ring fills               |
+  |     |                |                      |                        |
+  |  copy engines    compute engines         GMMU (far faults)          |
+  |  hcc_gpu (H2D/   {slots} kernel slots    hcc_gpu::Gmmu +            |
+  |  D2H/D2D)        (KET, KQT)              hcc_uvm::UvmDriver         |
+  |                                                                      |
+  |  HBM3 94 GB (unencrypted per threat model) — hcc_gpu::DeviceMemory   |
+  +----------------------------------------------------------------------+
+"#,
+        hypercall = hypercall,
+        vmexit = vmexit,
+        ring = calib.gpu.ring_depth,
+        slots = calib.gpu.compute_slots,
+    );
+    println!("calibration anchors in this diagram:");
+    println!(
+        "  tdx_hypercall {hypercall} = vmexit {vmexit} x{:.1} (the paper's +470%)",
+        calib.tdx.hypercall_mult
+    );
+    println!(
+        "  CC transfer pipeline: AES-GCM 3.36 GB/s -> bounce {b} -> DMA {d} -> GPU decrypt {g}",
+        b = calib.pcie.bounce_copy,
+        d = calib.pcie.pinned_h2d,
+        g = calib.pcie.gpu_crypto,
+    );
+}

@@ -1,0 +1,26 @@
+//! Fig. 3: performance-model validation — fitted alpha/beta and error.
+
+use hcc_bench::figures::fig03;
+use hcc_bench::report;
+
+fn main() {
+    report::section("Fig. 3 — performance model fit per app");
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>8}",
+        "app", "mode", "alpha", "beta", "err%"
+    );
+    let rows = fig03::rows();
+    let mut worst: f64 = 0.0;
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>8.3} {:>8.3} {:>8.2}",
+            r.app,
+            r.cc.to_string(),
+            r.alpha,
+            r.beta,
+            r.error * 100.0
+        );
+        worst = worst.max(r.error);
+    }
+    println!("worst fitted error: {:.2}%", worst * 100.0);
+}

@@ -1,0 +1,37 @@
+//! Fig. 4a: PCIe H2D bandwidth vs transfer size.
+
+use hcc_bench::figures::fig04a;
+use hcc_bench::report;
+use hcc_types::{CcMode, HostMemKind};
+
+fn main() {
+    report::section("Fig. 4a — data-transfer bandwidth (GB/s)");
+    let pts = fig04a::series();
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}",
+        "size", "base/pageable", "base/pinned", "cc/pageable", "cc/pinned"
+    );
+    for size in fig04a::sizes() {
+        let val = |cc, mem| {
+            pts.iter()
+                .find(|p| p.size == size && p.cc == cc && p.mem == mem)
+                .map(|p| p.gbs)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:>12} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            size.to_string(),
+            val(CcMode::Off, HostMemKind::Pageable),
+            val(CcMode::Off, HostMemKind::Pinned),
+            val(CcMode::On, HostMemKind::Pageable),
+            val(CcMode::On, HostMemKind::Pinned),
+        );
+    }
+    println!(
+        "peaks: base pin {:.2}, base page {:.2}, cc pin {:.2}, cc page {:.2} GB/s",
+        fig04a::peak(&pts, CcMode::Off, HostMemKind::Pinned),
+        fig04a::peak(&pts, CcMode::Off, HostMemKind::Pageable),
+        fig04a::peak(&pts, CcMode::On, HostMemKind::Pinned),
+        fig04a::peak(&pts, CcMode::On, HostMemKind::Pageable),
+    );
+}

@@ -1,0 +1,26 @@
+//! Fig. 4b: single-core crypto throughput per CPU.
+
+use hcc_bench::figures::fig04b;
+use hcc_bench::report;
+
+fn main() {
+    report::section("Fig. 4b — single-core crypto throughput (GB/s)");
+    let functional = std::env::args().any(|a| a == "--functional");
+    println!(
+        "{:<14} {:<20} {:>10} {:>12}",
+        "cpu", "algorithm", "modeled", "functional"
+    );
+    for e in fig04b::entries(functional) {
+        let func = e
+            .functional_gbs
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<14} {:<20} {:>10.2} {:>12}",
+            e.cpu.to_string(),
+            e.alg.to_string(),
+            e.modeled_gbs,
+            func
+        );
+    }
+}

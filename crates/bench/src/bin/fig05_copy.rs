@@ -1,0 +1,30 @@
+//! Fig. 5: per-app copy time in base and CC modes.
+
+use hcc_bench::figures::fig05;
+use hcc_bench::report;
+
+fn main() {
+    report::section("Fig. 5 — copy time per app (base vs cc)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "app", "b.h2d", "b.d2h", "b.d2d", "c.h2d", "c.d2h", "c.d2d", "ratio"
+    );
+    let rows = fig05::rows();
+    for r in &rows {
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            r.app,
+            r.base.h2d.to_string(),
+            r.base.d2h.to_string(),
+            r.base.d2d.to_string(),
+            r.cc.h2d.to_string(),
+            r.cc.d2h.to_string(),
+            r.cc.d2d.to_string(),
+            report::ratio(r.slowdown()),
+        );
+    }
+    let (mean, max, min) = fig05::stats(&rows);
+    println!(
+        "copy slowdown: mean x{mean:.2}, max x{max:.2}, min x{min:.2} (paper: 5.80 / 19.69 / 1.17)"
+    );
+}

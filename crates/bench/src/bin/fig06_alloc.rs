@@ -1,0 +1,18 @@
+//! Fig. 6: memory allocation/deallocation time ratios.
+
+use hcc_bench::figures::fig06;
+use hcc_bench::report;
+use hcc_types::ByteSize;
+
+fn main() {
+    report::section("Fig. 6 — memory management CC/base slowdowns");
+    let r = fig06::ratios(ByteSize::mib(64), 40);
+    println!("cudaMallocHost     {}   (paper x5.72)", report::ratio(r[0]));
+    println!("cudaMalloc         {}   (paper x5.67)", report::ratio(r[1]));
+    println!(
+        "cudaFree           {}   (paper x10.54)",
+        report::ratio(r[2])
+    );
+    println!("cudaMallocManaged  {}   (paper x5.43)", report::ratio(r[3]));
+    println!("managed cudaFree   {}   (paper x3.35)", report::ratio(r[4]));
+}

@@ -1,0 +1,27 @@
+//! Fig. 7: KLO / LQT / KQT per app, CC normalized to base.
+
+use hcc_bench::figures::fig07;
+use hcc_bench::report;
+
+fn main() {
+    report::section("Fig. 7 — launch-path slowdowns per app");
+    println!(
+        "{:<16} {:>9} {:>8} {:>8} {:>8}",
+        "app", "launches", "KLO", "LQT", "KQT"
+    );
+    let rows = fig07::rows();
+    for r in &rows {
+        println!(
+            "{:<16} {:>9} {:>8} {:>8} {:>8}",
+            r.app,
+            r.launches,
+            report::ratio(r.klo),
+            report::ratio(r.lqt),
+            report::ratio(r.kqt),
+        );
+    }
+    let (klo, lqt, kqt) = fig07::means(&rows);
+    println!(
+        "means: KLO x{klo:.2} (paper 1.42), LQT x{lqt:.2} (paper 1.43), KQT x{kqt:.2} (paper 2.32)"
+    );
+}

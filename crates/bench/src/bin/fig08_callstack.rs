@@ -1,0 +1,12 @@
+//! Fig. 8: the cudaLaunchKernel call stack inside a TD.
+
+use hcc_bench::figures::fig08;
+use hcc_bench::report;
+use hcc_types::CcMode;
+
+fn main() {
+    for cc in CcMode::ALL {
+        report::section(&format!("Fig. 8 — cudaLaunchKernel call stack [{cc}]"));
+        print!("{}", fig08::callstack(cc).render());
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 9: kernel execution time normalized to the base non-UVM run.
+
+use hcc_bench::figures::fig09;
+use hcc_bench::report;
+use hcc_trace::geomean;
+
+fn main() {
+    report::section("Fig. 9 — KET normalized to base non-UVM");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>14}",
+        "app", "cc/base", "uvm(base)", "uvm(cc)", "uvm-cc/base"
+    );
+    let rows = fig09::rows();
+    let mut nonuvm = Vec::new();
+    let mut uvm_base = Vec::new();
+    let mut uvm_cc = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>14}",
+            r.app,
+            report::ratio(r.nonuvm_ratio()),
+            report::ratio(r.uvm_base_slowdown()),
+            report::ratio(r.cc_uvm / r.base_uvm),
+            report::ratio(r.uvm_cc_slowdown()),
+        );
+        nonuvm.push(r.nonuvm_ratio());
+        uvm_base.push(r.uvm_base_slowdown());
+        uvm_cc.push(r.uvm_cc_slowdown());
+    }
+    println!(
+        "non-UVM mean x{:.4} (paper +0.48%); UVM base mean x{:.2} (paper 5.29); UVM-CC geomean x{:.1} (paper mean 188.87, max 164030)",
+        hcc_trace::mean_ratio(&nonuvm),
+        hcc_trace::mean_ratio(&uvm_base),
+        geomean(&uvm_cc),
+    );
+    let max = uvm_cc.iter().copied().fold(0.0, f64::max);
+    println!("UVM-CC max x{max:.0}");
+}

@@ -1,0 +1,30 @@
+//! Fig. 10: launch/kernel event scatter over the application lifetime.
+
+use hcc_bench::figures::fig10;
+use hcc_bench::report;
+
+fn main() {
+    for app in fig10::APPS {
+        report::section(&format!("Fig. 10 — event scatter: {app}"));
+        let pts = fig10::scatter(app);
+        let launches = pts.iter().filter(|p| !p.is_kernel).count();
+        let kernels = pts.iter().filter(|p| p.is_kernel).count();
+        println!("{launches} launch events, {kernels} kernel events");
+        // Print a compressed sample: every Nth point.
+        let step = (pts.len() / 24).max(1);
+        println!(
+            "{:>6} {:>12} {:>12} {:>8} {:>6}",
+            "idx", "start_us", "dur_us", "kind", "mode"
+        );
+        for (i, p) in pts.iter().enumerate().step_by(step) {
+            println!(
+                "{:>6} {:>12.1} {:>12.2} {:>8} {:>6}",
+                i,
+                p.start_us,
+                p.duration_us,
+                if p.is_kernel { "kernel" } else { "launch" },
+                p.cc.to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 11: CDFs of KLO and KET, base vs CC.
+
+use hcc_bench::figures::fig11;
+use hcc_bench::report;
+
+fn main() {
+    let (klo, ket) = fig11::klo_and_ket();
+    report::section("Fig. 11a — KLO CDF (top 5 launches trimmed for display)");
+    let quantiles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+    println!("{:>8} {:>12} {:>12}", "q", "base", "cc");
+    let show_klo = (klo.base.trim_top(5), klo.cc.trim_top(5));
+    for q in quantiles {
+        println!(
+            "{:>8.2} {:>12} {:>12}",
+            q,
+            show_klo.0.quantile(q).to_string(),
+            show_klo.1.quantile(q).to_string()
+        );
+    }
+    println!(
+        "mean KLO (untrimmed): base {} vs cc {} => {}",
+        klo.base.mean(),
+        klo.cc.mean(),
+        report::ratio(klo.cc.mean() / klo.base.mean())
+    );
+
+    report::section("Fig. 11b — KET CDF");
+    println!("{:>8} {:>12} {:>12}", "q", "base", "cc");
+    for q in quantiles {
+        println!(
+            "{:>8.2} {:>12} {:>12}",
+            q,
+            ket.base.quantile(q).to_string(),
+            ket.cc.quantile(q).to_string()
+        );
+    }
+    println!(
+        "mean KET: base {} vs cc {} => {}",
+        ket.base.mean(),
+        ket.cc.mean(),
+        report::ratio(ket.cc.mean() / ket.base.mean())
+    );
+}

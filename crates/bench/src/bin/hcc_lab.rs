@@ -1,0 +1,152 @@
+//! `hcc_lab` — the lab's command-line front door.
+//!
+//! ```sh
+//! cargo run -p hcc-bench --bin hcc_lab -- list
+//! cargo run -p hcc-bench --bin hcc_lab -- run 3dconv --cc
+//! cargo run -p hcc-bench --bin hcc_lab -- report sc
+//! cargo run -p hcc-bench --bin hcc_lab -- deck my_workload.hcc --report
+//! cargo run -p hcc-bench --bin hcc_lab -- trace gemm --cc   # JSON events
+//! ```
+
+use hcc_core::{CcReport, PerfModel, PhaseBreakdown};
+use hcc_runtime::SimConfig;
+use hcc_types::CcMode;
+use hcc_workloads::{parse_workload, runner, suites, WorkloadSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hcc_lab <command>\n\
+         \n\
+         commands:\n\
+         \x20 list                      list the built-in benchmark apps\n\
+         \x20 run <app> [--cc]          run one app, print the phase breakdown\n\
+         \x20 report <app>              base-vs-CC characterization + advice\n\
+         \x20 deck <file> [--cc|--report]  run a workload deck (text format)\n\
+         \x20 trace <app> [--cc]        dump the trace as JSON lines\n\
+         \x20 chrome <app> [--cc]       dump a chrome://tracing JSON file to stdout"
+    );
+    std::process::exit(2);
+}
+
+fn cc_flag(args: &[String]) -> CcMode {
+    if args.iter().any(|a| a == "--cc") {
+        CcMode::On
+    } else {
+        CcMode::Off
+    }
+}
+
+fn load_spec(name: &str) -> WorkloadSpec {
+    suites::by_name(name)
+        .or_else(|| suites::uvm_variant(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app '{name}' — try `hcc_lab list`");
+            std::process::exit(1);
+        })
+}
+
+fn cmd_list() {
+    println!(
+        "{:<16} {:<10} {:>9} {:>10} {:>6}",
+        "app", "suite", "launches", "copies", "uvm"
+    );
+    for spec in suites::all() {
+        println!(
+            "{:<16} {:<10} {:>9} {:>10} {:>6}",
+            spec.name,
+            spec.suite.to_string(),
+            spec.launch_count(),
+            spec.copy_bytes().to_string(),
+            spec.uvm,
+        );
+    }
+    println!(
+        "\nUVM variants (for `run`/`report`): {}",
+        suites::UVM_VARIANT_APPS.join(", ")
+    );
+}
+
+fn run_and_print(spec: &WorkloadSpec, cc: CcMode) {
+    let r = runner::run(spec, SimConfig::new(cc)).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    });
+    let breakdown = PhaseBreakdown::from_timeline(&r.timeline);
+    let fitted = PerfModel::fit(&r.timeline);
+    println!("{} [{}]", spec.name, cc);
+    println!("  {breakdown}");
+    println!("  [{}]", breakdown.render_bar(60));
+    println!(
+        "  alpha={:.2} beta={:.2} | hypercalls={} | uvm faults={}",
+        fitted.model.alpha, fitted.model.beta, r.td.hypercalls, r.uvm.faults
+    );
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let spec = load_spec(name);
+    run_and_print(&spec, cc_flag(args));
+}
+
+fn cmd_report(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let spec = load_spec(name);
+    let base = runner::run(&spec, SimConfig::new(CcMode::Off)).expect("base run");
+    let cc = runner::run(&spec, SimConfig::new(CcMode::On)).expect("cc run");
+    let report = CcReport::generate(spec.name, &base.timeline, &cc.timeline);
+    print!("{}", report.to_markdown());
+}
+
+fn cmd_deck(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let spec = parse_workload(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    if args.iter().any(|a| a == "--report") {
+        let base = runner::run(&spec, SimConfig::new(CcMode::Off)).expect("base run");
+        let cc = runner::run(&spec, SimConfig::new(CcMode::On)).expect("cc run");
+        print!(
+            "{}",
+            CcReport::generate(spec.name, &base.timeline, &cc.timeline).to_markdown()
+        );
+    } else {
+        run_and_print(&spec, cc_flag(args));
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let spec = load_spec(name);
+    let r = runner::run(&spec, SimConfig::new(cc_flag(args))).expect("run");
+    for event in r.timeline.events() {
+        match serde_json::to_string(event) {
+            Ok(line) => println!("{line}"),
+            Err(e) => eprintln!("serialization failed: {e}"),
+        }
+    }
+}
+
+fn cmd_chrome(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let spec = load_spec(name);
+    let r = runner::run(&spec, SimConfig::new(cc_flag(args))).expect("run");
+    print!("{}", hcc_trace::to_chrome_trace(&r.timeline));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("deck") => cmd_deck(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("chrome") => cmd_chrome(&args[1..]),
+        _ => usage(),
+    }
+}

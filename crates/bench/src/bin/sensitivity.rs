@@ -1,0 +1,106 @@
+//! Calibration sensitivity: how the headline reproduction statistics move
+//! when individual calibration constants are perturbed ±25 %. A
+//! simulation-based reproduction is only trustworthy if its conclusions
+//! are not knife-edge artifacts of one constant — this harness shows which
+//! results are robust (most) and which constants they key on.
+
+use hcc_bench::report;
+use hcc_runtime::{CudaContext, KernelDesc, SimConfig};
+use hcc_trace::KernelId;
+use hcc_types::calib::Calibration;
+use hcc_types::{Bandwidth, ByteSize, CcMode, HostMemKind, SimDuration};
+
+/// CC/base ratio of a 64 MiB pageable copy under a calibration.
+fn copy_ratio(calib: &Calibration) -> f64 {
+    let time = |cc: CcMode| {
+        let mut ctx = CudaContext::new(SimConfig::new(cc).with_calib(calib.clone()));
+        let h = ctx
+            .malloc_host(ByteSize::mib(64), HostMemKind::Pageable)
+            .expect("host");
+        let d = ctx.malloc_device(ByteSize::mib(64)).expect("device");
+        ctx.memcpy_h2d(d, h, ByteSize::mib(64)).expect("copy")
+    };
+    time(CcMode::On) / time(CcMode::Off)
+}
+
+/// CC/base ratio of steady-state launch cost under a calibration.
+/// Median, not mean: the rare KLO spikes (Fig. 11a's tail) would dominate
+/// a 200-sample mean.
+fn klo_ratio(calib: &Calibration) -> f64 {
+    let median_klo = |cc: CcMode| {
+        let mut ctx = CudaContext::new(SimConfig::new(cc).with_calib(calib.clone()));
+        let desc = KernelDesc::new(KernelId(0), SimDuration::micros(5));
+        for _ in 0..200 {
+            ctx.launch_kernel(&desc, ctx.default_stream())
+                .expect("launch");
+        }
+        let lm = ctx.timeline().launch_metrics();
+        // Skip the first (cold) launch.
+        let warm: Vec<SimDuration> = lm.launches[1..].iter().map(|l| l.klo).collect();
+        hcc_trace::Summary::of(&warm)
+            .expect("non-empty")
+            .median
+            .as_secs_f64()
+    };
+    median_klo(CcMode::On) / median_klo(CcMode::Off)
+}
+
+fn perturb(name: &str, up: Calibration, down: Calibration) {
+    let base = Calibration::paper();
+    println!(
+        "{name:<34} copy x{:.2} -> [{:.2}, {:.2}]   KLO x{:.2} -> [{:.2}, {:.2}]",
+        copy_ratio(&base),
+        copy_ratio(&down),
+        copy_ratio(&up),
+        klo_ratio(&base),
+        klo_ratio(&down),
+        klo_ratio(&up),
+    );
+}
+
+fn main() {
+    report::section("calibration sensitivity (each constant perturbed ±25%)");
+    println!("perturbed constant                 headline stats at [-25%, +25%]\n");
+
+    // Hypercall multiplier (the paper's +470%).
+    let mut up = Calibration::paper();
+    up.tdx.hypercall_mult *= 1.25;
+    let mut down = Calibration::paper();
+    down.tdx.hypercall_mult *= 0.75;
+    perturb("tdx hypercall_mult (5.7)", up, down);
+
+    // Bounce-copy staging rate.
+    let mut up = Calibration::paper();
+    up.pcie.bounce_copy = up.pcie.bounce_copy.scale(1.25);
+    let mut down = Calibration::paper();
+    down.pcie.bounce_copy = down.pcie.bounce_copy.scale(0.75);
+    perturb("bounce_copy rate (80 GB/s)", up, down);
+
+    // Pinned DMA rate.
+    let mut up = Calibration::paper();
+    up.pcie.pinned_h2d = Bandwidth::gb_per_s(52.0 * 1.25);
+    let mut down = Calibration::paper();
+    down.pcie.pinned_h2d = Bandwidth::gb_per_s(52.0 * 0.75);
+    perturb("pinned_h2d rate (52 GB/s)", up, down);
+
+    // Base KLO.
+    let mut up = Calibration::paper();
+    up.launch.klo_base = up.launch.klo_base.scale(1.25);
+    let mut down = Calibration::paper();
+    down.launch.klo_base = down.launch.klo_base.scale(0.75);
+    perturb("klo_base (6 us)", up, down);
+
+    // Doorbell trap probability.
+    let mut up = Calibration::paper();
+    up.launch.doorbell_trap_prob = (up.launch.doorbell_trap_prob * 1.25).min(1.0);
+    let mut down = Calibration::paper();
+    down.launch.doorbell_trap_prob *= 0.75;
+    perturb("doorbell_trap_prob (0.60)", up, down);
+
+    println!(
+        "\nreading: the copy slowdown keys on the crypto ceiling (fixed at the\n\
+         paper's 3.36 GB/s) and barely moves with staging/DMA rates; the KLO\n\
+         slowdown scales with the hypercall multiplier and trap probability,\n\
+         exactly the attribution the paper makes (Fig. 8 / Observation 4)."
+    );
+}

@@ -1,0 +1,7 @@
+//! Table I: prints the evaluation platform configuration.
+
+use hcc_types::calib::SystemConfig;
+
+fn main() {
+    println!("{}", SystemConfig::default());
+}

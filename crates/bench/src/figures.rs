@@ -1,0 +1,720 @@
+//! Data generators for every figure in the paper's evaluation. Each
+//! submodule computes the rows/series a figure plots; the `src/bin/*`
+//! harnesses print them and the integration tests assert their shape.
+
+use hcc_runtime::SimConfig;
+use hcc_types::CcMode;
+
+/// Fresh config for a mode with the standard experiment seed.
+pub fn cfg(cc: CcMode) -> SimConfig {
+    SimConfig::new(cc).with_seed(0xFA11_2025)
+}
+
+/// Fig. 1 / overview: end-to-end phase breakdown of a representative app
+/// under base, CC, and CC+UVM.
+pub mod fig01 {
+    use hcc_core::PhaseBreakdown;
+    use hcc_runtime::SimConfig;
+    use hcc_types::CcMode;
+    use hcc_workloads::{runner, suites};
+
+    /// One row of the overview figure.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// Scenario label.
+        pub label: &'static str,
+        /// The phase breakdown.
+        pub breakdown: PhaseBreakdown,
+    }
+
+    /// Computes the three scenarios on a gemm-class app.
+    pub fn rows() -> Vec<Row> {
+        let spec = suites::by_name("gemm").expect("gemm exists");
+        let uvm_spec = suites::uvm_variant("gemm").expect("gemm-uvm exists");
+        let mut rows = Vec::new();
+        for (label, spec, cc) in [
+            ("CC-off", &spec, CcMode::Off),
+            ("CC-on", &spec, CcMode::On),
+            ("CC-on + UVM", &uvm_spec, CcMode::On),
+        ] {
+            let r = runner::run(spec, SimConfig::new(cc)).expect("run succeeds");
+            rows.push(Row {
+                label,
+                breakdown: PhaseBreakdown::from_timeline(&r.timeline),
+            });
+        }
+        rows
+    }
+}
+
+/// Fig. 3: performance-model validation — fitted α/β and prediction
+/// error per app and mode.
+pub mod fig03 {
+    use hcc_core::PerfModel;
+    use hcc_types::CcMode;
+    use hcc_workloads::{runner, suites};
+
+    /// One validation row.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// App name.
+        pub app: &'static str,
+        /// Mode.
+        pub cc: CcMode,
+        /// Fitted α.
+        pub alpha: f64,
+        /// Fitted β.
+        pub beta: f64,
+        /// Relative prediction error.
+        pub error: f64,
+    }
+
+    /// Fits the model to every standard app in both modes.
+    pub fn rows() -> Vec<Row> {
+        let mut out = Vec::new();
+        for spec in suites::all() {
+            for cc in CcMode::ALL {
+                let r = runner::run(&spec, super::cfg(cc)).expect("run succeeds");
+                let fitted = PerfModel::fit(&r.timeline);
+                out.push(Row {
+                    app: spec.name,
+                    cc,
+                    alpha: fitted.model.alpha,
+                    beta: fitted.model.beta,
+                    error: fitted.error(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Fig. 4a: PCIe transfer bandwidth vs size, pageable/pinned × base/cc.
+pub mod fig04a {
+    use hcc_runtime::CudaContext;
+    use hcc_types::{Bandwidth, ByteSize, CcMode, HostMemKind};
+
+    /// One bandwidth sample.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Point {
+        /// Transfer size.
+        pub size: ByteSize,
+        /// Host memory kind.
+        pub mem: HostMemKind,
+        /// Mode.
+        pub cc: CcMode,
+        /// Achieved bandwidth, GB/s.
+        pub gbs: f64,
+    }
+
+    /// Transfer sizes: 64 B to 1 GiB in powers of 4.
+    pub fn sizes() -> Vec<ByteSize> {
+        (0..13).map(|i| ByteSize::bytes(64u64 << (2 * i))).collect()
+    }
+
+    /// Measures H2D bandwidth across the sweep.
+    pub fn series() -> Vec<Point> {
+        let mut out = Vec::new();
+        for cc in CcMode::ALL {
+            for mem in HostMemKind::ALL {
+                for size in sizes() {
+                    let mut ctx = CudaContext::new(super::cfg(cc));
+                    let h = ctx.malloc_host(size, mem).expect("host alloc");
+                    let d = ctx.malloc_device(size).expect("device alloc");
+                    let t = ctx.memcpy_h2d(d, h, size).expect("copy");
+                    let gbs = Bandwidth::observed(size, t)
+                        .map(|b| b.as_gb_per_s())
+                        .unwrap_or(0.0);
+                    out.push(Point { size, mem, cc, gbs });
+                }
+            }
+        }
+        out
+    }
+
+    /// Peak bandwidth for a (mode, kind) pair from a measured series.
+    pub fn peak(points: &[Point], cc: CcMode, mem: HostMemKind) -> f64 {
+        points
+            .iter()
+            .filter(|p| p.cc == cc && p.mem == mem)
+            .map(|p| p.gbs)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Fig. 4b: single-core crypto throughput (modeled + functional).
+pub mod fig04b {
+    use hcc_crypto::{measure_functional, CryptoAlgorithm, SoftCryptoModel};
+    use hcc_types::CpuModel;
+
+    /// One throughput entry.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Entry {
+        /// CPU measured.
+        pub cpu: CpuModel,
+        /// Algorithm.
+        pub alg: CryptoAlgorithm,
+        /// Calibrated single-core rate, GB/s (the figure's series).
+        pub modeled_gbs: f64,
+        /// Wall-clock rate of this repo's functional implementation,
+        /// GB/s (`None` for the non-host CPU).
+        pub functional_gbs: Option<f64>,
+    }
+
+    /// Computes the modeled table, with functional measurements for the
+    /// host CPU when `functional` is set.
+    pub fn entries(functional: bool) -> Vec<Entry> {
+        let mut out = Vec::new();
+        for cpu in CpuModel::ALL {
+            let model = SoftCryptoModel::new(cpu);
+            for alg in CryptoAlgorithm::ALL {
+                let functional_gbs = if functional && cpu == CpuModel::EmeraldRapids {
+                    measure_functional(alg, 256 * 1024, 4).map(|b| b.as_gb_per_s())
+                } else {
+                    None
+                };
+                out.push(Entry {
+                    cpu,
+                    alg,
+                    modeled_gbs: model.throughput(alg).as_gb_per_s(),
+                    functional_gbs,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Fig. 5: per-app copy time, base vs CC, by direction.
+pub mod fig05 {
+    use hcc_trace::MemMetrics;
+    use hcc_types::CcMode;
+    use hcc_workloads::runner;
+
+    /// One app's copy-time row.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// App name.
+        pub app: &'static str,
+        /// Base-mode copy metrics.
+        pub base: MemMetrics,
+        /// CC-mode copy metrics.
+        pub cc: MemMetrics,
+    }
+
+    impl Row {
+        /// CC/base total copy-time slowdown.
+        pub fn slowdown(&self) -> f64 {
+            self.cc.copy_total() / self.base.copy_total()
+        }
+    }
+
+    /// Runs every standard app with explicit copies in both modes.
+    pub fn rows() -> Vec<Row> {
+        let mut out = Vec::new();
+        for spec in hcc_workloads::suites::all() {
+            if spec.copy_bytes().is_zero() {
+                continue;
+            }
+            let base = runner::run(&spec, super::cfg(CcMode::Off)).expect("run");
+            let cc = runner::run(&spec, super::cfg(CcMode::On)).expect("run");
+            out.push(Row {
+                app: spec.name,
+                base: base.timeline.mem_metrics(),
+                cc: cc.timeline.mem_metrics(),
+            });
+        }
+        out
+    }
+
+    /// Mean/max/min slowdown over rows (Observation 3's statistics).
+    pub fn stats(rows: &[Row]) -> (f64, f64, f64) {
+        let ratios: Vec<f64> = rows.iter().map(Row::slowdown).collect();
+        let mean = hcc_trace::mean_ratio(&ratios);
+        let max = ratios.iter().copied().fold(f64::MIN, f64::max);
+        let min = ratios.iter().copied().fold(f64::MAX, f64::min);
+        (mean, max, min)
+    }
+}
+
+/// Fig. 6: memory-management times, base vs CC.
+pub mod fig06 {
+    use hcc_runtime::CudaContext;
+    use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
+
+    /// Aggregated management times for one mode.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Times {
+        /// `cudaMallocHost` total.
+        pub hmalloc: SimDuration,
+        /// `cudaMalloc` total.
+        pub dmalloc: SimDuration,
+        /// `cudaFree` total.
+        pub free: SimDuration,
+        /// `cudaMallocManaged` total.
+        pub managed_alloc: SimDuration,
+        /// managed `cudaFree` total.
+        pub managed_free: SimDuration,
+    }
+
+    /// Measures `iters` alloc/free cycles of `size` in one mode.
+    pub fn measure(cc: CcMode, size: ByteSize, iters: u32) -> Times {
+        let mut ctx = CudaContext::new(super::cfg(cc));
+        let mut t = Times::default();
+        for _ in 0..iters {
+            let t0 = ctx.now();
+            let d = ctx.malloc_device(size).expect("dmalloc");
+            t.dmalloc += ctx.now() - t0;
+            let t1 = ctx.now();
+            let h = ctx.malloc_host(size, HostMemKind::Pinned).expect("hmalloc");
+            t.hmalloc += ctx.now() - t1;
+            let t2 = ctx.now();
+            ctx.free_device(d).expect("free");
+            ctx.free_host(h).expect("free host");
+            t.free += ctx.now() - t2;
+            let t3 = ctx.now();
+            let m = ctx.malloc_managed(size).expect("managed");
+            t.managed_alloc += ctx.now() - t3;
+            let t4 = ctx.now();
+            ctx.free_managed(m).expect("free managed");
+            t.managed_free += ctx.now() - t4;
+        }
+        t
+    }
+
+    /// The five CC/base ratios (hmalloc, dmalloc, free, managed alloc,
+    /// managed free).
+    pub fn ratios(size: ByteSize, iters: u32) -> [f64; 5] {
+        let base = measure(CcMode::Off, size, iters);
+        let cc = measure(CcMode::On, size, iters);
+        [
+            cc.hmalloc / base.hmalloc,
+            cc.dmalloc / base.dmalloc,
+            cc.free / base.free,
+            cc.managed_alloc / base.managed_alloc,
+            cc.managed_free / base.managed_free,
+        ]
+    }
+}
+
+/// Fig. 7: KLO / LQT / KQT per app, CC normalized to base.
+pub mod fig07 {
+    use hcc_types::CcMode;
+    use hcc_workloads::runner;
+
+    /// One app's launch-path ratios.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// App name.
+        pub app: &'static str,
+        /// Launches in the app.
+        pub launches: u64,
+        /// CC/base Σ KLO.
+        pub klo: f64,
+        /// CC/base Σ LQT.
+        pub lqt: f64,
+        /// CC/base Σ KQT.
+        pub kqt: f64,
+    }
+
+    /// Runs every multi-launch app in both modes.
+    pub fn rows() -> Vec<Row> {
+        let mut out = Vec::new();
+        for spec in hcc_workloads::suites::multi_launch() {
+            if spec.uvm {
+                continue; // Fig. 7 is the non-UVM launch study.
+            }
+            let base = runner::run(&spec, super::cfg(CcMode::Off)).expect("run");
+            let cc = runner::run(&spec, super::cfg(CcMode::On)).expect("run");
+            let b = base.timeline.launch_metrics();
+            let c = cc.timeline.launch_metrics();
+            out.push(Row {
+                app: spec.name,
+                launches: spec.launch_count(),
+                klo: c.total_klo() / b.total_klo(),
+                lqt: c.total_lqt() / b.total_lqt(),
+                kqt: c.total_kqt() / b.total_kqt(),
+            });
+        }
+        out
+    }
+
+    /// Mean (KLO, LQT, KQT) ratios across apps.
+    pub fn means(rows: &[Row]) -> (f64, f64, f64) {
+        let klo: Vec<f64> = rows.iter().map(|r| r.klo).collect();
+        let lqt: Vec<f64> = rows.iter().map(|r| r.lqt).collect();
+        let kqt: Vec<f64> = rows.iter().map(|r| r.kqt).collect();
+        (
+            hcc_trace::mean_ratio(&klo),
+            hcc_trace::mean_ratio(&lqt),
+            hcc_trace::mean_ratio(&kqt),
+        )
+    }
+}
+
+/// Fig. 8: the `cudaLaunchKernel` call stack inside a TD.
+pub mod fig08 {
+    use hcc_tee::TdContext;
+    use hcc_trace::CallFrame;
+    use hcc_types::calib::Calibration;
+    use hcc_types::{CcMode, SimDuration};
+
+    /// Builds the simplified Fig. 8 call tree with mode-appropriate costs.
+    pub fn callstack(cc: CcMode) -> CallFrame {
+        let calib = Calibration::paper();
+        let mut td = TdContext::new(cc, calib.tdx.clone());
+        let hypercall = td.hypercall("doorbell");
+        let convert = td.convert_pages(16);
+        let seam = td.seamcall("ept");
+        let klo = calib.launch.klo_base;
+
+        let mut nv_ioctl = CallFrame::new("nvidia_ioctl", klo.scale(0.4));
+        nv_ioctl.push_child(
+            CallFrame::new("dma_direct_alloc", SimDuration::from_micros_f64(1.2)).with_child(
+                CallFrame::new("swiotlb_alloc", SimDuration::from_micros_f64(0.6))
+                    .with_child(CallFrame::new("set_memory_decrypted", convert)),
+            ),
+        );
+        nv_ioctl.push_child(
+            CallFrame::new("doorbell_mmio_write", SimDuration::from_nanos(150)).with_child(
+                CallFrame::new("#VE_handler", SimDuration::from_nanos(300)).with_child(
+                    CallFrame::new("tdx_hypercall", hypercall)
+                        .with_child(CallFrame::new("tdx_module_seamret", seam)),
+                ),
+            ),
+        );
+        CallFrame::new("cudaLaunchKernel", klo.scale(0.3)).with_child(
+            CallFrame::new("libcuda_launch", klo.scale(0.3)).with_child(
+                CallFrame::new("ioctl", SimDuration::from_nanos(400)).with_child(nv_ioctl),
+            ),
+        )
+    }
+}
+
+/// Fig. 9: KET normalized to the base non-UVM run.
+pub mod fig09 {
+    use hcc_types::{CcMode, SimDuration};
+    use hcc_workloads::{runner, suites};
+
+    /// One app's four KET totals.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// App name (the explicit-copy variant's name).
+        pub app: &'static str,
+        /// Σ KET, base non-UVM.
+        pub base: SimDuration,
+        /// Σ KET, CC non-UVM.
+        pub cc: SimDuration,
+        /// Σ KET, base UVM.
+        pub base_uvm: SimDuration,
+        /// Σ KET, CC UVM.
+        pub cc_uvm: SimDuration,
+    }
+
+    impl Row {
+        /// CC/base non-UVM KET ratio.
+        pub fn nonuvm_ratio(&self) -> f64 {
+            self.cc / self.base
+        }
+
+        /// Base-UVM / base-non-UVM slowdown.
+        pub fn uvm_base_slowdown(&self) -> f64 {
+            self.base_uvm / self.base
+        }
+
+        /// CC-UVM / base-non-UVM slowdown (the headline column).
+        pub fn uvm_cc_slowdown(&self) -> f64 {
+            self.cc_uvm / self.base
+        }
+    }
+
+    fn total_ket(spec: &hcc_workloads::WorkloadSpec, cc: CcMode) -> SimDuration {
+        let r = runner::run(spec, super::cfg(cc)).expect("run");
+        r.timeline.launch_metrics().total_ket()
+    }
+
+    /// Runs the Fig. 9 population in all four configurations.
+    pub fn rows() -> Vec<Row> {
+        let mut out = Vec::new();
+        for name in suites::UVM_VARIANT_APPS {
+            let explicit = suites::by_name(name).expect("explicit variant");
+            let uvm = suites::uvm_variant(name).expect("uvm variant");
+            out.push(Row {
+                app: explicit.name,
+                base: total_ket(&explicit, CcMode::Off),
+                cc: total_ket(&explicit, CcMode::On),
+                base_uvm: total_ket(&uvm, CcMode::Off),
+                cc_uvm: total_ket(&uvm, CcMode::On),
+            });
+        }
+        out
+    }
+}
+
+/// Fig. 10: launch/kernel event scatter across the app lifetime.
+pub mod fig10 {
+    use hcc_trace::EventKind;
+    use hcc_types::CcMode;
+    use hcc_workloads::runner;
+
+    /// One scatter point.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Point {
+        /// Event start, µs.
+        pub start_us: f64,
+        /// Event duration, µs.
+        pub duration_us: f64,
+        /// `true` for Kernel events, `false` for Launch events.
+        pub is_kernel: bool,
+        /// Mode.
+        pub cc: CcMode,
+    }
+
+    /// The four apps of Fig. 10 (A: hotspot-class, B: srad-class,
+    /// C: sc, D: 3dconv).
+    pub const APPS: [&str; 4] = ["hotspot", "srad", "sc", "3dconv"];
+
+    /// Event scatter for one app in both modes, longest event dropped
+    /// per the figure's note.
+    pub fn scatter(app: &str) -> Vec<Point> {
+        let spec = hcc_workloads::suites::by_name(app).expect("known app");
+        let mut out = Vec::new();
+        for cc in CcMode::ALL {
+            let r = runner::run(&spec, super::cfg(cc)).expect("run");
+            let mut pts: Vec<Point> = r
+                .timeline
+                .events()
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Launch { .. } => Some(Point {
+                        start_us: e.start.as_micros_f64(),
+                        duration_us: e.duration().as_micros_f64(),
+                        is_kernel: false,
+                        cc,
+                    }),
+                    EventKind::Kernel { .. } => Some(Point {
+                        start_us: e.start.as_micros_f64(),
+                        duration_us: e.duration().as_micros_f64(),
+                        is_kernel: true,
+                        cc,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            // "The events with the longest duration are excluded for
+            // clarity."
+            if let Some((idx, _)) = pts.iter().enumerate().max_by(|a, b| {
+                a.1.duration_us
+                    .partial_cmp(&b.1.duration_us)
+                    .expect("finite")
+            }) {
+                pts.swap_remove(idx);
+            }
+            out.extend(pts);
+        }
+        out
+    }
+}
+
+/// Fig. 11: CDFs of KLO and KET, base vs CC.
+pub mod fig11 {
+    use hcc_trace::Cdf;
+    use hcc_types::CcMode;
+    use hcc_workloads::runner;
+
+    /// CDF pair for one metric.
+    #[derive(Debug, Clone)]
+    pub struct CdfPair {
+        /// Base-mode CDF.
+        pub base: Cdf,
+        /// CC-mode CDF.
+        pub cc: Cdf,
+    }
+
+    /// Pools every non-UVM app's launches/kernels and builds the CDFs.
+    pub fn klo_and_ket() -> (CdfPair, CdfPair) {
+        let mut klo = (Vec::new(), Vec::new());
+        let mut ket = (Vec::new(), Vec::new());
+        for spec in hcc_workloads::suites::all() {
+            if spec.uvm {
+                continue;
+            }
+            for cc in CcMode::ALL {
+                let r = runner::run(&spec, super::cfg(cc)).expect("run");
+                let lm = r.timeline.launch_metrics();
+                match cc {
+                    CcMode::Off => {
+                        klo.0.extend(lm.klos());
+                        ket.0.extend(lm.kets());
+                    }
+                    CcMode::On => {
+                        klo.1.extend(lm.klos());
+                        ket.1.extend(lm.kets());
+                    }
+                }
+            }
+        }
+        (
+            CdfPair {
+                base: Cdf::from_durations(klo.0),
+                cc: Cdf::from_durations(klo.1),
+            },
+            CdfPair {
+                base: Cdf::from_durations(ket.0),
+                cc: Cdf::from_durations(ket.1),
+            },
+        )
+    }
+}
+
+/// Fig. 13: CNN training throughput/time grid.
+pub mod fig13 {
+    use hcc_core::Precision;
+    use hcc_ml::cnn::{CnnEstimator, TrainConfig, MODELS};
+    use hcc_types::CcMode;
+
+    /// One grid cell.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// Model name.
+        pub model: &'static str,
+        /// Batch size.
+        pub batch: u32,
+        /// Precision.
+        pub precision: Precision,
+        /// Mode.
+        pub cc: CcMode,
+        /// Images/second.
+        pub throughput: f64,
+        /// Training time normalized to the base FP32 run of the same
+        /// batch size.
+        pub norm_time: f64,
+    }
+
+    /// Computes the full grid.
+    pub fn rows() -> Vec<Row> {
+        let est = CnnEstimator::default();
+        let mut out = Vec::new();
+        for m in &MODELS {
+            for batch in [64u32, 1024] {
+                let reference = est
+                    .estimate(
+                        m,
+                        TrainConfig {
+                            batch,
+                            precision: Precision::Fp32,
+                            cc: CcMode::Off,
+                        },
+                    )
+                    .total_time;
+                let precisions: &[Precision] = if batch == 1024 {
+                    &[Precision::Fp32, Precision::Amp, Precision::Fp16]
+                } else {
+                    &[Precision::Fp32, Precision::Amp]
+                };
+                for &precision in precisions {
+                    for cc in CcMode::ALL {
+                        let e = est.estimate(
+                            m,
+                            TrainConfig {
+                                batch,
+                                precision,
+                                cc,
+                            },
+                        );
+                        out.push(Row {
+                            model: m.name,
+                            batch,
+                            precision,
+                            cc,
+                            throughput: e.throughput,
+                            norm_time: e.total_time.as_secs_f64() / reference.as_secs_f64(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fig. 14: vLLM speedup grid over the HF BF16 CC-off baseline.
+pub mod fig14 {
+    use hcc_ml::llm::{LlmEstimator, LlmPrecision, FIG14_BATCHES};
+    use hcc_types::CcMode;
+
+    /// One grid cell.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Cell {
+        /// Batch size.
+        pub batch: u32,
+        /// Precision.
+        pub precision: LlmPrecision,
+        /// Mode.
+        pub cc: CcMode,
+        /// Throughput speedup over HF/BF16/CC-off at the same batch.
+        pub speedup: f64,
+    }
+
+    /// Computes the grid.
+    pub fn grid() -> Vec<Cell> {
+        let est = LlmEstimator::default();
+        let mut out = Vec::new();
+        for batch in FIG14_BATCHES {
+            for precision in [LlmPrecision::Bf16, LlmPrecision::Awq] {
+                for cc in CcMode::ALL {
+                    out.push(Cell {
+                        batch,
+                        precision,
+                        cc,
+                        speedup: est.vllm_speedup(precision, batch, cc),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fig. 12: microbenchmarks — launch trains (a), the fusion sweep (b)
+/// and stream overlap (c). Thin wrappers over `hcc_workloads::micro`
+/// that produce the plotted series.
+pub mod fig12 {
+    use hcc_trace::LaunchRecord;
+    use hcc_types::{ByteSize, CcMode, SimDuration};
+    use hcc_workloads::micro::{self, FusionPoint, OverlapResult};
+
+    /// (a) KLO per launch index for K0 x n0 then K1 x n1.
+    pub fn launch_train(cc: CcMode, n0: u32, n1: u32) -> Vec<LaunchRecord> {
+        micro::run_back_to_back(super::cfg(cc), n0, n1, SimDuration::millis(100))
+    }
+
+    /// (b) the fusion sweep over power-of-two launch counts.
+    pub fn fusion_sweep(cc: CcMode, total_ket: SimDuration, max: u32) -> Vec<FusionPoint> {
+        let mut out = Vec::new();
+        let mut n = 1u32;
+        while n <= max {
+            out.push(micro::run_fusion_sweep(super::cfg(cc), total_ket, n));
+            n = n.saturating_mul(2);
+        }
+        out
+    }
+
+    /// (c) overlap speedups over stream counts for one (bytes, KET) pair.
+    pub fn overlap_series(
+        cc: CcMode,
+        total: ByteSize,
+        ket: SimDuration,
+        stream_counts: &[u32],
+    ) -> Vec<(u32, OverlapResult)> {
+        stream_counts
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    micro::run_overlap(super::cfg(cc), n, total, ket).expect("overlap run"),
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,56 @@
+//! Small output helpers shared by the figure harnesses: fixed-width
+//! tables on stdout plus optional JSON row dumps.
+
+use std::fmt::Display;
+
+/// Prints a header followed by a rule line.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a row of fixed-width cells.
+pub fn row<D: Display>(cells: &[D]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Prints a row with a wide first (label) column.
+pub fn labeled_row<D: Display>(label: &str, cells: &[D]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{label:<16} {}", line.join(" "));
+}
+
+/// Formats a ratio as `x N.NN`.
+pub fn ratio(v: f64) -> String {
+    if v.is_finite() {
+        format!("x{v:.2}")
+    } else {
+        "x inf".to_string()
+    }
+}
+
+/// Serializes any serde-serializable rows as a JSON lines block when the
+/// `HCC_JSON` environment variable is set (for downstream plotting).
+pub fn maybe_json<T: serde::Serialize>(name: &str, rows: &[T]) {
+    if std::env::var_os("HCC_JSON").is_none() {
+        return;
+    }
+    for r in rows {
+        match serde_json::to_string(r) {
+            Ok(line) => println!("JSON {name} {line}"),
+            Err(e) => eprintln!("json serialization failed for {name}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(1.4242), "x1.42");
+        assert_eq!(ratio(f64::INFINITY), "x inf");
+        assert_eq!(ratio(f64::NAN), "x inf");
+    }
+}

@@ -1,0 +1,181 @@
+//! The kernel-fusion planner (Sec. VII-A / Fig. 12b): given a fixed total
+//! kernel execution time, choose how many launches to split it into.
+//!
+//! The paper's finding: KLO and LQT move in *opposite* directions as the
+//! launch count changes — few launches pay high per-launch KLO (cold
+//! caches, first-launch setup amortized over little work) while many
+//! launches accumulate queuing — so neither "fuse everything" nor "no
+//! fusion" is optimal.
+
+use serde::Serialize;
+
+use hcc_types::calib::{cp_service, Calibration};
+use hcc_types::{CcMode, SimDuration};
+
+/// Analytic cost estimate for one candidate launch count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FusionEstimate {
+    /// Number of launches the work is split into.
+    pub launches: u32,
+    /// Expected per-launch KLO in steady state (excluding the first
+    /// launch's setup).
+    pub steady_klo: SimDuration,
+    /// Estimated Σ KLO.
+    pub total_klo: SimDuration,
+    /// Estimated Σ LQT.
+    pub total_lqt: SimDuration,
+    /// Estimated end-to-end span (launch path + execution).
+    pub est_span: SimDuration,
+}
+
+/// A fusion recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FusionPlan {
+    /// The chosen launch count.
+    pub best: FusionEstimate,
+    /// Every candidate evaluated (for plotting the Fig. 12b curve).
+    pub candidates: Vec<FusionEstimate>,
+}
+
+/// Plans kernel fusion for a given mode and calibration.
+#[derive(Debug, Clone)]
+pub struct FusionPlanner {
+    calib: Calibration,
+    cc: CcMode,
+}
+
+impl FusionPlanner {
+    /// Creates a planner.
+    pub fn new(calib: Calibration, cc: CcMode) -> Self {
+        FusionPlanner { calib, cc }
+    }
+
+    /// Estimates the cost of splitting `total_ket` into `launches` equal
+    /// kernels issued back-to-back on one stream.
+    pub fn estimate(&self, total_ket: SimDuration, launches: u32) -> FusionEstimate {
+        assert!(launches > 0, "need at least one launch");
+        let lc = &self.calib.launch;
+        let per_ket = total_ket / u64::from(launches);
+        // Steady-state KLO: base driver work plus the expected hypercall
+        // tax under CC.
+        let hypercall_extra = match self.cc {
+            CcMode::Off => self.calib.tdx.vmexit.scale(lc.doorbell_trap_prob),
+            CcMode::On => self.calib.tdx.hypercall().scale(lc.doorbell_trap_prob),
+        };
+        let steady_klo = lc.klo_base + hypercall_extra;
+        // First launch pays image upload + setup; fewer launches amortize
+        // it over less other work, making per-launch KLO higher (Fig. 12a).
+        let first_extra = match self.cc {
+            CcMode::Off => lc.first_launch_extra,
+            CcMode::On => {
+                lc.first_launch_extra
+                    + self
+                        .calib
+                        .tdx
+                        .hypercall()
+                        .scale(f64::from(lc.first_launch_hypercalls))
+            }
+        };
+        let total_klo = steady_klo * u64::from(launches) + first_extra;
+        let steady_klo_out = steady_klo;
+        // LQT: the ring admits `depth` commands; beyond that, launches
+        // wait for command-processor service. A launch train of rate
+        // 1/KLO against service time `svc` queues when svc > klo.
+        let svc = cp_service(&self.calib.gpu, self.cc);
+        let depth = self.calib.gpu.ring_depth as u64;
+        let n = u64::from(launches);
+        let total_lqt = if n > depth && svc > steady_klo + per_ket {
+            (svc - (steady_klo + per_ket).min(svc)) * (n - depth)
+        } else {
+            SimDuration::ZERO
+        };
+        // Span: launch path serializes with execution only when kernels
+        // are shorter than the launch cadence (low KLR).
+        let cadence = steady_klo.max(per_ket);
+        let est_span = first_extra + cadence * n + per_ket + total_lqt;
+        FusionEstimate {
+            launches,
+            steady_klo: steady_klo_out,
+            total_klo,
+            total_lqt,
+            est_span,
+        }
+    }
+
+    /// Scans power-of-two candidates in `[1, max_launches]` and picks the
+    /// span-minimizing launch count.
+    ///
+    /// # Panics
+    /// Panics if `max_launches` is zero.
+    pub fn recommend(&self, total_ket: SimDuration, max_launches: u32) -> FusionPlan {
+        assert!(max_launches > 0, "need at least one candidate");
+        let mut candidates = Vec::new();
+        let mut n = 1u32;
+        while n <= max_launches {
+            candidates.push(self.estimate(total_ket, n));
+            n = n.saturating_mul(2);
+        }
+        let best = *candidates
+            .iter()
+            .min_by_key(|e| e.est_span)
+            .expect("at least one candidate");
+        FusionPlan { best, candidates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner(cc: CcMode) -> FusionPlanner {
+        FusionPlanner::new(Calibration::paper(), cc)
+    }
+
+    #[test]
+    fn klo_grows_with_launch_count() {
+        let p = planner(CcMode::On);
+        let total = SimDuration::millis(100);
+        let few = p.estimate(total, 2);
+        let many = p.estimate(total, 256);
+        assert!(many.total_klo > few.total_klo);
+    }
+
+    #[test]
+    fn cc_klo_exceeds_base_klo() {
+        let total = SimDuration::millis(50);
+        let base = planner(CcMode::Off).estimate(total, 64);
+        let cc = planner(CcMode::On).estimate(total, 64);
+        let ratio = cc.total_klo / base.total_klo;
+        assert!(ratio > 1.2 && ratio < 2.2, "KLO ratio {ratio}");
+    }
+
+    #[test]
+    fn recommendation_is_not_always_full_fusion() {
+        // With a long total KET, splitting hides launch under execution,
+        // so the best point should not necessarily be a single launch;
+        // at minimum the planner must consider several candidates and
+        // pick the minimum.
+        let p = planner(CcMode::On);
+        let plan = p.recommend(SimDuration::millis(200), 1024);
+        assert!(plan.candidates.len() >= 10);
+        let best_span = plan.best.est_span;
+        for c in &plan.candidates {
+            assert!(best_span <= c.est_span);
+        }
+    }
+
+    #[test]
+    fn extreme_splitting_is_suboptimal() {
+        // Thousands of 10us kernels pay launch cadence; the planner must
+        // prefer something smaller than the maximum split.
+        let p = planner(CcMode::On);
+        let plan = p.recommend(SimDuration::millis(20), 4096);
+        assert!(plan.best.launches < 4096, "best {}", plan.best.launches);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one launch")]
+    fn zero_launches_rejected() {
+        let _ = planner(CcMode::Off).estimate(SimDuration::millis(1), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The Fig. 3 performance model:
+//!
+//! `P = (1 − α)·T_mem + Σ(KLO + LQT) + (1 − β)·Σ(KET + KQT) + T_other`
+//!
+//! `α` is the fraction of data-transfer time hidden under other work;
+//! `β` is the (aggregate) fraction of kernel time hidden under launch
+//! activity. Both are 0 for fully serial apps and approach 1 with perfect
+//! overlap.
+
+use serde::Serialize;
+
+use hcc_trace::{EventKind, PhaseTotals, Timeline};
+use hcc_types::{SimDuration, SimTime};
+
+/// The performance model instance for one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PerfModel {
+    /// Part A: total data-transfer time (`T_mem`).
+    pub t_mem: SimDuration,
+    /// Part B: `Σ(KLO + LQT)`.
+    pub t_launch: SimDuration,
+    /// Part C: `Σ(KET + KQT)`.
+    pub t_kernel: SimDuration,
+    /// Part D: `T_other` (alloc/free/non-overlapped sync).
+    pub t_other: SimDuration,
+    /// Copy-overlap factor `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Kernel-overlap factor `β ∈ [0, 1]`.
+    pub beta: f64,
+}
+
+impl PerfModel {
+    /// Builds a fully-serial model (`α = β = 0`) from phase totals.
+    pub fn serial(phases: PhaseTotals) -> Self {
+        PerfModel {
+            t_mem: phases.t_mem,
+            t_launch: phases.t_launch,
+            t_kernel: phases.t_kernel,
+            t_other: phases.t_other,
+            alpha: 0.0,
+            beta: 0.0,
+        }
+    }
+
+    /// Predicted end-to-end time `P`.
+    pub fn predict(&self) -> SimDuration {
+        self.t_mem.scale(1.0 - self.alpha)
+            + self.t_launch
+            + self.t_kernel.scale(1.0 - self.beta)
+            + self.t_other
+    }
+
+    /// Relative prediction error against an observed span.
+    pub fn error_vs(&self, observed: SimDuration) -> f64 {
+        if observed.is_zero() {
+            return 0.0;
+        }
+        let p = self.predict().as_secs_f64();
+        let o = observed.as_secs_f64();
+        (p - o).abs() / o
+    }
+
+    /// Fits `α` and `β` to a recorded timeline.
+    ///
+    /// `α` is measured directly: the fraction of copy time that
+    /// chronologically overlaps kernel execution. `β` is then solved so
+    /// the model reproduces the observed span, clamped to `[0, 1]` — the
+    /// same procedure the paper applies when explaining Fig. 10's traces.
+    pub fn fit(timeline: &Timeline) -> FittedModel {
+        let phases = timeline.phase_totals();
+        let alpha = measure_copy_overlap(timeline);
+        let observed = timeline.span();
+        let fixed = phases.t_mem.scale(1.0 - alpha) + phases.t_launch + phases.t_other;
+        let beta = if phases.t_kernel.is_zero() {
+            0.0
+        } else {
+            let residual = observed.saturating_sub(fixed);
+            (1.0 - residual / phases.t_kernel).clamp(0.0, 1.0)
+        };
+        let model = PerfModel {
+            t_mem: phases.t_mem,
+            t_launch: phases.t_launch,
+            t_kernel: phases.t_kernel,
+            t_other: phases.t_other,
+            alpha,
+            beta,
+        };
+        FittedModel { model, observed }
+    }
+}
+
+/// A model fitted to a trace, with the span it was fitted against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FittedModel {
+    /// The fitted model.
+    pub model: PerfModel,
+    /// The observed end-to-end span.
+    pub observed: SimDuration,
+}
+
+impl FittedModel {
+    /// Relative error of the fitted model (small by construction unless
+    /// clamping bit).
+    pub fn error(&self) -> f64 {
+        self.model.error_vs(self.observed)
+    }
+}
+
+/// Fraction of total copy time that overlaps kernel-execution intervals.
+fn measure_copy_overlap(timeline: &Timeline) -> f64 {
+    let mut copies: Vec<(SimTime, SimTime)> = Vec::new();
+    let mut kernels: Vec<(SimTime, SimTime)> = Vec::new();
+    for e in timeline.events() {
+        match e.kind {
+            EventKind::Memcpy { .. } => copies.push((e.start, e.end)),
+            EventKind::Kernel { .. } => kernels.push((e.start, e.end)),
+            _ => {}
+        }
+    }
+    let total_copy: SimDuration = copies.iter().map(|(s, e)| e.saturating_since(*s)).sum();
+    if total_copy.is_zero() {
+        return 0.0;
+    }
+    kernels.sort_unstable();
+    let mut overlapped = SimDuration::ZERO;
+    for (cs, ce) in &copies {
+        for (ks, ke) in &kernels {
+            let start = (*cs).max(*ks);
+            let end = (*ce).min(*ke);
+            if end > start {
+                overlapped += end - start;
+            }
+        }
+    }
+    (overlapped / total_copy).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_trace::{KernelId, TraceEvent};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::micros(v)
+    }
+
+    #[test]
+    fn serial_prediction_is_phase_sum() {
+        let phases = PhaseTotals {
+            t_mem: us(30),
+            t_launch: us(10),
+            t_kernel: us(100),
+            t_other: us(20),
+            span: us(160),
+        };
+        let m = PerfModel::serial(phases);
+        assert_eq!(m.predict(), us(160));
+        assert!(m.error_vs(us(160)) < 1e-12);
+    }
+
+    #[test]
+    fn overlap_factors_shrink_prediction() {
+        let phases = PhaseTotals {
+            t_mem: us(100),
+            t_launch: us(10),
+            t_kernel: us(100),
+            t_other: us(0),
+            span: us(120),
+        };
+        let mut m = PerfModel::serial(phases);
+        m.alpha = 1.0;
+        m.beta = 0.5;
+        assert_eq!(m.predict(), us(10) + us(50));
+    }
+
+    #[test]
+    fn fit_recovers_serial_trace_exactly() {
+        // Build a perfectly serial trace: copy, launch, kernel, nothing
+        // overlapping.
+        let mut tl = Timeline::new();
+        tl.push(TraceEvent::new(
+            EventKind::Memcpy {
+                kind: hcc_types::CopyKind::H2D,
+                bytes: hcc_types::ByteSize::mib(1),
+                mem: hcc_types::HostMemKind::Pageable,
+                managed: false,
+            },
+            t(0),
+            t(30),
+        ));
+        tl.push(
+            TraceEvent::new(
+                EventKind::Launch {
+                    kernel: KernelId(0),
+                    queue_wait: SimDuration::ZERO,
+                    first: true,
+                },
+                t(30),
+                t(36),
+            )
+            .with_correlation(1),
+        );
+        tl.push(
+            TraceEvent::new(
+                EventKind::Kernel {
+                    kernel: KernelId(0),
+                    uvm: false,
+                },
+                t(36),
+                t(136),
+            )
+            .with_correlation(1),
+        );
+        let fitted = PerfModel::fit(&tl);
+        assert!(fitted.model.alpha < 1e-9);
+        // Serial trace: β ≈ 0, prediction ≈ observed.
+        assert!(fitted.model.beta < 0.05, "beta {}", fitted.model.beta);
+        assert!(fitted.error() < 0.05, "error {}", fitted.error());
+    }
+
+    #[test]
+    fn fit_detects_copy_kernel_overlap() {
+        let mut tl = Timeline::new();
+        // Copy 0..100 fully overlapped by kernel 0..200.
+        tl.push(TraceEvent::new(
+            EventKind::Memcpy {
+                kind: hcc_types::CopyKind::H2D,
+                bytes: hcc_types::ByteSize::mib(1),
+                mem: hcc_types::HostMemKind::Pinned,
+                managed: false,
+            },
+            t(0),
+            t(100),
+        ));
+        tl.push(
+            TraceEvent::new(
+                EventKind::Kernel {
+                    kernel: KernelId(0),
+                    uvm: false,
+                },
+                t(0),
+                t(200),
+            )
+            .with_correlation(1),
+        );
+        let fitted = PerfModel::fit(&tl);
+        assert!((fitted.model.alpha - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_vs_zero_span_is_zero() {
+        let m = PerfModel::serial(PhaseTotals::default());
+        assert_eq!(m.error_vs(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The copy/compute overlap planner (Sec. VII-A / Fig. 12c): estimates
+//! how much of the (encrypted) transfer time streams can hide, and
+//! recommends a stream count.
+
+use serde::Serialize;
+
+use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
+use hcc_types::calib::Calibration;
+use hcc_types::{ByteSize, CcMode, CpuModel, SimDuration};
+
+/// Estimate for one candidate stream count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OverlapEstimate {
+    /// Stream count.
+    pub streams: u32,
+    /// Estimated end-to-end time with overlap.
+    pub overlapped: SimDuration,
+    /// Estimated serial (no-overlap) time for the same work.
+    pub serial: SimDuration,
+}
+
+impl OverlapEstimate {
+    /// Speedup over the serial schedule.
+    pub fn speedup(&self) -> f64 {
+        self.serial / self.overlapped
+    }
+}
+
+/// A recommendation with the evaluated candidates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OverlapPlan {
+    /// Best candidate.
+    pub best: OverlapEstimate,
+    /// All candidates (the Fig. 12c series).
+    pub candidates: Vec<OverlapEstimate>,
+}
+
+/// Plans stream-based overlap for a workload shape.
+#[derive(Debug, Clone)]
+pub struct OverlapPlanner {
+    calib: Calibration,
+    cc: CcMode,
+    crypto: SoftCryptoModel,
+    crypto_workers: u32,
+}
+
+impl OverlapPlanner {
+    /// Creates a planner (single crypto worker, EMR rates).
+    pub fn new(calib: Calibration, cc: CcMode) -> Self {
+        OverlapPlanner {
+            calib,
+            cc,
+            crypto: SoftCryptoModel::new(CpuModel::EmeraldRapids),
+            crypto_workers: 1,
+        }
+    }
+
+    /// Sets the crypto worker count (the Sec. VIII software optimization).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_crypto_workers(mut self, workers: u32) -> Self {
+        assert!(workers > 0, "need at least one crypto worker");
+        self.crypto_workers = workers;
+        self
+    }
+
+    /// Time to move `bytes` once, serially, in the current mode (copy
+    /// path only).
+    fn copy_time(&self, bytes: ByteSize) -> SimDuration {
+        let p = &self.calib.pcie;
+        match self.cc {
+            CcMode::Off => p.dma_setup + p.pinned_h2d.time_for(bytes),
+            CcMode::On => {
+                let crypto = self.crypto.time_for_parallel(
+                    CryptoAlgorithm::AesGcm128,
+                    bytes,
+                    self.crypto_workers,
+                );
+                p.cc_transfer_setup
+                    + crypto
+                    + p.bounce_copy.time_for(bytes)
+                    + p.pinned_h2d.time_for(bytes)
+                    + p.gpu_crypto.time_for(bytes)
+            }
+        }
+    }
+
+    /// CPU-serialized portion of the per-chunk copy (cannot overlap
+    /// across streams: the single software-crypto pipeline).
+    fn copy_cpu_time(&self, bytes: ByteSize) -> SimDuration {
+        match self.cc {
+            CcMode::Off => SimDuration::ZERO,
+            CcMode::On => self.crypto.time_for_parallel(
+                CryptoAlgorithm::AesGcm128,
+                bytes,
+                self.crypto_workers,
+            ),
+        }
+    }
+
+    /// Estimates total time for `streams` streams each moving
+    /// `total_bytes / streams` and running an independent kernel of `ket`.
+    pub fn estimate(
+        &self,
+        total_bytes: ByteSize,
+        ket: SimDuration,
+        streams: u32,
+    ) -> OverlapEstimate {
+        assert!(streams > 0, "need at least one stream");
+        let n = u64::from(streams);
+        let chunk = total_bytes / n;
+        let per_copy = self.copy_time(chunk);
+        let cpu_part = self.copy_cpu_time(chunk);
+        // Serial: every chunk copy then its kernel, one at a time.
+        let serial = (per_copy + ket) * n;
+        // Overlapped: copies serialize on the copy path (CPU crypto + one
+        // copy engine); the last stream's kernel starts after the last
+        // copy. Kernels run concurrently (compute slots).
+        let copy_pipeline = cpu_part.max(per_copy.saturating_sub(cpu_part));
+        let total_copy = cpu_part * n
+            + copy_pipeline.saturating_sub(cpu_part)
+            + (per_copy.saturating_sub(cpu_part));
+        let slots = self.calib.gpu.compute_slots as u64;
+        let kernel_waves = n.div_ceil(slots);
+        let overlapped = total_copy + ket * kernel_waves;
+        OverlapEstimate {
+            streams,
+            overlapped: overlapped.max(per_copy + ket),
+            serial,
+        }
+    }
+
+    /// Scans power-of-two stream counts up to `max_streams` and picks the
+    /// best speedup.
+    ///
+    /// # Panics
+    /// Panics if `max_streams` is zero.
+    pub fn recommend(
+        &self,
+        total_bytes: ByteSize,
+        ket: SimDuration,
+        max_streams: u32,
+    ) -> OverlapPlan {
+        assert!(max_streams > 0, "need at least one stream");
+        let mut candidates = Vec::new();
+        let mut n = 1u32;
+        while n <= max_streams {
+            candidates.push(self.estimate(total_bytes, ket, n));
+            n = n.saturating_mul(2);
+        }
+        let best = *candidates
+            .iter()
+            .max_by(|a, b| a.speedup().partial_cmp(&b.speedup()).expect("finite"))
+            .expect("at least one candidate");
+        OverlapPlan { best, candidates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner(cc: CcMode) -> OverlapPlanner {
+        OverlapPlanner::new(Calibration::paper(), cc)
+    }
+
+    #[test]
+    fn more_streams_help_in_base() {
+        let p = planner(CcMode::Off);
+        let one = p.estimate(ByteSize::mib(512), SimDuration::millis(100), 1);
+        let many = p.estimate(ByteSize::mib(512), SimDuration::millis(100), 16);
+        assert!(many.speedup() > one.speedup() * 2.0);
+    }
+
+    #[test]
+    fn cc_gains_trail_base_gains_for_short_kernels() {
+        let bytes = ByteSize::mib(512);
+        let ket = SimDuration::millis(1);
+        let base = planner(CcMode::Off).estimate(bytes, ket, 64).speedup();
+        let cc = planner(CcMode::On).estimate(bytes, ket, 64).speedup();
+        assert!(cc < base, "cc {cc} vs base {base}");
+    }
+
+    #[test]
+    fn longer_ket_raises_cc_speedup() {
+        let p = planner(CcMode::On);
+        let bytes = ByteSize::mib(512);
+        let short = p.estimate(bytes, SimDuration::millis(1), 16).speedup();
+        let long = p.estimate(bytes, SimDuration::millis(100), 16).speedup();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn crypto_workers_shrink_cc_copy_time() {
+        let one = planner(CcMode::On);
+        let four = planner(CcMode::On).with_crypto_workers(4);
+        let t1 = one.estimate(ByteSize::mib(256), SimDuration::millis(1), 1);
+        let t4 = four.estimate(ByteSize::mib(256), SimDuration::millis(1), 1);
+        assert!(t4.overlapped < t1.overlapped);
+    }
+
+    #[test]
+    fn recommend_scans_candidates() {
+        let plan = planner(CcMode::On).recommend(ByteSize::gib(1), SimDuration::millis(100), 64);
+        assert_eq!(plan.candidates.len(), 7); // 1..=64 powers of two
+        assert!(plan.best.speedup() >= plan.candidates[0].speedup());
+    }
+}

@@ -1,0 +1,367 @@
+//! From-scratch AES block cipher (FIPS-197): AES-128 and AES-256.
+//!
+//! This is a straightforward, table-light implementation (S-box lookups,
+//! `xtime` MixColumns). It is *functionally* correct — verified against the
+//! FIPS-197 known-answer vectors — but makes no constant-time or
+//! performance claims: the simulator charges crypto *time* from the
+//! calibrated [`crate::SoftCryptoModel`], not from this code's wall-clock.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse AES S-box.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Round constants for key expansion.
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// GF(2^8) multiplication.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Supported AES key lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    /// Number of rounds for this key size.
+    pub const fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    /// Key length in bytes.
+    pub const fn key_len(self) -> usize {
+        match self {
+            KeySize::Aes128 => 16,
+            KeySize::Aes256 => 32,
+        }
+    }
+}
+
+/// An expanded AES key schedule for one key.
+///
+/// ```
+/// use hcc_crypto::aes::Aes;
+/// let key = [0u8; 16];
+/// let aes = Aes::new(&key).unwrap();
+/// let mut block = [0u8; 16];
+/// let ct = block;
+/// aes.encrypt_block(&mut block);
+/// aes.decrypt_block(&mut block);
+/// assert_eq!(block, ct);
+/// ```
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    size: KeySize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes")
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Error returned when an AES key has an unsupported length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLength(pub usize);
+
+impl std::fmt::Display for InvalidKeyLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsupported AES key length {} (expected 16 or 32 bytes)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidKeyLength {}
+
+impl Aes {
+    /// Expands `key` (16 or 32 bytes) into a round-key schedule.
+    ///
+    /// # Errors
+    /// Returns [`InvalidKeyLength`] for any other key length.
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLength> {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            32 => KeySize::Aes256,
+            n => return Err(InvalidKeyLength(n)),
+        };
+        let nk = key.len() / 4;
+        let nr = size.rounds();
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let mut round_keys = Vec::with_capacity(nr + 1);
+        for r in 0..=nr {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+        Ok(Aes { round_keys, size })
+    }
+
+    /// The key size this schedule was built for.
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    /// State layout: column-major, `state[4*c + r]` = row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[4 * ((c + r) % 4) + r];
+            }
+            for c in 0..4 {
+                state[4 * c + r] = row[c];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[(c + r) % 4] = state[4 * c + r];
+            }
+            for c in 0..4 {
+                state[4 * c + r] = row[c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] =
+                gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+            state[4 * c + 1] =
+                gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+            state[4 * c + 2] =
+                gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+            state[4 * c + 3] =
+                gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.size.rounds();
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..nr {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[nr]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.size.rounds();
+        Self::add_round_key(block, &self.round_keys[nr]);
+        for round in (1..nr).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_known_answer() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(&key).unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes256_known_answer() {
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(&key).unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn invalid_key_lengths_rejected() {
+        assert_eq!(Aes::new(&[0u8; 15]).unwrap_err(), InvalidKeyLength(15));
+        assert_eq!(Aes::new(&[0u8; 24]).unwrap_err(), InvalidKeyLength(24));
+        assert_eq!(Aes::new(&[]).unwrap_err(), InvalidKeyLength(0));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes::new(&[7u8; 16]).unwrap();
+        let repr = format!("{aes:?}");
+        assert!(!repr.contains("round_keys"));
+        assert!(repr.contains("Aes128"));
+    }
+
+    #[test]
+    fn roundtrip_many_random_blocks() {
+        let aes = Aes::new(&[0xA5u8; 32]).unwrap();
+        let mut block = [0u8; 16];
+        for i in 0..256u32 {
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+            }
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original, "ciphertext must differ");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn inv_sbox_is_inverse() {
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+    }
+}

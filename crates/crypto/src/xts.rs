@@ -1,0 +1,216 @@
+//! AES-XTS (IEEE 1619 / NIST SP 800-38E) — the counter-less mode Intel
+//! TME-MK uses for full-memory encryption (paper Sec. II-A).
+//!
+//! Full 16-byte blocks only: TME-MK encrypts cache lines, so ciphertext
+//! stealing never arises in the modelled data path.
+
+use crate::aes::{Aes, InvalidKeyLength};
+
+/// Errors from XTS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XtsError {
+    /// A key half had an unsupported length.
+    InvalidKey(usize),
+    /// Data length was not a positive multiple of 16 bytes.
+    InvalidLength(usize),
+}
+
+impl std::fmt::Display for XtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XtsError::InvalidKey(n) => write!(f, "invalid XTS key-half length {n}"),
+            XtsError::InvalidLength(n) => {
+                write!(f, "XTS data length {n} is not a positive multiple of 16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XtsError {}
+
+impl From<InvalidKeyLength> for XtsError {
+    fn from(e: InvalidKeyLength) -> Self {
+        XtsError::InvalidKey(e.0)
+    }
+}
+
+/// An AES-XTS instance with independent data and tweak keys.
+///
+/// ```
+/// # fn main() -> Result<(), hcc_crypto::xts::XtsError> {
+/// use hcc_crypto::xts::AesXts;
+/// let xts = AesXts::new(&[1u8; 16], &[2u8; 16])?;
+/// let mut line = [0xEEu8; 64]; // one cache line worth of data
+/// xts.encrypt_sector(7, &mut line)?;
+/// xts.decrypt_sector(7, &mut line)?;
+/// assert_eq!(line, [0xEEu8; 64]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesXts {
+    data_key: Aes,
+    tweak_key: Aes,
+}
+
+/// Multiplies a tweak by α (x) in GF(2^128), XTS little-endian convention.
+fn mul_alpha(tweak: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for byte in tweak.iter_mut() {
+        let next_carry = *byte >> 7;
+        *byte = (*byte << 1) | carry;
+        carry = next_carry;
+    }
+    if carry != 0 {
+        tweak[0] ^= 0x87;
+    }
+}
+
+impl AesXts {
+    /// Builds an XTS instance from two equal-length key halves (16 or 32
+    /// bytes each).
+    ///
+    /// # Errors
+    /// Returns [`XtsError::InvalidKey`] for unsupported key lengths.
+    pub fn new(data_key: &[u8], tweak_key: &[u8]) -> Result<Self, XtsError> {
+        Ok(AesXts {
+            data_key: Aes::new(data_key)?,
+            tweak_key: Aes::new(tweak_key)?,
+        })
+    }
+
+    fn initial_tweak(&self, sector: u64) -> [u8; 16] {
+        let mut tweak = [0u8; 16];
+        tweak[..8].copy_from_slice(&sector.to_le_bytes());
+        self.tweak_key.encrypt_block(&mut tweak);
+        tweak
+    }
+
+    fn check_len(data: &[u8]) -> Result<(), XtsError> {
+        if data.is_empty() || !data.len().is_multiple_of(16) {
+            Err(XtsError::InvalidLength(data.len()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Encrypts a sector in place.
+    ///
+    /// # Errors
+    /// Returns [`XtsError::InvalidLength`] if `data` is empty or not a
+    /// multiple of 16 bytes.
+    pub fn encrypt_sector(&self, sector: u64, data: &mut [u8]) -> Result<(), XtsError> {
+        Self::check_len(data)?;
+        let mut tweak = self.initial_tweak(sector);
+        for chunk in data.chunks_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("16-byte block");
+            for (b, t) in block.iter_mut().zip(tweak.iter()) {
+                *b ^= t;
+            }
+            self.data_key.encrypt_block(block);
+            for (b, t) in block.iter_mut().zip(tweak.iter()) {
+                *b ^= t;
+            }
+            mul_alpha(&mut tweak);
+        }
+        Ok(())
+    }
+
+    /// Decrypts a sector in place.
+    ///
+    /// # Errors
+    /// Returns [`XtsError::InvalidLength`] if `data` is empty or not a
+    /// multiple of 16 bytes.
+    pub fn decrypt_sector(&self, sector: u64, data: &mut [u8]) -> Result<(), XtsError> {
+        Self::check_len(data)?;
+        let mut tweak = self.initial_tweak(sector);
+        for chunk in data.chunks_mut(16) {
+            let block: &mut [u8; 16] = chunk.try_into().expect("16-byte block");
+            for (b, t) in block.iter_mut().zip(tweak.iter()) {
+                *b ^= t;
+            }
+            self.data_key.decrypt_block(block);
+            for (b, t) in block.iter_mut().zip(tweak.iter()) {
+                *b ^= t;
+            }
+            mul_alpha(&mut tweak);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// IEEE P1619 XTS-AES-128 vector 1: all-zero keys, sector 0, zero PT.
+    #[test]
+    fn ieee1619_vector_1() {
+        let xts = AesXts::new(&[0u8; 16], &[0u8; 16]).unwrap();
+        let mut data = vec![0u8; 32];
+        xts.encrypt_sector(0, &mut data).unwrap();
+        assert_eq!(
+            data,
+            hex("917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e")
+        );
+        xts.decrypt_sector(0, &mut data).unwrap();
+        assert_eq!(data, vec![0u8; 32]);
+    }
+
+    /// IEEE P1619 XTS-AES-128 vector 2: repeated 0x11 keys/data, sector
+    /// 0x3333333333.
+    #[test]
+    fn ieee1619_vector_2() {
+        let xts = AesXts::new(&[0x11u8; 16], &[0x22u8; 16]).unwrap();
+        let mut data = vec![0x44u8; 32];
+        xts.encrypt_sector(0x3333333333, &mut data).unwrap();
+        assert_eq!(
+            data,
+            hex("c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0")
+        );
+        xts.decrypt_sector(0x3333333333, &mut data).unwrap();
+        assert_eq!(data, vec![0x44u8; 32]);
+    }
+
+    #[test]
+    fn sector_number_changes_ciphertext() {
+        let xts = AesXts::new(&[5u8; 16], &[6u8; 16]).unwrap();
+        let mut a = vec![0xABu8; 64];
+        let mut b = vec![0xABu8; 64];
+        xts.encrypt_sector(1, &mut a).unwrap();
+        xts.encrypt_sector(2, &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partial_blocks_rejected() {
+        let xts = AesXts::new(&[0u8; 16], &[0u8; 16]).unwrap();
+        let mut short = vec![0u8; 17];
+        assert_eq!(
+            xts.encrypt_sector(0, &mut short).unwrap_err(),
+            XtsError::InvalidLength(17)
+        );
+        let mut empty: Vec<u8> = vec![];
+        assert_eq!(
+            xts.decrypt_sector(0, &mut empty).unwrap_err(),
+            XtsError::InvalidLength(0)
+        );
+    }
+
+    #[test]
+    fn aes256_xts_roundtrip() {
+        let xts = AesXts::new(&[7u8; 32], &[8u8; 32]).unwrap();
+        let mut data = vec![0x5Au8; 128];
+        xts.encrypt_sector(42, &mut data).unwrap();
+        xts.decrypt_sector(42, &mut data).unwrap();
+        assert_eq!(data, vec![0x5Au8; 128]);
+    }
+}

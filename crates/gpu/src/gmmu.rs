@@ -1,0 +1,280 @@
+//! The GPU memory-management unit: per-range page residency tracking for
+//! managed (UVM) memory, producing the far faults the UVM driver services
+//! (paper Sec. II-B).
+
+use std::collections::HashMap;
+
+use hcc_types::ByteSize;
+
+/// Identifies one managed allocation's residency table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ManagedId(pub u64);
+
+impl std::fmt::Display for ManagedId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Where a managed page currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Residency {
+    /// Page backed by CPU memory; GPU access far-faults.
+    #[default]
+    Host,
+    /// Page migrated to GPU HBM.
+    Device,
+}
+
+/// Errors from GMMU operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GmmuError {
+    /// Unknown managed range.
+    UnknownRange(ManagedId),
+    /// Page index beyond the range.
+    PageOutOfRange {
+        /// Range accessed.
+        id: ManagedId,
+        /// Offending page index.
+        page: u64,
+        /// Number of pages in the range.
+        pages: u64,
+    },
+}
+
+impl std::fmt::Display for GmmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GmmuError::UnknownRange(id) => write!(f, "unknown managed range {id}"),
+            GmmuError::PageOutOfRange { id, page, pages } => {
+                write!(f, "page {page} out of range for {id} ({pages} pages)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GmmuError {}
+
+#[derive(Debug, Clone)]
+struct RangeTable {
+    page_size: ByteSize,
+    residency: Vec<Residency>,
+}
+
+/// The GMMU: residency tables for every managed range, plus fault
+/// counters.
+///
+/// ```
+/// use hcc_gpu::{Gmmu, ManagedId, Residency};
+/// use hcc_types::ByteSize;
+///
+/// let mut gmmu = Gmmu::new();
+/// let id = ManagedId(1);
+/// gmmu.register(id, ByteSize::mib(1), ByteSize::kib(64));
+/// // First GPU touch of pages 0..4 faults on all of them.
+/// let faults = gmmu.scan_faults(id, 0, 4).unwrap();
+/// assert_eq!(faults, vec![0, 1, 2, 3]);
+/// gmmu.mark_device(id, &faults).unwrap();
+/// assert!(gmmu.scan_faults(id, 0, 4).unwrap().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gmmu {
+    ranges: HashMap<ManagedId, RangeTable>,
+    far_faults: u64,
+}
+
+impl Gmmu {
+    /// Creates an empty GMMU.
+    pub fn new() -> Self {
+        Gmmu::default()
+    }
+
+    /// Registers a managed range of `size` bytes with `page_size` pages,
+    /// all initially host-resident. Re-registering an id resets its table.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    pub fn register(&mut self, id: ManagedId, size: ByteSize, page_size: ByteSize) {
+        let pages = size.pages(page_size);
+        self.ranges.insert(
+            id,
+            RangeTable {
+                page_size,
+                residency: vec![Residency::Host; pages as usize],
+            },
+        );
+    }
+
+    /// Removes a range (managed free).
+    pub fn unregister(&mut self, id: ManagedId) -> Result<(), GmmuError> {
+        self.ranges
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(GmmuError::UnknownRange(id))
+    }
+
+    /// Number of registered ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total far faults recorded.
+    pub fn fault_count(&self) -> u64 {
+        self.far_faults
+    }
+
+    /// Page size of a range.
+    pub fn page_size(&self, id: ManagedId) -> Result<ByteSize, GmmuError> {
+        self.ranges
+            .get(&id)
+            .map(|r| r.page_size)
+            .ok_or(GmmuError::UnknownRange(id))
+    }
+
+    /// Number of pages in a range.
+    pub fn page_count(&self, id: ManagedId) -> Result<u64, GmmuError> {
+        self.ranges
+            .get(&id)
+            .map(|r| r.residency.len() as u64)
+            .ok_or(GmmuError::UnknownRange(id))
+    }
+
+    /// Pages of `id` currently device-resident.
+    pub fn device_pages(&self, id: ManagedId) -> Result<u64, GmmuError> {
+        self.ranges
+            .get(&id)
+            .map(|r| {
+                r.residency
+                    .iter()
+                    .filter(|p| **p == Residency::Device)
+                    .count() as u64
+            })
+            .ok_or(GmmuError::UnknownRange(id))
+    }
+
+    /// Scans a GPU access to pages `[first, first+count)` and returns the
+    /// indices that far-fault (host-resident). Each faulting page is
+    /// counted.
+    ///
+    /// # Errors
+    /// Returns [`GmmuError`] for unknown ranges or out-of-range pages.
+    pub fn scan_faults(
+        &mut self,
+        id: ManagedId,
+        first: u64,
+        count: u64,
+    ) -> Result<Vec<u64>, GmmuError> {
+        let table = self.ranges.get(&id).ok_or(GmmuError::UnknownRange(id))?;
+        let total = table.residency.len() as u64;
+        if first.checked_add(count).is_none_or(|end| end > total) {
+            return Err(GmmuError::PageOutOfRange {
+                id,
+                page: first + count,
+                pages: total,
+            });
+        }
+        let faults: Vec<u64> = (first..first + count)
+            .filter(|p| table.residency[*p as usize] == Residency::Host)
+            .collect();
+        self.far_faults += faults.len() as u64;
+        Ok(faults)
+    }
+
+    /// Marks pages device-resident (after migration).
+    ///
+    /// # Errors
+    /// Returns [`GmmuError`] for unknown ranges or out-of-range pages.
+    pub fn mark_device(&mut self, id: ManagedId, pages: &[u64]) -> Result<(), GmmuError> {
+        self.set_residency(id, pages, Residency::Device)
+    }
+
+    /// Marks pages host-resident (eviction or CPU access migration).
+    ///
+    /// # Errors
+    /// Returns [`GmmuError`] for unknown ranges or out-of-range pages.
+    pub fn mark_host(&mut self, id: ManagedId, pages: &[u64]) -> Result<(), GmmuError> {
+        self.set_residency(id, pages, Residency::Host)
+    }
+
+    fn set_residency(
+        &mut self,
+        id: ManagedId,
+        pages: &[u64],
+        to: Residency,
+    ) -> Result<(), GmmuError> {
+        let table = self
+            .ranges
+            .get_mut(&id)
+            .ok_or(GmmuError::UnknownRange(id))?;
+        let total = table.residency.len() as u64;
+        for p in pages {
+            if *p >= total {
+                return Err(GmmuError::PageOutOfRange {
+                    id,
+                    page: *p,
+                    pages: total,
+                });
+            }
+            table.residency[*p as usize] = to;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_range_faults_everywhere() {
+        let mut g = Gmmu::new();
+        g.register(ManagedId(1), ByteSize::kib(256), ByteSize::kib(64));
+        assert_eq!(g.page_count(ManagedId(1)).unwrap(), 4);
+        let f = g.scan_faults(ManagedId(1), 0, 4).unwrap();
+        assert_eq!(f.len(), 4);
+        assert_eq!(g.fault_count(), 4);
+    }
+
+    #[test]
+    fn resident_pages_stop_faulting() {
+        let mut g = Gmmu::new();
+        g.register(ManagedId(2), ByteSize::kib(256), ByteSize::kib(64));
+        g.mark_device(ManagedId(2), &[0, 1]).unwrap();
+        let f = g.scan_faults(ManagedId(2), 0, 4).unwrap();
+        assert_eq!(f, vec![2, 3]);
+        assert_eq!(g.device_pages(ManagedId(2)).unwrap(), 2);
+        g.mark_host(ManagedId(2), &[0]).unwrap();
+        assert_eq!(g.device_pages(ManagedId(2)).unwrap(), 1);
+    }
+
+    #[test]
+    fn errors_for_unknown_and_out_of_range() {
+        let mut g = Gmmu::new();
+        assert!(matches!(
+            g.scan_faults(ManagedId(9), 0, 1),
+            Err(GmmuError::UnknownRange(_))
+        ));
+        g.register(ManagedId(3), ByteSize::kib(64), ByteSize::kib(64));
+        assert!(matches!(
+            g.scan_faults(ManagedId(3), 0, 2),
+            Err(GmmuError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.mark_device(ManagedId(3), &[5]),
+            Err(GmmuError::PageOutOfRange { .. })
+        ));
+        assert!(g.unregister(ManagedId(3)).is_ok());
+        assert!(g.unregister(ManagedId(3)).is_err());
+    }
+
+    #[test]
+    fn reregister_resets() {
+        let mut g = Gmmu::new();
+        g.register(ManagedId(4), ByteSize::kib(128), ByteSize::kib(64));
+        g.mark_device(ManagedId(4), &[0, 1]).unwrap();
+        g.register(ManagedId(4), ByteSize::kib(128), ByteSize::kib(64));
+        assert_eq!(g.device_pages(ManagedId(4)).unwrap(), 0);
+        assert_eq!(g.range_count(), 1);
+    }
+}

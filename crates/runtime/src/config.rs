@@ -1,0 +1,114 @@
+//! Simulation configuration for a [`crate::CudaContext`].
+
+use hcc_types::calib::Calibration;
+use hcc_types::{ByteSize, CcMode, CpuModel};
+
+/// Configuration of one simulated guest + GPU pairing.
+///
+/// `SimConfig::new(cc)` gives the paper's Table-I setup in the chosen
+/// mode; builder methods adjust individual knobs for ablations.
+///
+/// ```
+/// use hcc_runtime::SimConfig;
+/// use hcc_types::CcMode;
+///
+/// let cfg = SimConfig::new(CcMode::On).with_seed(7).with_crypto_workers(4);
+/// assert!(cfg.cc.is_on());
+/// assert_eq!(cfg.crypto_workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Confidential-computing mode.
+    pub cc: CcMode,
+    /// Calibration tables (defaults to the paper's).
+    pub calib: Calibration,
+    /// RNG seed; identical seeds reproduce identical traces.
+    pub seed: u64,
+    /// CPU whose software-crypto rates apply (Table I: Emerald Rapids).
+    pub cpu: CpuModel,
+    /// Worker threads for transfer encryption (1 = stock NVIDIA CC; >1 =
+    /// the multi-threaded runtime optimization of Sec. VIII).
+    pub crypto_workers: u32,
+    /// GPU HBM capacity (Table I: 94 GB H100 NVL).
+    pub hbm: ByteSize,
+    /// Charge the SPDM attestation handshake (Sec. III) at context
+    /// creation. Off by default: the paper's steady-state figures exclude
+    /// session establishment; enable it to study cold starts.
+    pub attest_at_creation: bool,
+}
+
+impl SimConfig {
+    /// The paper's configuration in the given mode.
+    pub fn new(cc: CcMode) -> Self {
+        SimConfig {
+            cc,
+            calib: Calibration::paper(),
+            seed: 0x5EED_CAFE,
+            cpu: CpuModel::EmeraldRapids,
+            crypto_workers: 1,
+            hbm: ByteSize::gib(94),
+            attest_at_creation: false,
+        }
+    }
+
+    /// Replaces the calibration bundle.
+    pub fn with_calib(mut self, calib: Calibration) -> Self {
+        self.calib = calib;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the crypto worker count.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_crypto_workers(mut self, workers: u32) -> Self {
+        assert!(workers > 0, "need at least one crypto worker");
+        self.crypto_workers = workers;
+        self
+    }
+
+    /// Sets the CPU model for crypto rates.
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Enables cold-start modeling: the SPDM attestation handshake is
+    /// charged when the context is created.
+    pub fn with_attestation(mut self) -> Self {
+        self.attest_at_creation = true;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new(CcMode::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.cc, CcMode::Off);
+        assert_eq!(cfg.cpu, CpuModel::EmeraldRapids);
+        assert_eq!(cfg.hbm, ByteSize::gib(94));
+        assert_eq!(cfg.crypto_workers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one crypto worker")]
+    fn zero_workers_rejected() {
+        let _ = SimConfig::default().with_crypto_workers(0);
+    }
+}

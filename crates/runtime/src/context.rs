@@ -1,0 +1,1145 @@
+//! The simulated CUDA runtime context: allocation, transfers, kernel
+//! launches, streams, and synchronization over the TD + GPU substrates.
+
+use std::collections::{HashMap, HashSet};
+
+use hcc_crypto::gcm::AesGcm;
+use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
+use hcc_gpu::{DeviceMemError, DevicePtr, GpuDevice, ManagedId, Resource, Slot};
+use hcc_tee::{BounceBufferPool, BounceError, TdContext, TdCounters};
+use hcc_trace::{EventKind, StreamId, Timeline, TraceEvent};
+use hcc_types::rng::Xoshiro256;
+use hcc_types::{
+    Bandwidth, ByteSize, CcMode, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime,
+};
+use hcc_uvm::{UvmDriver, UvmError, UvmStats};
+
+use crate::config::SimConfig;
+use crate::handles::{HostPtr, KernelDesc, ManagedPtr};
+
+/// Errors surfaced by the runtime API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Device memory failure (OOM, bad pointer, bounds).
+    DeviceMem(DeviceMemError),
+    /// Host pointer not produced by this context (or freed).
+    UnknownHostPtr(HostPtr),
+    /// Managed pointer not produced by this context (or freed).
+    UnknownManagedPtr(ManagedPtr),
+    /// Stream handle not produced by this context.
+    UnknownStream(StreamId),
+    /// Copy length exceeds an endpoint allocation.
+    CopyTooLarge {
+        /// Requested bytes.
+        requested: ByteSize,
+        /// Size of the limiting allocation.
+        available: ByteSize,
+    },
+    /// UVM driver failure.
+    Uvm(UvmError),
+    /// Bounce-buffer failure.
+    Bounce(BounceError),
+    /// Functional decryption failed (data corrupted in transit).
+    Integrity,
+    /// Timing-event handle not recorded by this context.
+    UnknownEvent(u64),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::DeviceMem(e) => write!(f, "device memory: {e}"),
+            RuntimeError::UnknownHostPtr(p) => write!(f, "unknown host pointer {p}"),
+            RuntimeError::UnknownManagedPtr(p) => write!(f, "unknown managed pointer {p}"),
+            RuntimeError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            RuntimeError::CopyTooLarge {
+                requested,
+                available,
+            } => {
+                write!(f, "copy of {requested} exceeds allocation of {available}")
+            }
+            RuntimeError::Uvm(e) => write!(f, "uvm: {e}"),
+            RuntimeError::Bounce(e) => write!(f, "bounce: {e}"),
+            RuntimeError::Integrity => f.write_str("integrity check failed in transit"),
+            RuntimeError::UnknownEvent(id) => write!(f, "unknown timing event ev{id}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::DeviceMem(e) => Some(e),
+            RuntimeError::Uvm(e) => Some(e),
+            RuntimeError::Bounce(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceMemError> for RuntimeError {
+    fn from(e: DeviceMemError) -> Self {
+        RuntimeError::DeviceMem(e)
+    }
+}
+
+impl From<UvmError> for RuntimeError {
+    fn from(e: UvmError) -> Self {
+        RuntimeError::Uvm(e)
+    }
+}
+
+impl From<BounceError> for RuntimeError {
+    fn from(e: BounceError) -> Self {
+        RuntimeError::Bounce(e)
+    }
+}
+
+/// Result alias for runtime calls.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[derive(Debug, Clone, Copy)]
+struct HostAlloc {
+    size: ByteSize,
+    kind: HostMemKind,
+}
+
+/// The breakdown of a planned transfer (internal).
+#[derive(Debug, Clone, Copy)]
+struct CopyPlan {
+    /// Host-side pre-work before DMA can start (staging, setup).
+    pre: SimDuration,
+    /// CPU crypto time (CC only), serialized on the crypto engine.
+    crypto: SimDuration,
+    /// Device copy-engine occupancy.
+    dma: SimDuration,
+    /// How Nsight would label the transfer.
+    label: CopyKind,
+    /// Whether Nsight would tag it "Managed" (CC pinned demotion).
+    managed: bool,
+    /// Hypercalls charged (CC DMA mapping).
+    hypercalls: u32,
+}
+
+/// The simulated CUDA runtime for one guest + one GPU.
+///
+/// All calls advance a host-thread virtual clock; device work lands on
+/// engine clocks; every operation is recorded in a [`Timeline`].
+///
+/// ```
+/// use hcc_runtime::{CudaContext, SimConfig};
+/// use hcc_types::{ByteSize, CcMode, HostMemKind};
+///
+/// let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+/// let h = ctx.malloc_host(ByteSize::mib(8), HostMemKind::Pinned).unwrap();
+/// let d = ctx.malloc_device(ByteSize::mib(8)).unwrap();
+/// ctx.memcpy_h2d(d, h, ByteSize::mib(8)).unwrap();
+/// ctx.synchronize();
+/// assert!(ctx.timeline().len() >= 3);
+/// ```
+#[derive(Debug)]
+pub struct CudaContext {
+    cfg: SimConfig,
+    clock: SimTime,
+    gpu: GpuDevice,
+    td: TdContext,
+    bounce: BounceBufferPool,
+    uvm: UvmDriver,
+    crypto: SoftCryptoModel,
+    crypto_engine: Resource,
+    timeline: Timeline,
+    rng: Xoshiro256,
+    next_correlation: u64,
+    seen_kernels: HashSet<u32>,
+    host_allocs: HashMap<HostPtr, HostAlloc>,
+    next_host: u64,
+    managed_allocs: HashMap<ManagedPtr, ByteSize>,
+    next_managed: u64,
+    streams: HashMap<StreamId, SimTime>,
+    next_stream: u32,
+    /// Host buffers whose DMA (bounce) mapping already exists; repeat
+    /// copies reuse it instead of re-paying the map hypercalls.
+    dma_mapped: HashSet<HostPtr>,
+    events: crate::events::EventRegistry,
+    gcm: AesGcm,
+}
+
+impl CudaContext {
+    /// Creates a context (binds the GPU in the configured mode).
+    pub fn new(cfg: SimConfig) -> Self {
+        let gpu = GpuDevice::new(&cfg.calib.gpu, cfg.cc, cfg.hbm);
+        let td = TdContext::new(cfg.cc, cfg.calib.tdx.clone());
+        let bounce = BounceBufferPool::new(cfg.calib.tdx.bounce_pool);
+        let uvm = UvmDriver::new(cfg.calib.uvm.clone(), cfg.cc);
+        let crypto = SoftCryptoModel::new(cfg.cpu);
+        let mut streams = HashMap::new();
+        streams.insert(StreamId(0), SimTime::ZERO);
+        let mut td = td;
+        let mut attest_time = SimDuration::ZERO;
+        if cfg.attest_at_creation {
+            // Cold start: the SPDM handshake (Sec. III) runs before any
+            // CUDA call can touch the device.
+            let session = hcc_tee::SpdmSession::establish(&mut td);
+            attest_time = session.total_time;
+        }
+        let gcm = AesGcm::new(&[0x42; 16]).expect("16-byte key is valid");
+        // Different modes are different physical runs: decorrelate their
+        // jitter streams so per-app ratios fluctuate like real pairs of
+        // measurements (visible in Fig. 7b's sub-1.0 LQT entries).
+        let seed = match cfg.cc {
+            CcMode::Off => cfg.seed,
+            CcMode::On => cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xCC),
+        };
+        CudaContext {
+            rng: Xoshiro256::seed_from_u64(seed),
+            gpu,
+            td,
+            bounce,
+            uvm,
+            crypto,
+            crypto_engine: Resource::new("cpu-crypto"),
+            timeline: Timeline::new(),
+            next_correlation: 1,
+            seen_kernels: HashSet::new(),
+            host_allocs: HashMap::new(),
+            next_host: 0x1000,
+            managed_allocs: HashMap::new(),
+            next_managed: 1,
+            streams,
+            next_stream: 1,
+            dma_mapped: HashSet::new(),
+            events: crate::events::EventRegistry::default(),
+            clock: SimTime::ZERO + attest_time,
+            cfg,
+            gcm,
+        }
+    }
+
+    /// Current host-thread virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The configured CC mode.
+    pub fn cc_mode(&self) -> CcMode {
+        self.cfg.cc
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The trace recorded so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Consumes the context, returning its trace.
+    pub fn into_timeline(self) -> Timeline {
+        self.timeline
+    }
+
+    /// TD transition counters (hypercalls, conversions).
+    pub fn td_counters(&self) -> TdCounters {
+        self.td.counters()
+    }
+
+    /// UVM driver statistics.
+    pub fn uvm_stats(&self) -> UvmStats {
+        self.uvm.stats()
+    }
+
+    /// Read access to the simulated GPU.
+    pub fn gpu(&self) -> &GpuDevice {
+        &self.gpu
+    }
+
+    fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    /// Advances the host clock (for sibling modules like graph capture).
+    pub(crate) fn advance_public(&mut self, d: SimDuration) {
+        self.advance(d);
+    }
+
+    /// Appends a pre-built event (for sibling modules).
+    pub(crate) fn push_event(&mut self, event: TraceEvent) {
+        self.timeline.push(event);
+    }
+
+    /// Records a span (for sibling modules like the transfer pipeline).
+    pub(crate) fn push_event_public(&mut self, kind: EventKind, start: SimTime, end: SimTime) {
+        self.record(kind, start, end);
+    }
+
+    /// Validates a copy's endpoints (for sibling modules).
+    pub(crate) fn check_copy_public(
+        &self,
+        bytes: ByteSize,
+        host: HostPtr,
+        dev: DevicePtr,
+    ) -> Result<HostMemKind> {
+        self.check_copy(bytes, host, dev)
+    }
+
+    /// Charges one hypercall to the host clock and returns its cost.
+    pub(crate) fn charge_hypercall(&mut self, reason: &'static str) -> SimDuration {
+        let cost = self.td.hypercall(reason);
+        self.advance(cost);
+        cost
+    }
+
+    /// The software-crypto model in effect.
+    pub(crate) fn crypto_model(&self) -> SoftCryptoModel {
+        self.crypto
+    }
+
+    /// Schedules work on the (serial) CPU crypto engine.
+    pub(crate) fn schedule_crypto(&mut self, ready: SimTime, dur: SimDuration) -> Slot {
+        self.crypto_engine.schedule(ready, dur)
+    }
+
+    /// Submits a device copy command and returns its completion time.
+    pub(crate) fn submit_copy_public(
+        &mut self,
+        data_ready: SimTime,
+        kind: CopyKind,
+        dur: SimDuration,
+    ) -> SimTime {
+        let sched = self
+            .gpu
+            .submit_copy(self.clock, SimDuration::ZERO, data_ready, kind, dur);
+        sched.xfer.end
+    }
+
+    /// Advances the host clock to `t` (monotone).
+    pub(crate) fn set_clock_public(&mut self, t: SimTime) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Completion time of work queued on a stream so far.
+    pub(crate) fn stream_ready_time(&self, stream: StreamId) -> Result<SimTime> {
+        self.streams
+            .get(&stream)
+            .copied()
+            .ok_or(RuntimeError::UnknownStream(stream))
+    }
+
+    /// Blocks the host until `target` (recording a sync event when it
+    /// actually waits). Exposed to sibling modules.
+    pub(crate) fn wait_until_public(&mut self, target: SimTime) -> SimDuration {
+        self.wait_until(target)
+    }
+
+    /// Timing-event registry (mutable).
+    pub(crate) fn events_mut(&mut self) -> &mut crate::events::EventRegistry {
+        &mut self.events
+    }
+
+    /// Timing-event registry.
+    pub(crate) fn events_ref(&self) -> &crate::events::EventRegistry {
+        &self.events
+    }
+
+    fn record(&mut self, kind: EventKind, start: SimTime, end: SimTime) {
+        self.timeline.push(TraceEvent::new(kind, start, end));
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management (Fig. 6)
+    // ------------------------------------------------------------------
+
+    fn management_cost(&mut self, base: SimDuration, cc_mult: f64) -> SimDuration {
+        let a = &self.cfg.calib.alloc;
+        let jitter = self.rng.jitter(a.jitter_frac);
+        let cost = base.scale(jitter);
+        match self.cfg.cc {
+            CcMode::Off => cost,
+            CcMode::On => cost.scale(cc_mult),
+        }
+    }
+
+    fn size_scaled(base: SimDuration, per_gib: SimDuration, size: ByteSize) -> SimDuration {
+        base + per_gib.scale(size.as_f64() / (1u64 << 30) as f64)
+    }
+
+    /// `cudaMalloc`: reserves device memory.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::DeviceMem`] when HBM capacity is exceeded.
+    pub fn malloc_device(&mut self, size: ByteSize) -> Result<DevicePtr> {
+        let a = self.cfg.calib.alloc.clone();
+        let base = Self::size_scaled(a.dmalloc_base, a.dmalloc_per_gib, size);
+        let cost = self.management_cost(base, a.cc_dmalloc_mult);
+        let start = self.clock;
+        self.advance(cost);
+        let ptr = self.gpu.hbm_mut().alloc(size)?;
+        self.record(
+            EventKind::Alloc {
+                space: MemSpace::Device,
+                bytes: size,
+            },
+            start,
+            self.clock,
+        );
+        Ok(ptr)
+    }
+
+    /// `cudaMallocHost` (pinned) or plain `malloc` (pageable).
+    ///
+    /// Under CC, pinned memory cannot be exposed to the device (TDX
+    /// isolation), so the runtime still hands out a "pinned" handle but
+    /// transfers through it ride the managed/encrypted-paging path —
+    /// Observation 1.
+    ///
+    /// # Errors
+    /// Currently infallible but returns `Result` for API stability.
+    pub fn malloc_host(&mut self, size: ByteSize, kind: HostMemKind) -> Result<HostPtr> {
+        let a = self.cfg.calib.alloc.clone();
+        let ptr = HostPtr(self.next_host);
+        self.next_host += size.align_up(ByteSize::bytes(4096)).as_u64().max(4096);
+        self.host_allocs.insert(ptr, HostAlloc { size, kind });
+        match kind {
+            HostMemKind::Pageable => {
+                // libc malloc: sub-microsecond, invisible to the CUDA trace.
+                self.advance(SimDuration::from_nanos(800));
+            }
+            HostMemKind::Pinned => {
+                let base = Self::size_scaled(a.hmalloc_base, a.hmalloc_per_gib, size);
+                let cost = self.management_cost(base, a.cc_hmalloc_mult);
+                let start = self.clock;
+                self.advance(cost);
+                self.record(
+                    EventKind::Alloc {
+                        space: MemSpace::Host,
+                        bytes: size,
+                    },
+                    start,
+                    self.clock,
+                );
+            }
+        }
+        Ok(ptr)
+    }
+
+    /// `cudaMallocManaged`: creates a managed (UVM) range, initially
+    /// host-resident.
+    ///
+    /// # Errors
+    /// Currently infallible but returns `Result` for API stability.
+    pub fn malloc_managed(&mut self, size: ByteSize) -> Result<ManagedPtr> {
+        let a = self.cfg.calib.alloc.clone();
+        let base = Self::size_scaled(a.dmalloc_base, a.dmalloc_per_gib, size)
+            .scale(a.managed_alloc_factor);
+        let cost = self.management_cost(base, a.cc_managed_alloc_mult);
+        let start = self.clock;
+        self.advance(cost);
+        let ptr = ManagedPtr(self.next_managed);
+        self.next_managed += 1;
+        self.managed_allocs.insert(ptr, size);
+        self.gpu
+            .gmmu_mut()
+            .register(ManagedId(ptr.0), size, self.cfg.calib.uvm.page);
+        self.record(
+            EventKind::Alloc {
+                space: MemSpace::Managed,
+                bytes: size,
+            },
+            start,
+            self.clock,
+        );
+        Ok(ptr)
+    }
+
+    /// `cudaFree` for device memory.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::DeviceMem`] for unknown pointers.
+    pub fn free_device(&mut self, ptr: DevicePtr) -> Result<()> {
+        let a = self.cfg.calib.alloc.clone();
+        let cost = self.management_cost(a.free_base, a.cc_free_mult);
+        let start = self.clock;
+        self.advance(cost);
+        let size = self.gpu.hbm_mut().free(ptr)?;
+        self.record(
+            EventKind::Free {
+                space: MemSpace::Device,
+                bytes: size,
+            },
+            start,
+            self.clock,
+        );
+        Ok(())
+    }
+
+    /// `cudaFreeHost` / `free` for host memory.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownHostPtr`] for unknown pointers.
+    pub fn free_host(&mut self, ptr: HostPtr) -> Result<()> {
+        let alloc = self
+            .host_allocs
+            .remove(&ptr)
+            .ok_or(RuntimeError::UnknownHostPtr(ptr))?;
+        self.dma_mapped.remove(&ptr);
+        match alloc.kind {
+            HostMemKind::Pageable => self.advance(SimDuration::from_nanos(600)),
+            HostMemKind::Pinned => {
+                let a = self.cfg.calib.alloc.clone();
+                let cost = self.management_cost(a.free_base, a.cc_free_mult);
+                let start = self.clock;
+                self.advance(cost);
+                self.record(
+                    EventKind::Free {
+                        space: MemSpace::Host,
+                        bytes: alloc.size,
+                    },
+                    start,
+                    self.clock,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// `cudaFree` for managed memory.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownManagedPtr`] for unknown pointers.
+    pub fn free_managed(&mut self, ptr: ManagedPtr) -> Result<()> {
+        let size = self
+            .managed_allocs
+            .remove(&ptr)
+            .ok_or(RuntimeError::UnknownManagedPtr(ptr))?;
+        let a = self.cfg.calib.alloc.clone();
+        let base = a.free_base.scale(a.managed_free_factor);
+        let cost = self.management_cost(base, a.cc_managed_free_mult);
+        let start = self.clock;
+        self.advance(cost);
+        let _ = self.gpu.gmmu_mut().unregister(ManagedId(ptr.0));
+        self.record(
+            EventKind::Free {
+                space: MemSpace::Managed,
+                bytes: size,
+            },
+            start,
+            self.clock,
+        );
+        Ok(())
+    }
+
+    /// Size of a live host allocation.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownHostPtr`] for unknown pointers.
+    pub fn host_size(&self, ptr: HostPtr) -> Result<ByteSize> {
+        self.host_allocs
+            .get(&ptr)
+            .map(|a| a.size)
+            .ok_or(RuntimeError::UnknownHostPtr(ptr))
+    }
+
+    /// Size of a live managed allocation.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownManagedPtr`] for unknown pointers.
+    pub fn managed_size(&self, ptr: ManagedPtr) -> Result<ByteSize> {
+        self.managed_allocs
+            .get(&ptr)
+            .copied()
+            .ok_or(RuntimeError::UnknownManagedPtr(ptr))
+    }
+
+    // ------------------------------------------------------------------
+    // Transfers (Fig. 4a / 5)
+    // ------------------------------------------------------------------
+
+    /// Effective end-to-end rate of the CC transfer pipeline with the
+    /// configured crypto workers (the Sec. VI-A composition).
+    pub fn cc_pipeline_rate(&self) -> Bandwidth {
+        let p = &self.cfg.calib.pcie;
+        let crypto_rate = {
+            // Effective per-byte crypto rate with the configured workers.
+            let one_gib = ByteSize::gib(1);
+            let t = self.crypto.time_for_parallel(
+                CryptoAlgorithm::AesGcm128,
+                one_gib,
+                self.cfg.crypto_workers,
+            );
+            Bandwidth::observed(one_gib, t).expect("nonzero time")
+        };
+        Bandwidth::serial_pipeline(&[crypto_rate, p.bounce_copy, p.pinned_h2d, p.gpu_crypto])
+    }
+
+    fn plan_copy(&mut self, bytes: ByteSize, host_kind: HostMemKind, dir: CopyKind) -> CopyPlan {
+        self.plan_copy_mapped(bytes, host_kind, dir, true)
+    }
+
+    fn plan_copy_mapped(
+        &mut self,
+        bytes: ByteSize,
+        host_kind: HostMemKind,
+        dir: CopyKind,
+        first_map: bool,
+    ) -> CopyPlan {
+        let p = self.cfg.calib.pcie.clone();
+        match (self.cfg.cc, dir) {
+            (_, CopyKind::D2D) => CopyPlan {
+                pre: SimDuration::from_micros_f64(3.0),
+                crypto: SimDuration::ZERO,
+                dma: p.d2d.time_for(bytes),
+                label: CopyKind::D2D,
+                managed: false,
+                hypercalls: 0,
+            },
+            (CcMode::Off, dir) => {
+                let dma_rate = match dir {
+                    CopyKind::H2D => p.pinned_h2d,
+                    _ => p.pinned_d2h,
+                };
+                let (pre, dma) = match host_kind {
+                    HostMemKind::Pinned => (p.dma_setup, dma_rate.time_for(bytes)),
+                    HostMemKind::Pageable => (
+                        p.dma_setup + p.pageable_setup + p.host_staging.time_for(bytes),
+                        dma_rate.time_for(bytes),
+                    ),
+                };
+                CopyPlan {
+                    pre,
+                    crypto: SimDuration::ZERO,
+                    dma,
+                    label: dir,
+                    managed: false,
+                    hypercalls: 0,
+                }
+            }
+            (CcMode::On, dir) => {
+                // Both pageable and pinned ride the encrypted bounce path.
+                let crypto = self.crypto.time_for_parallel(
+                    CryptoAlgorithm::AesGcm128,
+                    bytes,
+                    self.cfg.crypto_workers,
+                );
+                let staging = p.bounce_copy.time_for(bytes);
+                let dma_rate = match dir {
+                    CopyKind::H2D => p.pinned_h2d,
+                    _ => p.pinned_d2h,
+                };
+                let dma = dma_rate.time_for(bytes) + p.gpu_crypto.time_for(bytes);
+                // Nsight relabels CC pinned copies as Managed D2D
+                // (Observation 1 / Fig. 5's 2dconv note).
+                let (label, managed) = match host_kind {
+                    HostMemKind::Pinned => (CopyKind::D2D, true),
+                    HostMemKind::Pageable => (dir, false),
+                };
+                CopyPlan {
+                    pre: p.cc_transfer_setup + staging,
+                    crypto,
+                    dma,
+                    label,
+                    managed,
+                    // DMA mappings persist per buffer; only the first
+                    // copy through a buffer pays the map hypercalls.
+                    hypercalls: if first_map { 2 } else { 0 },
+                }
+            }
+        }
+    }
+
+    fn execute_blocking_copy(&mut self, bytes: ByteSize, plan: CopyPlan) -> Result<SimDuration> {
+        let start = self.clock;
+        // Hypercalls for DMA mapping (CC only).
+        for _ in 0..plan.hypercalls {
+            let hc_start = self.clock;
+            let cost = self.td.hypercall("dma_map");
+            self.advance(cost);
+            self.record(
+                EventKind::Hypercall { reason: "dma_map" },
+                hc_start,
+                self.clock,
+            );
+        }
+        // Bounce staging reservation (chunked; costs mostly on cold pool).
+        if self.cfg.cc.is_on() && plan.label != CopyKind::D2D || plan.managed {
+            let chunk = self.cfg.calib.pcie.bounce_chunk.min(self.bounce.capacity());
+            let stage = bytes.min(chunk);
+            if !stage.is_zero() {
+                let r = self.bounce.reserve(&mut self.td, stage)?;
+                self.advance(r.cost);
+                self.bounce.release(stage);
+            }
+        }
+        // CPU crypto (serialized on the crypto engine; the host blocks).
+        if !plan.crypto.is_zero() {
+            let slot = self.crypto_engine.schedule(self.clock, plan.crypto);
+            self.record(
+                EventKind::Crypto {
+                    bytes,
+                    encrypt: true,
+                },
+                slot.start,
+                slot.end,
+            );
+            self.clock = slot.end;
+        }
+        // Host-side pre-work (staging copies, setup).
+        self.advance(plan.pre);
+        // Device DMA leg; host blocks until completion.
+        let sched = self.gpu.submit_copy(
+            self.clock,
+            SimDuration::ZERO,
+            self.clock,
+            plan.label,
+            plan.dma,
+        );
+        self.clock = self.clock.max(sched.xfer.end);
+        let total = self.clock - start;
+        self.record(
+            EventKind::Memcpy {
+                kind: plan.label,
+                bytes,
+                mem: if plan.managed {
+                    HostMemKind::Pinned
+                } else {
+                    HostMemKind::Pageable
+                },
+                managed: plan.managed,
+            },
+            start,
+            self.clock,
+        );
+        Ok(total)
+    }
+
+    fn check_copy(&self, bytes: ByteSize, host: HostPtr, dev: DevicePtr) -> Result<HostMemKind> {
+        let h = self
+            .host_allocs
+            .get(&host)
+            .ok_or(RuntimeError::UnknownHostPtr(host))?;
+        if bytes > h.size {
+            return Err(RuntimeError::CopyTooLarge {
+                requested: bytes,
+                available: h.size,
+            });
+        }
+        let dsize = self.gpu.hbm().size_of(dev)?;
+        if bytes > dsize {
+            return Err(RuntimeError::CopyTooLarge {
+                requested: bytes,
+                available: dsize,
+            });
+        }
+        Ok(h.kind)
+    }
+
+    /// Blocking `cudaMemcpy` host→device.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] for unknown pointers or oversized copies.
+    pub fn memcpy_h2d(
+        &mut self,
+        dst: DevicePtr,
+        src: HostPtr,
+        bytes: ByteSize,
+    ) -> Result<SimDuration> {
+        let kind = self.check_copy(bytes, src, dst)?;
+        let first_map = self.dma_mapped.insert(src);
+        let plan = self.plan_copy_mapped(bytes, kind, CopyKind::H2D, first_map);
+        self.execute_blocking_copy(bytes, plan)
+    }
+
+    /// Blocking `cudaMemcpy` device→host.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] for unknown pointers or oversized copies.
+    pub fn memcpy_d2h(
+        &mut self,
+        dst: HostPtr,
+        src: DevicePtr,
+        bytes: ByteSize,
+    ) -> Result<SimDuration> {
+        let kind = self.check_copy(bytes, dst, src)?;
+        let first_map = self.dma_mapped.insert(dst);
+        let plan = self.plan_copy_mapped(bytes, kind, CopyKind::D2H, first_map);
+        self.execute_blocking_copy(bytes, plan)
+    }
+
+    /// Blocking `cudaMemcpy` device→device.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] for unknown pointers or oversized copies.
+    pub fn memcpy_d2d(
+        &mut self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        bytes: ByteSize,
+    ) -> Result<SimDuration> {
+        for ptr in [dst, src] {
+            let size = self.gpu.hbm().size_of(ptr)?;
+            if bytes > size {
+                return Err(RuntimeError::CopyTooLarge {
+                    requested: bytes,
+                    available: size,
+                });
+            }
+        }
+        let plan = self.plan_copy(bytes, HostMemKind::Pageable, CopyKind::D2D);
+        self.execute_blocking_copy(bytes, plan)
+    }
+
+    /// Asynchronous `cudaMemcpyAsync` on a stream (H2D or D2H). The host
+    /// call returns after a small API cost; crypto and DMA are scheduled
+    /// on their engines respecting stream order.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] for unknown pointers, streams, or
+    /// oversized copies.
+    pub fn memcpy_async(
+        &mut self,
+        dev: DevicePtr,
+        host: HostPtr,
+        bytes: ByteSize,
+        dir: CopyKind,
+        stream: StreamId,
+    ) -> Result<()> {
+        let kind = self.check_copy(bytes, host, dev)?;
+        let ready = *self
+            .streams
+            .get(&stream)
+            .ok_or(RuntimeError::UnknownStream(stream))?;
+        let first_map = self.dma_mapped.insert(host);
+        let plan = self.plan_copy_mapped(bytes, kind, dir, first_map);
+        // API call cost on the host.
+        let api_cost = SimDuration::from_micros_f64(1.6).scale(self.rng.jitter(0.2));
+        self.advance(api_cost);
+        // Crypto serialized across streams on the CPU crypto engine — the
+        // reason overlap is harder under CC (Observation 8).
+        let mut data_ready = ready.max(self.clock);
+        if !plan.crypto.is_zero() {
+            let slot = self.crypto_engine.schedule(data_ready, plan.crypto);
+            self.record(
+                EventKind::Crypto {
+                    bytes,
+                    encrypt: dir == CopyKind::H2D,
+                },
+                slot.start,
+                slot.end,
+            );
+            data_ready = slot.end;
+        }
+        data_ready += plan.pre;
+        let sched = self.gpu.submit_copy(
+            self.clock,
+            SimDuration::ZERO,
+            data_ready,
+            plan.label,
+            plan.dma,
+        );
+        self.timeline.push(
+            TraceEvent::new(
+                EventKind::Memcpy {
+                    kind: plan.label,
+                    bytes,
+                    mem: kind,
+                    managed: plan.managed,
+                },
+                sched.xfer.start,
+                sched.xfer.end,
+            )
+            .on_stream(stream),
+        );
+        self.streams.insert(stream, sched.xfer.end);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Streams and synchronization
+    // ------------------------------------------------------------------
+
+    /// Creates a new asynchronous stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.streams.insert(id, self.clock);
+        self.advance(SimDuration::from_micros_f64(9.0));
+        id
+    }
+
+    /// The default (synchronizing) stream.
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Blocks the host until `stream`'s device work completes.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownStream`] for unknown streams.
+    pub fn stream_synchronize(&mut self, stream: StreamId) -> Result<SimDuration> {
+        let ready = *self
+            .streams
+            .get(&stream)
+            .ok_or(RuntimeError::UnknownStream(stream))?;
+        Ok(self.wait_until(ready))
+    }
+
+    /// `cudaDeviceSynchronize`: blocks until all device work completes.
+    pub fn synchronize(&mut self) -> SimDuration {
+        let target = self
+            .streams
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(self.clock)
+            .max(self.crypto_engine.next_free());
+        self.wait_until(target)
+    }
+
+    fn wait_until(&mut self, target: SimTime) -> SimDuration {
+        if target > self.clock {
+            let start = self.clock;
+            self.clock = target;
+            self.record(EventKind::Sync, start, target);
+            target - start
+        } else {
+            // Tiny no-op sync cost.
+            self.advance(SimDuration::from_nanos(900));
+            SimDuration::ZERO
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel launch (Fig. 7/8/9/10/11)
+    // ------------------------------------------------------------------
+
+    /// `cudaLaunchKernel` on a stream. Returns the correlation id linking
+    /// the `Launch` and `Kernel` trace events.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] for unknown streams or managed pointers.
+    pub fn launch_kernel(&mut self, desc: &KernelDesc, stream: StreamId) -> Result<u64> {
+        let stream_ready = *self
+            .streams
+            .get(&stream)
+            .ok_or(RuntimeError::UnknownStream(stream))?;
+        let corr = self.next_correlation;
+        self.next_correlation += 1;
+        let first = self.seen_kernels.insert(desc.id.0);
+
+        // --- Host work between launches (measured as LQT). ---
+        let lc = self.cfg.calib.launch.clone();
+        let mut gap = lc.inter_launch_gap.scale(self.rng.lognormal(lc.gap_sigma));
+        if self.cfg.cc.is_on() {
+            gap = gap.scale(lc.cc_gap_mult);
+        }
+        self.advance(gap);
+
+        // --- Driver-side work (the KLO span). ---
+        let mut klo = lc.klo_base.scale(self.rng.lognormal(lc.klo_sigma));
+        if let Some(spike) = self
+            .rng
+            .spike(lc.spike_prob, lc.spike_range.0, lc.spike_range.1)
+        {
+            klo = lc.klo_base.scale(spike);
+        }
+        let mut hypercall_spans: Vec<SimDuration> = Vec::new();
+        if first {
+            klo += match self.cfg.cc {
+                CcMode::Off => lc.first_launch_extra,
+                CcMode::On => lc.first_launch_extra.scale(lc.cc_first_mult),
+            };
+            if self.cfg.cc.is_on() {
+                for _ in 0..lc.first_launch_hypercalls {
+                    let cost = self.td.hypercall("launch_setup");
+                    hypercall_spans.push(cost);
+                    klo += cost;
+                }
+                // Occasional bounce/page-conversion storm on first
+                // launches — the Fig. 7a outlier mechanism.
+                if self.rng.next_f64() < lc.cc_first_spike_prob {
+                    let (lo, hi) = lc.cc_first_spike_us;
+                    let storm = lo + (hi - lo) * self.rng.next_f64();
+                    klo += SimDuration::from_micros_f64(storm);
+                }
+            }
+        }
+        if self.rng.next_f64() < lc.doorbell_trap_prob {
+            // The doorbell MMIO write exits the guest: a cheap vmexit in a
+            // VM, a full #VE → tdx_hypercall in a TD.
+            let cost = self.td.hypercall("doorbell");
+            hypercall_spans.push(cost);
+            klo += cost;
+        }
+
+        // --- Managed-access fault servicing (UVM kernels). ---
+        let mut ket = desc
+            .ket
+            .scale(self.rng.jitter(self.cfg.calib.gpu.ket_jitter));
+        if self.cfg.cc.is_on() {
+            ket = ket.scale(self.cfg.calib.gpu.cc_ket_factor);
+        }
+        let mut fault_time = SimDuration::ZERO;
+        let mut fault_pages = 0u64;
+        let mut fault_bytes = ByteSize::ZERO;
+        for access in &desc.managed {
+            let size = self
+                .managed_allocs
+                .get(&access.ptr)
+                .copied()
+                .ok_or(RuntimeError::UnknownManagedPtr(access.ptr))?;
+            let id = ManagedId(access.ptr.0);
+            let total_pages = size.pages(self.cfg.calib.uvm.page);
+            let first_page = access.first_page.min(total_pages);
+            let count = if access.pages == u64::MAX {
+                total_pages - first_page
+            } else {
+                access.pages.min(total_pages - first_page)
+            };
+            let service = self.uvm.service_access(
+                self.gpu.gmmu_mut(),
+                &mut self.td,
+                id,
+                first_page,
+                count,
+            )?;
+            fault_time += service.total_time;
+            fault_pages += service.pages;
+            fault_bytes += service.bytes;
+        }
+
+        // --- Submit through the device. ---
+        let exec_cost = ket + fault_time;
+        let sched = self
+            .gpu
+            .submit_kernel(self.clock, klo, stream_ready, exec_cost);
+        let lqt = gap + sched.submission.ring_wait;
+        let launch_start = sched.submission.admitted;
+        let launch_end = launch_start + klo;
+        self.clock = launch_end;
+
+        // Trace: hypercalls inside the launch window (for Fig. 8 flavour).
+        let mut hc_cursor = launch_start;
+        for span in hypercall_spans {
+            self.timeline.push(TraceEvent::new(
+                EventKind::Hypercall { reason: "launch" },
+                hc_cursor,
+                hc_cursor + span,
+            ));
+            hc_cursor += span;
+        }
+        self.timeline.push(
+            TraceEvent::new(
+                EventKind::Launch {
+                    kernel: desc.id,
+                    queue_wait: lqt,
+                    first,
+                },
+                launch_start,
+                launch_end,
+            )
+            .on_stream(stream)
+            .with_correlation(corr),
+        );
+        if fault_pages > 0 {
+            self.timeline.push(
+                TraceEvent::new(
+                    EventKind::UvmFault {
+                        kernel: desc.id,
+                        pages: fault_pages,
+                        bytes: fault_bytes,
+                    },
+                    sched.exec.start,
+                    sched.exec.start + fault_time,
+                )
+                .on_stream(stream)
+                .with_correlation(corr),
+            );
+        }
+        self.timeline.push(
+            TraceEvent::new(
+                EventKind::Kernel {
+                    kernel: desc.id,
+                    uvm: desc.is_uvm(),
+                },
+                sched.exec.start,
+                sched.exec.end,
+            )
+            .on_stream(stream)
+            .with_correlation(corr),
+        );
+        self.streams.insert(stream, sched.exec.end);
+        Ok(corr)
+    }
+
+    // ------------------------------------------------------------------
+    // Functional data path
+    // ------------------------------------------------------------------
+
+    /// Uploads real bytes to the device, exercising the *functional* CC
+    /// path: under CC the payload is AES-GCM encrypted, staged, integrity
+    /// checked, decrypted, and only then lands in HBM — proving the
+    /// paper's data path end-to-end. Charges the same virtual time as an
+    /// equivalent pageable `memcpy_h2d`.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] on bounds violations or (never, absent
+    /// bugs) integrity failure.
+    pub fn upload_bytes(&mut self, dst: DevicePtr, data: &[u8]) -> Result<SimDuration> {
+        let bytes = ByteSize::bytes(data.len() as u64);
+        let dsize = self.gpu.hbm().size_of(dst)?;
+        if bytes > dsize {
+            return Err(RuntimeError::CopyTooLarge {
+                requested: bytes,
+                available: dsize,
+            });
+        }
+        let elapsed = {
+            let plan = self.plan_copy(bytes, HostMemKind::Pageable, CopyKind::H2D);
+            self.execute_blocking_copy(bytes, plan)?
+        };
+        let payload = match self.cfg.cc {
+            CcMode::Off => data.to_vec(),
+            CcMode::On => {
+                // Encrypt into the bounce buffer, then device-side decrypt.
+                let mut staged = data.to_vec();
+                let nonce = [0x07u8; 12];
+                let tag = self.gcm.encrypt(&nonce, &[], &mut staged);
+                debug_assert_ne!(staged, data, "ciphertext must differ for non-empty data");
+                self.gcm
+                    .decrypt(&nonce, &[], &mut staged, &tag)
+                    .map_err(|_| RuntimeError::Integrity)?;
+                staged
+            }
+        };
+        self.gpu.hbm_mut().write(dst, 0, &payload)?;
+        Ok(elapsed)
+    }
+
+    /// Downloads real bytes from the device (functional path, reverse
+    /// direction).
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] on bounds violations.
+    pub fn download_bytes(&mut self, src: DevicePtr, len: u64) -> Result<Vec<u8>> {
+        let bytes = ByteSize::bytes(len);
+        let plan = self.plan_copy(bytes, HostMemKind::Pageable, CopyKind::D2H);
+        self.execute_blocking_copy(bytes, plan)?;
+        let mut data = self.gpu.hbm().read(src, 0, len)?;
+        if self.cfg.cc.is_on() {
+            // Round-trip through the encrypted channel.
+            let nonce = [0x09u8; 12];
+            let tag = self.gcm.encrypt(&nonce, &[], &mut data);
+            self.gcm
+                .decrypt(&nonce, &[], &mut data, &tag)
+                .map_err(|_| RuntimeError::Integrity)?;
+        }
+        Ok(data)
+    }
+}

@@ -1,0 +1,167 @@
+//! CUDA-event-style timing: record markers on streams and measure elapsed
+//! device time between them — how real CUDA code (and the paper's software
+//! timers) measures kernel and transfer spans.
+
+use std::collections::HashMap;
+
+use hcc_trace::StreamId;
+use hcc_types::{SimDuration, SimTime};
+
+use crate::context::{CudaContext, Result, RuntimeError};
+
+/// Handle to a recorded timing event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CudaEvent(u64);
+
+impl std::fmt::Display for CudaEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+/// Event registry carried by the context (separate struct so the context
+/// stays focused; stored via the extension trait below).
+#[derive(Debug, Default)]
+pub(crate) struct EventRegistry {
+    next: u64,
+    recorded: HashMap<CudaEvent, SimTime>,
+}
+
+impl EventRegistry {
+    fn record(&mut self, at: SimTime) -> CudaEvent {
+        let ev = CudaEvent(self.next);
+        self.next += 1;
+        self.recorded.insert(ev, at);
+        ev
+    }
+
+    fn timestamp(&self, ev: CudaEvent) -> Option<SimTime> {
+        self.recorded.get(&ev).copied()
+    }
+}
+
+impl CudaContext {
+    /// `cudaEventRecord`: captures the completion time of all work queued
+    /// on `stream` so far (the device timestamp the event will carry).
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownStream`] for unknown streams.
+    pub fn event_record(&mut self, stream: StreamId) -> Result<CudaEvent> {
+        let ready = self.stream_ready_time(stream)?;
+        Ok(self.events_mut().record(ready))
+    }
+
+    /// `cudaEventElapsedTime`: device time between two recorded events.
+    /// Negative intervals (stop before start) return zero, like CUDA's
+    /// convention of requiring ordered events.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownEvent`] if either handle was never
+    /// recorded by this context.
+    pub fn event_elapsed(&self, start: CudaEvent, stop: CudaEvent) -> Result<SimDuration> {
+        let s = self
+            .events_ref()
+            .timestamp(start)
+            .ok_or(RuntimeError::UnknownEvent(start.0))?;
+        let e = self
+            .events_ref()
+            .timestamp(stop)
+            .ok_or(RuntimeError::UnknownEvent(stop.0))?;
+        Ok(e.saturating_since(s))
+    }
+
+    /// `cudaEventSynchronize`: blocks the host until the event's work has
+    /// completed.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError::UnknownEvent`] for unknown handles.
+    pub fn event_synchronize(&mut self, ev: CudaEvent) -> Result<SimDuration> {
+        let t = self
+            .events_ref()
+            .timestamp(ev)
+            .ok_or(RuntimeError::UnknownEvent(ev.0))?;
+        Ok(self.wait_until_public(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CudaContext, KernelDesc, SimConfig};
+    use hcc_trace::KernelId;
+    use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
+
+    #[test]
+    fn events_measure_kernel_time_like_the_paper_timers() {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+        let stream = ctx.default_stream();
+        let start = ctx.event_record(stream).unwrap();
+        ctx.launch_kernel(
+            &KernelDesc::new(KernelId(0), SimDuration::millis(3)),
+            stream,
+        )
+        .unwrap();
+        let stop = ctx.event_record(stream).unwrap();
+        let elapsed = ctx.event_elapsed(start, stop).unwrap();
+        // Includes the kernel plus queuing, not the host-side KLO.
+        assert!(elapsed >= SimDuration::millis(3));
+        assert!(elapsed < SimDuration::millis(4), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn events_bracket_async_copies() {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+        let size = ByteSize::mib(64);
+        let h = ctx.malloc_host(size, HostMemKind::Pageable).unwrap();
+        let d = ctx.malloc_device(size).unwrap();
+        let s = ctx.create_stream();
+        let start = ctx.event_record(s).unwrap();
+        ctx.memcpy_async(d, h, size, hcc_types::CopyKind::H2D, s)
+            .unwrap();
+        let stop = ctx.event_record(s).unwrap();
+        let elapsed = ctx.event_elapsed(start, stop).unwrap();
+        // Device-side transfer time at ~3 GB/s.
+        let gbs = size.as_gb_f64() / elapsed.as_secs_f64();
+        assert!((1.5..4.0).contains(&gbs), "{gbs} GB/s");
+    }
+
+    #[test]
+    fn reversed_events_yield_zero() {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::Off));
+        let stream = ctx.default_stream();
+        let a = ctx.event_record(stream).unwrap();
+        ctx.launch_kernel(
+            &KernelDesc::new(KernelId(0), SimDuration::millis(1)),
+            stream,
+        )
+        .unwrap();
+        let b = ctx.event_record(stream).unwrap();
+        assert_eq!(ctx.event_elapsed(b, a).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn event_synchronize_advances_host() {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::Off));
+        let stream = ctx.default_stream();
+        ctx.launch_kernel(
+            &KernelDesc::new(KernelId(0), SimDuration::millis(5)),
+            stream,
+        )
+        .unwrap();
+        let ev = ctx.event_record(stream).unwrap();
+        let waited = ctx.event_synchronize(ev).unwrap();
+        assert!(waited > SimDuration::millis(4));
+        // Synchronizing again is free.
+        assert_eq!(ctx.event_synchronize(ev).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unknown_event_rejected() {
+        let mut ctx_a = CudaContext::new(SimConfig::new(CcMode::Off));
+        let mut ctx_b = CudaContext::new(SimConfig::new(CcMode::Off));
+        let ev = ctx_a.event_record(ctx_a.default_stream()).unwrap();
+        // Events from a different context exist there, but a fresh context
+        // has none recorded yet.
+        assert!(ctx_b.event_elapsed(ev, ev).is_err());
+        let _ = ctx_b.event_record(ctx_b.default_stream()).unwrap();
+    }
+}

@@ -1,0 +1,227 @@
+//! CUDA-graph-style launch fusion: capture a sequence of kernels, pay a
+//! one-time instantiation cost, then replay all of them with a *single*
+//! launch — the launch-fusion optimization of Sec. VII-A (Fig. 12b's
+//! alternative for apps like 3dconv that re-launch one kernel in a loop).
+
+use hcc_trace::{EventKind, StreamId, TraceEvent};
+use hcc_types::{CcMode, SimDuration};
+
+use crate::context::{CudaContext, Result};
+use crate::handles::KernelDesc;
+
+/// A captured, not-yet-instantiated graph of kernel nodes.
+#[derive(Debug, Clone, Default)]
+pub struct CudaGraph {
+    nodes: Vec<KernelDesc>,
+}
+
+impl CudaGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        CudaGraph::default()
+    }
+
+    /// Appends a kernel node (nodes execute in order).
+    pub fn add_kernel(&mut self, desc: KernelDesc) -> &mut Self {
+        self.nodes.push(desc);
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The captured nodes.
+    pub fn nodes(&self) -> &[KernelDesc] {
+        &self.nodes
+    }
+}
+
+/// An instantiated (executable) graph.
+#[derive(Debug, Clone)]
+pub struct GraphExec {
+    nodes: Vec<KernelDesc>,
+    /// Instantiation cost that was charged (exposed for trade-off studies).
+    pub instantiate_cost: SimDuration,
+}
+
+impl GraphExec {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl CudaContext {
+    /// `cudaGraphInstantiate`: pays the per-node graph build cost. The
+    /// trade-off the paper highlights: creation cost grows with node
+    /// count, so the optimal fusion level is not "fuse everything".
+    pub fn instantiate_graph(&mut self, graph: &CudaGraph) -> GraphExec {
+        let per_node = SimDuration::from_micros_f64(7.5);
+        let base = SimDuration::from_micros_f64(32.0);
+        let mut cost = base + per_node * graph.len() as u64;
+        if self.cc_mode() == CcMode::On {
+            // Graph build talks to the driver/device repeatedly.
+            cost = cost.scale(1.6);
+        }
+        self.advance_public(cost);
+        GraphExec {
+            nodes: graph.nodes.clone(),
+            instantiate_cost: cost,
+        }
+    }
+
+    /// `cudaGraphLaunch`: a single launch submits every node; nodes run
+    /// back-to-back on the compute engine without per-kernel KLO.
+    ///
+    /// # Errors
+    /// Returns [`RuntimeError`] for unknown streams/managed pointers.
+    pub fn launch_graph(&mut self, exec: &GraphExec, stream: StreamId) -> Result<()> {
+        if exec.is_empty() {
+            return Ok(());
+        }
+        // One combined launch: KLO grows mildly with node count.
+        let combined = KernelDesc {
+            id: exec.nodes[0].id,
+            ket: SimDuration::ZERO,
+            managed: exec
+                .nodes
+                .iter()
+                .flat_map(|n| n.managed.iter().copied())
+                .collect(),
+        };
+        // Total execution time of the whole graph.
+        let total_ket: SimDuration = exec.nodes.iter().map(|n| n.ket).sum();
+        let fused = KernelDesc {
+            ket: total_ket,
+            ..combined
+        };
+        self.launch_kernel(&fused, stream)?;
+        // Mark the node boundaries in the trace for analysis: zero-length
+        // informational events.
+        let end = self.timeline().end();
+        for node in &exec.nodes[1..] {
+            self.push_event(
+                TraceEvent::new(
+                    EventKind::Hypercall {
+                        reason: "graph_node",
+                    },
+                    end,
+                    end,
+                )
+                .on_stream(stream),
+            );
+            let _ = node;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CudaContext, RuntimeError, SimConfig};
+    use hcc_trace::KernelId;
+    use hcc_types::CcMode;
+
+    #[test]
+    fn graph_capture_and_len() {
+        let mut g = CudaGraph::new();
+        for i in 0..5 {
+            g.add_kernel(KernelDesc::new(KernelId(i), SimDuration::micros(100)));
+        }
+        assert_eq!(g.len(), 5);
+        assert!(!g.is_empty());
+        assert_eq!(g.nodes().len(), 5);
+    }
+
+    #[test]
+    fn repeated_graph_launches_beat_individual_launches_for_low_klr_loops() {
+        // 3dconv-style loop: 254 launches of a short kernel, iterated.
+        // Graphs pay instantiation once, then amortize it across replays.
+        let n = 254;
+        let iters = 50;
+        let ket = SimDuration::micros(2);
+        let run_individual = |cc: CcMode| {
+            let mut ctx = CudaContext::new(SimConfig::new(cc));
+            let desc = KernelDesc::new(KernelId(0), ket);
+            let stream = ctx.default_stream();
+            for _ in 0..iters {
+                for _ in 0..n {
+                    ctx.launch_kernel(&desc, stream).unwrap();
+                }
+            }
+            ctx.synchronize();
+            ctx.now()
+        };
+        let run_graph = |cc: CcMode| {
+            let mut ctx = CudaContext::new(SimConfig::new(cc));
+            let mut g = CudaGraph::new();
+            for _ in 0..n {
+                g.add_kernel(KernelDesc::new(KernelId(0), ket));
+            }
+            let exec = ctx.instantiate_graph(&g);
+            for _ in 0..iters {
+                ctx.launch_graph(&exec, StreamId(0)).unwrap();
+            }
+            ctx.synchronize();
+            ctx.now()
+        };
+        for cc in CcMode::ALL {
+            let ind = run_individual(cc);
+            let gr = run_graph(cc);
+            assert!(
+                gr < ind,
+                "{cc}: graph {gr} should beat {ind} individual launches"
+            );
+        }
+    }
+
+    #[test]
+    fn instantiation_cost_scales_with_nodes_and_cc() {
+        let mut base_ctx = CudaContext::new(SimConfig::new(CcMode::Off));
+        let mut cc_ctx = CudaContext::new(SimConfig::new(CcMode::On));
+        let mut small = CudaGraph::new();
+        small.add_kernel(KernelDesc::new(KernelId(0), SimDuration::micros(1)));
+        let mut big = CudaGraph::new();
+        for _ in 0..100 {
+            big.add_kernel(KernelDesc::new(KernelId(0), SimDuration::micros(1)));
+        }
+        let s = base_ctx.instantiate_graph(&small);
+        let b = base_ctx.instantiate_graph(&big);
+        assert!(b.instantiate_cost > s.instantiate_cost * 5);
+        let s_cc = cc_ctx.instantiate_graph(&small);
+        assert!(s_cc.instantiate_cost > s.instantiate_cost);
+    }
+
+    #[test]
+    fn empty_graph_launch_is_noop() {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::Off));
+        let g = CudaGraph::new();
+        let exec = ctx.instantiate_graph(&g);
+        let before = ctx.timeline().len();
+        ctx.launch_graph(&exec, ctx.default_stream()).unwrap();
+        assert_eq!(ctx.timeline().len(), before);
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::Off));
+        let mut g = CudaGraph::new();
+        g.add_kernel(KernelDesc::new(KernelId(0), SimDuration::micros(1)));
+        let exec = ctx.instantiate_graph(&g);
+        let err = ctx.launch_graph(&exec, StreamId(99)).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownStream(_)));
+    }
+}

@@ -1,0 +1,273 @@
+//! The swiotlb-style bounce-buffer pool: hypervisor-shared staging memory
+//! every CC DMA transfer must ride through (paper Sec. II-A / VI-A).
+
+use hcc_types::calib::TdxCalib;
+use hcc_types::{ByteSize, CcMode, SimDuration};
+
+use crate::td::TdContext;
+
+/// Outcome of reserving bounce space for one staged chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BounceReservation {
+    /// Bytes reserved.
+    pub size: ByteSize,
+    /// Time charged for the reservation (pool bookkeeping plus any
+    /// first-touch page conversion).
+    pub cost: SimDuration,
+    /// Whether this reservation had to convert fresh pages (cold pool).
+    pub converted: bool,
+}
+
+/// Errors from bounce-pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BounceError {
+    /// Requested chunk exceeds the total pool capacity.
+    ChunkTooLarge {
+        /// Requested size.
+        requested: ByteSize,
+        /// Pool capacity.
+        capacity: ByteSize,
+    },
+    /// Pool has insufficient free space (caller must release first).
+    Exhausted {
+        /// Requested size.
+        requested: ByteSize,
+        /// Currently available.
+        available: ByteSize,
+    },
+}
+
+impl std::fmt::Display for BounceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BounceError::ChunkTooLarge {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "bounce chunk {requested} exceeds pool capacity {capacity}"
+                )
+            }
+            BounceError::Exhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "bounce pool exhausted: need {requested}, have {available}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BounceError {}
+
+/// A fixed-capacity shared-memory staging pool.
+///
+/// Pages are converted private→shared lazily on first touch (the
+/// `set_memory_decrypted` path of Fig. 8) and stay shared afterwards, so a
+/// warm pool reserves cheaply — this is why steady-state CC bandwidth is
+/// crypto-bound rather than conversion-bound.
+///
+/// ```
+/// use hcc_tee::{BounceBufferPool, TdContext};
+/// use hcc_types::calib::TdxCalib;
+/// use hcc_types::{ByteSize, CcMode};
+///
+/// let mut td = TdContext::new(CcMode::On, TdxCalib::default());
+/// let mut pool = BounceBufferPool::new(ByteSize::mib(64));
+/// let cold = pool.reserve(&mut td, ByteSize::mib(4)).unwrap();
+/// pool.release(ByteSize::mib(4));
+/// let warm = pool.reserve(&mut td, ByteSize::mib(4)).unwrap();
+/// assert!(cold.cost > warm.cost);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BounceBufferPool {
+    capacity: ByteSize,
+    converted: ByteSize,
+    in_use: ByteSize,
+    reservations: u64,
+    cold_reservations: u64,
+}
+
+/// Conversion granularity: TDX shared/private attributes are 4 KiB.
+const CONVERT_PAGE: ByteSize = ByteSize::kib(4);
+
+impl BounceBufferPool {
+    /// Creates a pool with the given capacity (all pages still private).
+    pub fn new(capacity: ByteSize) -> Self {
+        BounceBufferPool {
+            capacity,
+            converted: ByteSize::ZERO,
+            in_use: ByteSize::ZERO,
+            reservations: 0,
+            cold_reservations: 0,
+        }
+    }
+
+    /// Creates a pool sized from the calibration default.
+    pub fn from_calib(calib: &TdxCalib) -> Self {
+        Self::new(calib.bounce_pool)
+    }
+
+    /// Pool capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> ByteSize {
+        self.in_use
+    }
+
+    /// Bytes whose pages have been converted to shared.
+    pub fn converted(&self) -> ByteSize {
+        self.converted
+    }
+
+    /// Total and cold (conversion-paying) reservation counts.
+    pub fn reservation_counts(&self) -> (u64, u64) {
+        (self.reservations, self.cold_reservations)
+    }
+
+    /// Reserves `size` bytes of staging space, charging conversion costs
+    /// through `td` for any pages touched for the first time.
+    ///
+    /// In `CcMode::Off` contexts the pool is a no-op that reports zero
+    /// cost — regular VMs DMA straight from pinned pages.
+    ///
+    /// # Errors
+    /// [`BounceError::ChunkTooLarge`] when `size` exceeds capacity;
+    /// [`BounceError::Exhausted`] when the pool is too full.
+    pub fn reserve(
+        &mut self,
+        td: &mut TdContext,
+        size: ByteSize,
+    ) -> Result<BounceReservation, BounceError> {
+        if td.cc_mode() == CcMode::Off {
+            return Ok(BounceReservation {
+                size,
+                cost: SimDuration::ZERO,
+                converted: false,
+            });
+        }
+        if size > self.capacity {
+            return Err(BounceError::ChunkTooLarge {
+                requested: size,
+                capacity: self.capacity,
+            });
+        }
+        let available = self.capacity - self.in_use;
+        if size > available {
+            return Err(BounceError::Exhausted {
+                requested: size,
+                available,
+            });
+        }
+        self.reservations += 1;
+        let mut cost = td.calib().bounce_reserve;
+        // Lazily convert pages until the pool high-water mark covers this
+        // reservation.
+        let needed_converted = (self.in_use + size).min(self.capacity);
+        let mut converted = false;
+        if needed_converted > self.converted {
+            let fresh = needed_converted - self.converted;
+            let pages = fresh.pages(CONVERT_PAGE);
+            cost += td.convert_pages(pages);
+            self.converted = needed_converted;
+            converted = true;
+            self.cold_reservations += 1;
+        }
+        self.in_use += size;
+        Ok(BounceReservation {
+            size,
+            cost,
+            converted,
+        })
+    }
+
+    /// Releases `size` bytes back to the pool.
+    ///
+    /// # Panics
+    /// Panics if more is released than is in use (a caller accounting bug).
+    pub fn release(&mut self, size: ByteSize) {
+        assert!(
+            size <= self.in_use,
+            "released more bounce space than reserved"
+        );
+        self.in_use = self.in_use - size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn td_on() -> TdContext {
+        TdContext::new(CcMode::On, TdxCalib::default())
+    }
+
+    #[test]
+    fn cold_then_warm_reservations() {
+        let mut td = td_on();
+        let mut pool = BounceBufferPool::new(ByteSize::mib(8));
+        let r1 = pool.reserve(&mut td, ByteSize::mib(4)).unwrap();
+        assert!(r1.converted);
+        assert!(r1.cost > SimDuration::micros(100)); // 1024 pages converted
+        pool.release(ByteSize::mib(4));
+        let r2 = pool.reserve(&mut td, ByteSize::mib(4)).unwrap();
+        assert!(!r2.converted);
+        assert!(r2.cost < SimDuration::micros(1));
+        assert_eq!(pool.reservation_counts(), (2, 1));
+    }
+
+    #[test]
+    fn conversion_covers_high_water_mark_only_once() {
+        let mut td = td_on();
+        let mut pool = BounceBufferPool::new(ByteSize::mib(8));
+        pool.reserve(&mut td, ByteSize::mib(2)).unwrap();
+        pool.reserve(&mut td, ByteSize::mib(2)).unwrap();
+        assert_eq!(pool.converted(), ByteSize::mib(4));
+        pool.release(ByteSize::mib(2));
+        pool.release(ByteSize::mib(2));
+        // Warm reuse below the high-water mark converts nothing more.
+        let before = td.counters().pages_converted;
+        pool.reserve(&mut td, ByteSize::mib(3)).unwrap();
+        assert_eq!(td.counters().pages_converted, before);
+    }
+
+    #[test]
+    fn capacity_errors() {
+        let mut td = td_on();
+        let mut pool = BounceBufferPool::new(ByteSize::mib(4));
+        assert!(matches!(
+            pool.reserve(&mut td, ByteSize::mib(5)),
+            Err(BounceError::ChunkTooLarge { .. })
+        ));
+        pool.reserve(&mut td, ByteSize::mib(3)).unwrap();
+        assert!(matches!(
+            pool.reserve(&mut td, ByteSize::mib(2)),
+            Err(BounceError::Exhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn noop_in_vm_mode() {
+        let mut vm = TdContext::new(CcMode::Off, TdxCalib::default());
+        let mut pool = BounceBufferPool::new(ByteSize::mib(1));
+        // Even "oversized" requests succeed in VM mode: no staging needed.
+        let r = pool.reserve(&mut vm, ByteSize::mib(16)).unwrap();
+        assert_eq!(r.cost, SimDuration::ZERO);
+        assert_eq!(pool.in_use(), ByteSize::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "more bounce space than reserved")]
+    fn over_release_panics() {
+        let mut pool = BounceBufferPool::new(ByteSize::mib(4));
+        pool.release(ByteSize::mib(1));
+    }
+}

@@ -1,0 +1,247 @@
+//! Trace events — the simulator's equivalent of an Nsight Systems export.
+
+use serde::Serialize;
+
+use hcc_types::{ByteSize, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime};
+
+/// Identifies a kernel *function* (not an individual launch), so repeated
+/// launches of the same kernel can be grouped (Fig. 10/12a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct KernelId(pub u32);
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+/// Identifies a CUDA stream within a context. Stream 0 is the default
+/// (synchronizing) stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+pub struct StreamId(pub u32);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// What a trace span represents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A `cudaLaunchKernel` call on the host. The span is the KLO; the
+    /// recorded `queue_wait` is the LQT the call spent blocked on a full
+    /// command ring before the driver work began.
+    Launch {
+        /// Which kernel function was launched.
+        kernel: KernelId,
+        /// Launch queuing time (LQT) preceding this span.
+        queue_wait: SimDuration,
+        /// Whether this was the first launch of `kernel` in the context.
+        first: bool,
+    },
+    /// Kernel execution on the compute engine. The span is the KET.
+    Kernel {
+        /// Which kernel function executed.
+        kernel: KernelId,
+        /// Whether the kernel touched managed (UVM) memory.
+        uvm: bool,
+    },
+    /// An explicit memory copy (the span covers the full blocking call or
+    /// the device-side transfer for async copies).
+    Memcpy {
+        /// Transfer direction as Nsight would label it.
+        kind: CopyKind,
+        /// Bytes moved.
+        bytes: ByteSize,
+        /// Host memory kind of the host endpoint (if any).
+        mem: HostMemKind,
+        /// `true` when Nsight would label the transfer "Managed" — the CC
+        /// pinned-demotion path (Observation 1/3).
+        managed: bool,
+    },
+    /// A memory allocation call (`cudaMalloc*`).
+    Alloc {
+        /// Which space was allocated.
+        space: MemSpace,
+        /// Requested size.
+        bytes: ByteSize,
+    },
+    /// A `cudaFree`-family call.
+    Free {
+        /// Which space was freed.
+        space: MemSpace,
+        /// Size released.
+        bytes: ByteSize,
+    },
+    /// Host-side synchronization (`cudaDeviceSynchronize`, stream sync).
+    Sync,
+    /// Software encryption/decryption on the CPU (CC transfers only).
+    Crypto {
+        /// Bytes processed.
+        bytes: ByteSize,
+        /// `true` for encryption, `false` for decryption.
+        encrypt: bool,
+    },
+    /// A `tdx_hypercall` transition (CC only), for Fig. 8-style accounting.
+    Hypercall {
+        /// Short reason label (e.g. "doorbell", "dma_map").
+        reason: &'static str,
+    },
+    /// UVM far-fault servicing attributable to one kernel.
+    UvmFault {
+        /// Kernel whose access triggered the fault batch.
+        kernel: KernelId,
+        /// Pages migrated.
+        pages: u64,
+        /// Bytes migrated.
+        bytes: ByteSize,
+    },
+}
+
+impl EventKind {
+    /// Short tag used in summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Launch { .. } => "launch",
+            EventKind::Kernel { .. } => "kernel",
+            EventKind::Memcpy { .. } => "memcpy",
+            EventKind::Alloc { .. } => "alloc",
+            EventKind::Free { .. } => "free",
+            EventKind::Sync => "sync",
+            EventKind::Crypto { .. } => "crypto",
+            EventKind::Hypercall { .. } => "hypercall",
+            EventKind::UvmFault { .. } => "uvm_fault",
+        }
+    }
+}
+
+/// One timed span in the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Span start on the virtual clock.
+    pub start: SimTime,
+    /// Span end on the virtual clock.
+    pub end: SimTime,
+    /// Stream the operation was issued on, when applicable.
+    pub stream: Option<StreamId>,
+    /// Correlation id linking a `Launch` to the `Kernel` it produced
+    /// (Nsight's correlation column). Zero when not applicable.
+    pub correlation: u64,
+}
+
+impl TraceEvent {
+    /// Creates an event spanning `start..end`.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn new(kind: EventKind, start: SimTime, end: SimTime) -> Self {
+        assert!(end >= start, "event ends before it starts");
+        TraceEvent {
+            kind,
+            start,
+            end,
+            stream: None,
+            correlation: 0,
+        }
+    }
+
+    /// Builder-style stream annotation.
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Builder-style correlation annotation.
+    pub fn with_correlation(mut self, id: u64) -> Self {
+        self.correlation = id;
+        self
+    }
+
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_is_span_length() {
+        let e = TraceEvent::new(
+            EventKind::Sync,
+            SimTime::from_nanos(100),
+            SimTime::from_nanos(350),
+        );
+        assert_eq!(e.duration(), SimDuration::from_nanos(250));
+        assert_eq!(e.kind.tag(), "sync");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_span_rejected() {
+        let _ = TraceEvent::new(
+            EventKind::Sync,
+            SimTime::from_nanos(2),
+            SimTime::from_nanos(1),
+        );
+    }
+
+    #[test]
+    fn builders_attach_metadata() {
+        let e = TraceEvent::new(EventKind::Sync, SimTime::ZERO, SimTime::ZERO)
+            .on_stream(StreamId(3))
+            .with_correlation(99);
+        assert_eq!(e.stream, Some(StreamId(3)));
+        assert_eq!(e.correlation, 99);
+    }
+
+    #[test]
+    fn tags_cover_all_kinds() {
+        use hcc_types::{ByteSize, CopyKind, HostMemKind, MemSpace};
+        let kinds = [
+            EventKind::Launch {
+                kernel: KernelId(0),
+                queue_wait: SimDuration::ZERO,
+                first: true,
+            },
+            EventKind::Kernel {
+                kernel: KernelId(0),
+                uvm: false,
+            },
+            EventKind::Memcpy {
+                kind: CopyKind::H2D,
+                bytes: ByteSize::kib(1),
+                mem: HostMemKind::Pageable,
+                managed: false,
+            },
+            EventKind::Alloc {
+                space: MemSpace::Device,
+                bytes: ByteSize::kib(1),
+            },
+            EventKind::Free {
+                space: MemSpace::Device,
+                bytes: ByteSize::kib(1),
+            },
+            EventKind::Sync,
+            EventKind::Crypto {
+                bytes: ByteSize::kib(1),
+                encrypt: true,
+            },
+            EventKind::Hypercall { reason: "doorbell" },
+            EventKind::UvmFault {
+                kernel: KernelId(0),
+                pages: 1,
+                bytes: ByteSize::kib(64),
+            },
+        ];
+        let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), 9);
+        assert!(tags.contains(&"uvm_fault"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Chrome trace-event export: serialize a [`Timeline`] into the JSON
+//! array format `chrome://tracing` / Perfetto load natively, so simulated
+//! runs can be inspected with the same tooling people point at real
+//! Nsight exports.
+
+use std::fmt::Write as _;
+
+use hcc_types::{CopyKind, MemSpace};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::timeline::Timeline;
+
+/// Track (Chrome "tid") assignment mirroring how Nsight lays out rows.
+fn track_of(event: &TraceEvent) -> (&'static str, u32) {
+    match event.kind {
+        EventKind::Launch { .. }
+        | EventKind::Alloc { .. }
+        | EventKind::Free { .. }
+        | EventKind::Sync => ("host", 0),
+        EventKind::Crypto { .. } | EventKind::Hypercall { .. } => ("host", 1),
+        EventKind::Kernel { .. } | EventKind::UvmFault { .. } => ("gpu", 10),
+        EventKind::Memcpy { kind, .. } => match kind {
+            CopyKind::H2D => ("gpu", 11),
+            CopyKind::D2H => ("gpu", 12),
+            CopyKind::D2D => ("gpu", 13),
+        },
+    }
+}
+
+fn name_of(event: &TraceEvent) -> String {
+    match &event.kind {
+        EventKind::Launch { kernel, first, .. } => {
+            if *first {
+                format!("cudaLaunchKernel({kernel}) [first]")
+            } else {
+                format!("cudaLaunchKernel({kernel})")
+            }
+        }
+        EventKind::Kernel { kernel, uvm } => {
+            if *uvm {
+                format!("{kernel} [uvm]")
+            } else {
+                kernel.to_string()
+            }
+        }
+        EventKind::Memcpy {
+            kind,
+            bytes,
+            managed,
+            ..
+        } => {
+            if *managed {
+                format!("Memcpy {kind} {bytes} [Managed]")
+            } else {
+                format!("Memcpy {kind} {bytes}")
+            }
+        }
+        EventKind::Alloc { space, bytes } => match space {
+            MemSpace::Host => format!("cudaMallocHost {bytes}"),
+            MemSpace::Device => format!("cudaMalloc {bytes}"),
+            MemSpace::Managed => format!("cudaMallocManaged {bytes}"),
+        },
+        EventKind::Free { space, bytes } => format!("cudaFree[{space}] {bytes}"),
+        EventKind::Sync => "cudaDeviceSynchronize".to_string(),
+        EventKind::Crypto { bytes, encrypt } => {
+            if *encrypt {
+                format!("AES-GCM encrypt {bytes}")
+            } else {
+                format!("AES-GCM decrypt {bytes}")
+            }
+        }
+        EventKind::Hypercall { reason } => format!("tdx_hypercall({reason})"),
+        EventKind::UvmFault { pages, .. } => format!("uvm fault service ({pages} pages)"),
+    }
+}
+
+/// Serializes the timeline as a Chrome trace-event JSON array
+/// ("X" complete events, microsecond timestamps). Load the output in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn to_chrome_trace(timeline: &Timeline) -> String {
+    let mut out = String::from("[\n");
+    for (i, event) in timeline.events().iter().enumerate() {
+        let (process, tid) = track_of(event);
+        let name = name_of(event).replace('"', "'");
+        let ts = event.start.as_micros_f64();
+        let dur = event.duration().as_micros_f64();
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \
+             \"ts\": {ts:.3}, \"dur\": {dur:.3}, \"pid\": \"{process}\", \"tid\": {tid}, \
+             \"args\": {{\"correlation\": {corr}}}}}",
+            cat = event.kind.tag(),
+            corr = event.correlation,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::KernelId;
+    use hcc_types::{ByteSize, HostMemKind, SimDuration, SimTime};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn sample() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.push(
+            TraceEvent::new(
+                EventKind::Launch {
+                    kernel: KernelId(0),
+                    queue_wait: SimDuration::ZERO,
+                    first: true,
+                },
+                t(0),
+                t(6),
+            )
+            .with_correlation(1),
+        );
+        tl.push(
+            TraceEvent::new(
+                EventKind::Kernel {
+                    kernel: KernelId(0),
+                    uvm: false,
+                },
+                t(8),
+                t(108),
+            )
+            .with_correlation(1),
+        );
+        tl.push(TraceEvent::new(
+            EventKind::Memcpy {
+                kind: CopyKind::H2D,
+                bytes: ByteSize::mib(1),
+                mem: HostMemKind::Pageable,
+                managed: false,
+            },
+            t(110),
+            t(140),
+        ));
+        tl
+    }
+
+    #[test]
+    fn output_is_valid_json_shape() {
+        let json = to_chrome_trace(&sample());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        // One object per event, comma-separated.
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert_eq!(json.matches("},\n").count(), 2);
+        // Balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn events_carry_expected_names_and_tracks() {
+        let json = to_chrome_trace(&sample());
+        assert!(json.contains("cudaLaunchKernel(K0) [first]"));
+        assert!(json.contains("\"pid\": \"gpu\""));
+        assert!(json.contains("\"pid\": \"host\""));
+        assert!(json.contains("Memcpy H2D 1.0MiB"));
+        assert!(json.contains("\"correlation\": 1"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let json = to_chrome_trace(&sample());
+        // The kernel starts at 8 us and runs 100 us.
+        assert!(json.contains("\"ts\": 8.000"));
+        assert!(json.contains("\"dur\": 100.000"));
+    }
+
+    #[test]
+    fn empty_timeline_is_an_empty_array() {
+        let json = to_chrome_trace(&Timeline::new());
+        assert_eq!(json, "[\n\n]\n");
+    }
+}

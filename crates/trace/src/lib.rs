@@ -1,0 +1,137 @@
+//! # hcc-trace
+//!
+//! Nsight-Systems-style tracing for the `hcc` simulators: typed spans
+//! ([`TraceEvent`]), a per-run container ([`Timeline`]), extraction of the
+//! paper's launch/kernel/memory metrics (KLO, LQT, KQT, KET, `T_mem`,
+//! `T_other`), distribution statistics ([`Cdf`], [`Summary`]), and the
+//! call-stack cost trees behind Fig. 8 ([`CallFrame`]).
+//!
+//! Every figure in the paper's evaluation is a function of this event
+//! stream; the bench harnesses consume these types directly.
+//!
+//! ```
+//! use hcc_trace::{EventKind, KernelId, Timeline, TraceEvent};
+//! use hcc_types::{SimDuration, SimTime};
+//!
+//! let mut tl = Timeline::new();
+//! tl.push(
+//!     TraceEvent::new(
+//!         EventKind::Launch {
+//!             kernel: KernelId(0),
+//!             queue_wait: SimDuration::micros(1),
+//!             first: true,
+//!         },
+//!         SimTime::ZERO,
+//!         SimTime::ZERO + SimDuration::micros(6),
+//!     )
+//!     .with_correlation(1),
+//! );
+//! let lm = tl.launch_metrics();
+//! assert_eq!(lm.total_klo(), SimDuration::micros(6));
+//! assert_eq!(lm.total_lqt(), SimDuration::micros(1));
+//! ```
+
+mod callstack;
+mod event;
+pub mod export;
+mod histogram;
+mod stats;
+mod timeline;
+
+pub use callstack::CallFrame;
+pub use event::{EventKind, KernelId, StreamId, TraceEvent};
+pub use export::to_chrome_trace;
+pub use histogram::Histogram;
+pub use stats::{geomean, mean_ratio, Cdf, Summary};
+pub use timeline::{KernelRecord, LaunchMetrics, LaunchRecord, MemMetrics, PhaseTotals, Timeline};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hcc_types::{SimDuration, SimTime};
+    use proptest::prelude::*;
+
+    fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+        prop::collection::vec((0u64..1_000_000, 0u64..100_000, any::<u16>()), 1..100).prop_map(
+            |raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (start, len, kernel))| {
+                        let s = SimTime::from_nanos(start);
+                        let e = s + SimDuration::from_nanos(len);
+                        if i % 2 == 0 {
+                            TraceEvent::new(
+                                EventKind::Launch {
+                                    kernel: KernelId(u32::from(kernel)),
+                                    queue_wait: SimDuration::from_nanos(len / 2),
+                                    first: false,
+                                },
+                                s,
+                                e,
+                            )
+                            .with_correlation(i as u64)
+                        } else {
+                            TraceEvent::new(
+                                EventKind::Kernel {
+                                    kernel: KernelId(u32::from(kernel)),
+                                    uvm: false,
+                                },
+                                s,
+                                e,
+                            )
+                            .with_correlation(i as u64 - 1)
+                        }
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    proptest! {
+        /// The end-to-end span can never be shorter than any phase total
+        /// component derived from non-overlapping host work... but phases
+        /// *can* exceed the span when events overlap. What must always hold:
+        /// span >= longest single event.
+        #[test]
+        fn span_bounds_longest_event(events in arb_events()) {
+            let tl: Timeline = events.iter().cloned().collect();
+            let longest = events.iter().map(TraceEvent::duration).max().unwrap();
+            prop_assert!(tl.span() >= longest);
+        }
+
+        /// CDF points are monotone and end at probability 1.
+        #[test]
+        fn cdf_points_monotone(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+            let cdf = Cdf::from_durations(
+                samples.into_iter().map(SimDuration::from_nanos).collect(),
+            );
+            let pts = cdf.points();
+            for w in pts.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+
+        /// Mean lies between min and max.
+        #[test]
+        fn mean_within_bounds(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+            let durations: Vec<SimDuration> =
+                samples.into_iter().map(SimDuration::from_nanos).collect();
+            let s = Summary::of(&durations).unwrap();
+            prop_assert!(s.mean >= s.min && s.mean <= s.max);
+            prop_assert!(s.median >= s.min && s.median <= s.max);
+        }
+
+        /// Metric totals equal the sum over records.
+        #[test]
+        fn launch_totals_consistent(events in arb_events()) {
+            let tl: Timeline = events.into_iter().collect();
+            let lm = tl.launch_metrics();
+            let klo_sum: SimDuration = lm.launches.iter().map(|l| l.klo).sum();
+            prop_assert_eq!(lm.total_klo(), klo_sum);
+            let ket_sum: SimDuration = lm.kernels.iter().map(|k| k.ket).sum();
+            prop_assert_eq!(lm.total_ket(), ket_sum);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Distribution statistics: CDFs, summaries, and slowdown helpers used by
+//! the figure harnesses (Fig. 11's KLO/KET CDFs and every "×N" the paper
+//! reports).
+
+use hcc_types::SimDuration;
+
+/// An empirical cumulative distribution over durations.
+///
+/// ```
+/// use hcc_trace::Cdf;
+/// use hcc_types::SimDuration;
+/// let cdf = Cdf::from_durations(
+///     (1..=100).map(SimDuration::micros).collect::<Vec<_>>(),
+/// );
+/// assert_eq!(cdf.quantile(0.5), SimDuration::micros(50));
+/// assert!(cdf.mean().as_micros_f64() > 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cdf {
+    sorted: Vec<SimDuration>,
+}
+
+impl Cdf {
+    /// Builds a CDF from unsorted samples.
+    pub fn from_durations(mut samples: Vec<SimDuration>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sorted samples (ascending).
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.sorted
+    }
+
+    /// The `p`-quantile (nearest-rank), `p` clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the CDF is empty.
+    pub fn quantile(&self, p: f64) -> SimDuration {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[rank.min(self.sorted.len() - 1)]
+    }
+
+    /// Arithmetic mean over **all** samples. Fig. 11 computes the average
+    /// "over all data points, without any removals" even when the plot
+    /// trims the tail.
+    pub fn mean(&self) -> SimDuration {
+        if self.sorted.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.sorted.iter().map(|d| u128::from(d.as_nanos())).sum();
+        SimDuration::from_nanos((total / self.sorted.len() as u128) as u64)
+    }
+
+    /// A copy with the `n` largest samples removed — Fig. 11a removes the
+    /// top 5 launch durations to keep the plot on one scale.
+    pub fn trim_top(&self, n: usize) -> Cdf {
+        let keep = self.sorted.len().saturating_sub(n);
+        Cdf {
+            sorted: self.sorted[..keep].to_vec(),
+        }
+    }
+
+    /// Evaluates the CDF as `(duration, cumulative fraction)` pairs, one
+    /// per sample — the series a figure plots.
+    pub fn points(&self) -> Vec<(SimDuration, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (*d, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// Five-number-style summary of a duration sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median (p50).
+    pub median: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// Minimum.
+    pub min: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+    /// Sum of all samples.
+    pub total: SimDuration,
+}
+
+impl Summary {
+    /// Summarizes `samples`; returns `None` when empty.
+    pub fn of(samples: &[SimDuration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let cdf = Cdf::from_durations(samples.to_vec());
+        Some(Summary {
+            count: cdf.len(),
+            mean: cdf.mean(),
+            median: cdf.quantile(0.5),
+            p95: cdf.quantile(0.95),
+            min: cdf.samples()[0],
+            max: *cdf.samples().last().expect("non-empty"),
+            total: samples.iter().copied().sum(),
+        })
+    }
+}
+
+/// Geometric mean of slowdown ratios — used when averaging per-app
+/// slowdowns whose spread covers orders of magnitude (e.g. UVM-CC KET).
+/// Non-finite and non-positive ratios are skipped.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    let logs: Vec<f64> = ratios
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite() && *r > 0.0)
+        .map(f64::ln)
+        .collect();
+    if logs.is_empty() {
+        return f64::NAN;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Arithmetic mean of ratios (the paper's default "on average ×N" metric).
+/// Non-finite entries are skipped.
+pub fn mean_ratio(ratios: &[f64]) -> f64 {
+    let vals: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
+    if vals.is_empty() {
+        return f64::NAN;
+    }
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::micros(v)
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let cdf = Cdf::from_durations(vec![us(4), us(1), us(3), us(2)]);
+        assert_eq!(cdf.quantile(0.0), us(1));
+        assert_eq!(cdf.quantile(0.25), us(1));
+        assert_eq!(cdf.quantile(0.5), us(2));
+        assert_eq!(cdf.quantile(1.0), us(4));
+    }
+
+    #[test]
+    fn mean_includes_all_points_trim_does_not() {
+        let cdf = Cdf::from_durations(vec![us(1), us(1), us(1), us(1), us(1000)]);
+        assert!(cdf.mean() > us(200));
+        let trimmed = cdf.trim_top(1);
+        assert_eq!(trimmed.len(), 4);
+        assert_eq!(*trimmed.samples().last().unwrap(), us(1));
+        // The paper's Fig. 11 note: averages are over untrimmed data.
+        assert!(cdf.mean() > trimmed.mean());
+    }
+
+    #[test]
+    fn points_are_monotone_in_both_axes() {
+        let cdf = Cdf::from_durations((0..50).rev().map(us).collect());
+        let pts = cdf.points();
+        for pair in pts.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[us(1), us(2), us(3), us(4), us(90)]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.median, us(3));
+        assert_eq!(s.min, us(1));
+        assert_eq!(s.max, us(90));
+        assert_eq!(s.total, us(100));
+        assert_eq!(s.mean, us(20));
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn geomean_handles_wide_spreads() {
+        let g = geomean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+        assert!((geomean(&[2.0, f64::INFINITY, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ratio_skips_nonfinite() {
+        assert!((mean_ratio(&[1.0, 2.0, f64::NAN, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(mean_ratio(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_quantile_panics() {
+        let _ = Cdf::from_durations(vec![]).quantile(0.5);
+    }
+}

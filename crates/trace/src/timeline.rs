@@ -1,0 +1,591 @@
+//! Timeline container and metric extraction: from raw events to the
+//! paper's KLO / LQT / KQT / KET / T_mem / T_other quantities.
+
+use hcc_types::{ByteSize, CopyKind, MemSpace, SimDuration, SimTime};
+
+use crate::event::{EventKind, KernelId, TraceEvent};
+
+/// An ordered collection of trace events for one application run.
+///
+/// Events may be pushed out of order (different engines finish at
+/// different times); extraction sorts internally where needed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Wall-clock span from the earliest start to the latest end. This is
+    /// the paper's end-to-end `P` for a full application trace.
+    pub fn span(&self) -> SimDuration {
+        let start = self.events.iter().map(|e| e.start).min();
+        let end = self.events.iter().map(|e| e.end).max();
+        match (start, end) {
+            (Some(s), Some(e)) => e - s,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Latest event end (completion time).
+    pub fn end(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Extracts the per-launch / per-kernel metric records.
+    pub fn launch_metrics(&self) -> LaunchMetrics {
+        let mut launches = Vec::new();
+        let mut kernels = Vec::new();
+        // correlation -> launch end (for KQT).
+        let mut launch_end: std::collections::HashMap<u64, SimTime> =
+            std::collections::HashMap::new();
+        for e in &self.events {
+            if let EventKind::Launch {
+                kernel,
+                queue_wait,
+                first,
+            } = e.kind
+            {
+                launches.push(LaunchRecord {
+                    kernel,
+                    start: e.start,
+                    klo: e.duration(),
+                    lqt: queue_wait,
+                    first,
+                    correlation: e.correlation,
+                });
+                launch_end.insert(e.correlation, e.end);
+            }
+        }
+        for e in &self.events {
+            if let EventKind::Kernel { kernel, uvm } = e.kind {
+                let kqt = launch_end
+                    .get(&e.correlation)
+                    .map(|le| e.start.saturating_since(*le))
+                    .unwrap_or(SimDuration::ZERO);
+                kernels.push(KernelRecord {
+                    kernel,
+                    start: e.start,
+                    ket: e.duration(),
+                    kqt,
+                    uvm,
+                    correlation: e.correlation,
+                });
+            }
+        }
+        launches.sort_by_key(|l| l.start);
+        kernels.sort_by_key(|k| k.start);
+        LaunchMetrics { launches, kernels }
+    }
+
+    /// Extracts memory-path metrics (Fig. 5/6 inputs).
+    pub fn mem_metrics(&self) -> MemMetrics {
+        let mut m = MemMetrics::default();
+        for e in &self.events {
+            match &e.kind {
+                EventKind::Memcpy {
+                    kind,
+                    bytes,
+                    managed,
+                    ..
+                } => {
+                    let slot = match kind {
+                        CopyKind::H2D => &mut m.h2d,
+                        CopyKind::D2H => &mut m.d2h,
+                        CopyKind::D2D => &mut m.d2d,
+                    };
+                    *slot += e.duration();
+                    m.copy_bytes += *bytes;
+                    if *managed {
+                        m.managed_copy += e.duration();
+                    }
+                }
+                EventKind::Alloc { space, .. } => match space {
+                    MemSpace::Host => m.hmalloc += e.duration(),
+                    MemSpace::Device => m.dmalloc += e.duration(),
+                    MemSpace::Managed => m.managed_alloc += e.duration(),
+                },
+                EventKind::Free { space, .. } => match space {
+                    MemSpace::Managed => m.managed_free += e.duration(),
+                    _ => m.free += e.duration(),
+                },
+                EventKind::Sync => m.sync += e.duration(),
+                EventKind::Crypto { bytes, .. } => {
+                    m.crypto += e.duration();
+                    m.crypto_bytes += *bytes;
+                }
+                EventKind::Hypercall { .. } => {
+                    m.hypercalls += 1;
+                    m.hypercall_time += e.duration();
+                }
+                EventKind::UvmFault { pages, bytes, .. } => {
+                    m.uvm_fault += e.duration();
+                    m.uvm_pages += pages;
+                    m.uvm_bytes += *bytes;
+                }
+                EventKind::Launch { .. } | EventKind::Kernel { .. } => {}
+            }
+        }
+        m
+    }
+
+    /// Aggregates the four phases of the Fig. 3 performance model, plus
+    /// the observed end-to-end span.
+    ///
+    /// Per the paper, synchronization that chronologically overlaps
+    /// kernel execution belongs to part C; only the *exposed* remainder
+    /// counts toward `T_other`.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        let lm = self.launch_metrics();
+        let mm = self.mem_metrics();
+        let exposed_sync = mm.sync.saturating_sub(self.sync_kernel_overlap());
+        PhaseTotals {
+            t_mem: mm.copy_total(),
+            t_launch: lm.total_klo() + lm.total_lqt(),
+            t_kernel: lm.total_ket() + lm.total_kqt(),
+            t_other: mm.management_total() + exposed_sync,
+            span: self.span(),
+        }
+    }
+
+    /// Total time during which `Sync` events overlap `Kernel` events.
+    fn sync_kernel_overlap(&self) -> SimDuration {
+        let kernels: Vec<(SimTime, SimTime)> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Kernel { .. }))
+            .map(|e| (e.start, e.end))
+            .collect();
+        let mut total = SimDuration::ZERO;
+        for e in &self.events {
+            if !matches!(e.kind, EventKind::Sync) {
+                continue;
+            }
+            for (ks, ke) in &kernels {
+                let start = e.start.max(*ks);
+                let end = e.end.min(*ke);
+                if end > start {
+                    total += end - start;
+                }
+            }
+        }
+        total
+    }
+}
+
+impl FromIterator<TraceEvent> for Timeline {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Timeline {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceEvent> for Timeline {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+/// One launch operation's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Kernel function launched.
+    pub kernel: KernelId,
+    /// When the driver work began (after any LQT).
+    pub start: SimTime,
+    /// Kernel launch overhead — the driver-side span.
+    pub klo: SimDuration,
+    /// Launch queuing time spent blocked before `start`.
+    pub lqt: SimDuration,
+    /// First launch of this kernel function?
+    pub first: bool,
+    /// Correlation id to the kernel execution.
+    pub correlation: u64,
+}
+
+/// One kernel execution's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelRecord {
+    /// Kernel function executed.
+    pub kernel: KernelId,
+    /// Execution start.
+    pub start: SimTime,
+    /// Kernel execution time.
+    pub ket: SimDuration,
+    /// Kernel queuing time (launch end → execution start).
+    pub kqt: SimDuration,
+    /// Whether the kernel used managed memory.
+    pub uvm: bool,
+    /// Correlation id back to the launch.
+    pub correlation: u64,
+}
+
+/// Launch/kernel metric collection for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchMetrics {
+    /// Launch records ordered by start time.
+    pub launches: Vec<LaunchRecord>,
+    /// Kernel records ordered by start time.
+    pub kernels: Vec<KernelRecord>,
+}
+
+impl LaunchMetrics {
+    /// Sum of all KLO spans.
+    pub fn total_klo(&self) -> SimDuration {
+        self.launches.iter().map(|l| l.klo).sum()
+    }
+
+    /// Sum of all LQT waits.
+    pub fn total_lqt(&self) -> SimDuration {
+        self.launches.iter().map(|l| l.lqt).sum()
+    }
+
+    /// Sum of all KET spans.
+    pub fn total_ket(&self) -> SimDuration {
+        self.kernels.iter().map(|k| k.ket).sum()
+    }
+
+    /// Sum of all KQT waits.
+    pub fn total_kqt(&self) -> SimDuration {
+        self.kernels.iter().map(|k| k.kqt).sum()
+    }
+
+    /// All KLO samples (for CDFs).
+    pub fn klos(&self) -> Vec<SimDuration> {
+        self.launches.iter().map(|l| l.klo).collect()
+    }
+
+    /// All KET samples (for CDFs).
+    pub fn kets(&self) -> Vec<SimDuration> {
+        self.kernels.iter().map(|k| k.ket).collect()
+    }
+
+    /// Number of launches.
+    pub fn launch_count(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Kernel-to-Launch Ratio: `ΣKET / Σ(KLO + LQT)` (Observation 6).
+    /// Returns `f64::INFINITY` when there were no launches.
+    pub fn klr(&self) -> f64 {
+        self.total_ket() / (self.total_klo() + self.total_lqt())
+    }
+
+    /// Per-kernel-function statistics: `(kernel, launches, KLO summary,
+    /// KET summary)` sorted by kernel id — the grouping behind Fig. 12a's
+    /// per-kernel launch trains.
+    pub fn by_kernel(
+        &self,
+    ) -> Vec<(
+        KernelId,
+        usize,
+        Option<crate::Summary>,
+        Option<crate::Summary>,
+    )> {
+        let mut kernels: Vec<KernelId> = self.launches.iter().map(|l| l.kernel).collect();
+        kernels.sort_unstable();
+        kernels.dedup();
+        kernels
+            .into_iter()
+            .map(|k| {
+                let klos: Vec<SimDuration> = self
+                    .launches
+                    .iter()
+                    .filter(|l| l.kernel == k)
+                    .map(|l| l.klo)
+                    .collect();
+                let kets: Vec<SimDuration> = self
+                    .kernels
+                    .iter()
+                    .filter(|r| r.kernel == k)
+                    .map(|r| r.ket)
+                    .collect();
+                (
+                    k,
+                    klos.len(),
+                    crate::Summary::of(&klos),
+                    crate::Summary::of(&kets),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Memory-path metric collection (Fig. 5/6 inputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemMetrics {
+    /// Total host→device copy time.
+    pub h2d: SimDuration,
+    /// Total device→host copy time.
+    pub d2h: SimDuration,
+    /// Total device→device copy time (includes CC "managed" demotions).
+    pub d2d: SimDuration,
+    /// Portion of copy time Nsight would label "Managed".
+    pub managed_copy: SimDuration,
+    /// Total bytes copied.
+    pub copy_bytes: ByteSize,
+    /// Total `cudaMalloc` time.
+    pub dmalloc: SimDuration,
+    /// Total `cudaMallocHost` time.
+    pub hmalloc: SimDuration,
+    /// Total `cudaMallocManaged` time.
+    pub managed_alloc: SimDuration,
+    /// Total non-managed free time.
+    pub free: SimDuration,
+    /// Total managed free time.
+    pub managed_free: SimDuration,
+    /// Total synchronization time.
+    pub sync: SimDuration,
+    /// Total CPU crypto time (CC only).
+    pub crypto: SimDuration,
+    /// Total bytes encrypted/decrypted.
+    pub crypto_bytes: ByteSize,
+    /// Count of hypercall transitions.
+    pub hypercalls: u64,
+    /// Total time inside hypercall transitions.
+    pub hypercall_time: SimDuration,
+    /// Total UVM fault-service time.
+    pub uvm_fault: SimDuration,
+    /// UVM pages migrated.
+    pub uvm_pages: u64,
+    /// UVM bytes migrated.
+    pub uvm_bytes: ByteSize,
+}
+
+impl MemMetrics {
+    /// Total explicit copy time across directions (T_mem's main term).
+    pub fn copy_total(&self) -> SimDuration {
+        self.h2d + self.d2h + self.d2d
+    }
+
+    /// Total allocation + deallocation time (T_other's main term).
+    pub fn management_total(&self) -> SimDuration {
+        self.dmalloc + self.hmalloc + self.managed_alloc + self.free + self.managed_free
+    }
+}
+
+/// The four phases of the Fig. 3 model as measured from a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Part A: data transfer (`T_mem`).
+    pub t_mem: SimDuration,
+    /// Part B: `Σ(KLO + LQT)`.
+    pub t_launch: SimDuration,
+    /// Part C: `Σ(KET + KQT)`.
+    pub t_kernel: SimDuration,
+    /// Part D: alloc/free/sync (`T_other`).
+    pub t_other: SimDuration,
+    /// Observed end-to-end span `P`.
+    pub span: SimDuration,
+}
+
+impl PhaseTotals {
+    /// Serial (no-overlap) sum of the four phases — the model's `P` when
+    /// `α = β = 0`.
+    pub fn serial_sum(&self) -> SimDuration {
+        self.t_mem + self.t_launch + self.t_kernel + self.t_other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StreamId;
+    use hcc_types::HostMemKind;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new();
+        // Launch 1: 10–16us (KLO 6us, LQT 2us), kernel 18–118us (KQT 2us).
+        tl.push(
+            TraceEvent::new(
+                EventKind::Launch {
+                    kernel: KernelId(0),
+                    queue_wait: SimDuration::micros(2),
+                    first: true,
+                },
+                t(10),
+                t(16),
+            )
+            .with_correlation(1),
+        );
+        tl.push(
+            TraceEvent::new(
+                EventKind::Kernel {
+                    kernel: KernelId(0),
+                    uvm: false,
+                },
+                t(18),
+                t(118),
+            )
+            .with_correlation(1)
+            .on_stream(StreamId(0)),
+        );
+        // A 1 MiB H2D copy, 120–150us.
+        tl.push(TraceEvent::new(
+            EventKind::Memcpy {
+                kind: CopyKind::H2D,
+                bytes: ByteSize::mib(1),
+                mem: HostMemKind::Pageable,
+                managed: false,
+            },
+            t(120),
+            t(150),
+        ));
+        // Alloc 0–10us; free 150–160us; sync 160–161us.
+        tl.push(TraceEvent::new(
+            EventKind::Alloc {
+                space: MemSpace::Device,
+                bytes: ByteSize::mib(1),
+            },
+            t(0),
+            t(10),
+        ));
+        tl.push(TraceEvent::new(
+            EventKind::Free {
+                space: MemSpace::Device,
+                bytes: ByteSize::mib(1),
+            },
+            t(150),
+            t(160),
+        ));
+        tl.push(TraceEvent::new(EventKind::Sync, t(160), t(161)));
+        tl
+    }
+
+    #[test]
+    fn span_covers_first_to_last() {
+        let tl = sample_timeline();
+        assert_eq!(tl.span(), SimDuration::micros(161));
+        assert_eq!(tl.end(), t(161));
+        assert!(Timeline::new().span().is_zero());
+    }
+
+    #[test]
+    fn launch_metrics_extraction() {
+        let lm = sample_timeline().launch_metrics();
+        assert_eq!(lm.launch_count(), 1);
+        assert_eq!(lm.launches[0].klo, SimDuration::micros(6));
+        assert_eq!(lm.launches[0].lqt, SimDuration::micros(2));
+        assert!(lm.launches[0].first);
+        assert_eq!(lm.kernels[0].ket, SimDuration::micros(100));
+        assert_eq!(lm.kernels[0].kqt, SimDuration::micros(2));
+        let klr = lm.klr();
+        assert!((klr - 100.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn klr_infinite_without_launches() {
+        let mut tl = Timeline::new();
+        tl.push(
+            TraceEvent::new(
+                EventKind::Kernel {
+                    kernel: KernelId(1),
+                    uvm: false,
+                },
+                t(0),
+                t(5),
+            )
+            .with_correlation(7),
+        );
+        let lm = tl.launch_metrics();
+        assert_eq!(lm.klr(), f64::INFINITY);
+        // Kernel without matching launch gets zero KQT.
+        assert_eq!(lm.kernels[0].kqt, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mem_metrics_extraction() {
+        let mm = sample_timeline().mem_metrics();
+        assert_eq!(mm.h2d, SimDuration::micros(30));
+        assert_eq!(mm.copy_total(), SimDuration::micros(30));
+        assert_eq!(mm.copy_bytes, ByteSize::mib(1));
+        assert_eq!(mm.dmalloc, SimDuration::micros(10));
+        assert_eq!(mm.free, SimDuration::micros(10));
+        assert_eq!(mm.management_total(), SimDuration::micros(20));
+        assert_eq!(mm.sync, SimDuration::micros(1));
+    }
+
+    #[test]
+    fn phase_totals_sum() {
+        let pt = sample_timeline().phase_totals();
+        assert_eq!(pt.t_mem, SimDuration::micros(30));
+        assert_eq!(pt.t_launch, SimDuration::micros(8));
+        assert_eq!(pt.t_kernel, SimDuration::micros(102));
+        assert_eq!(pt.t_other, SimDuration::micros(21));
+        assert_eq!(pt.serial_sum(), SimDuration::micros(161));
+    }
+
+    #[test]
+    fn records_sorted_by_start_even_if_pushed_out_of_order() {
+        let mut tl = Timeline::new();
+        tl.push(
+            TraceEvent::new(
+                EventKind::Launch {
+                    kernel: KernelId(2),
+                    queue_wait: SimDuration::ZERO,
+                    first: false,
+                },
+                t(50),
+                t(55),
+            )
+            .with_correlation(2),
+        );
+        tl.push(
+            TraceEvent::new(
+                EventKind::Launch {
+                    kernel: KernelId(1),
+                    queue_wait: SimDuration::ZERO,
+                    first: true,
+                },
+                t(10),
+                t(15),
+            )
+            .with_correlation(1),
+        );
+        let lm = tl.launch_metrics();
+        assert_eq!(lm.launches[0].kernel, KernelId(1));
+        assert_eq!(lm.launches[1].kernel, KernelId(2));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let tl: Timeline = sample_timeline().events().to_vec().into_iter().collect();
+        let mut tl2 = Timeline::new();
+        tl2.extend(tl.events().iter().cloned());
+        assert_eq!(tl.len(), tl2.len());
+        assert!(!tl.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # hcc-uvm
+//!
+//! The unified-virtual-memory driver model (paper Sec. II-B): far-fault
+//! servicing with batching and prefetching, and the **encrypted paging**
+//! path that makes UVM kernels collapse under CC (Observation 5's mean
+//! ×188.87 slowdown).
+//!
+//! A GPU access to host-resident managed pages triggers far faults; the
+//! driver services them in batches — each batch pays the CPU round trip
+//! (20–50 µs in the literature), and under CC additionally pays hypercalls,
+//! bounce staging, and software AES-GCM on every migrated byte.
+//!
+//! ```
+//! use hcc_gpu::{Gmmu, ManagedId};
+//! use hcc_tee::TdContext;
+//! use hcc_types::calib::{TdxCalib, UvmCalib};
+//! use hcc_types::{ByteSize, CcMode};
+//! use hcc_uvm::UvmDriver;
+//!
+//! let calib = UvmCalib::default();
+//! let mut gmmu = Gmmu::new();
+//! let id = ManagedId(1);
+//! gmmu.register(id, ByteSize::mib(64), calib.page);
+//!
+//! let mut td = TdContext::new(CcMode::On, TdxCalib::default());
+//! let mut driver = UvmDriver::new(calib, CcMode::On);
+//! let service = driver.service_access(&mut gmmu, &mut td, id, 0, 64).unwrap();
+//! assert!(service.total_time.as_millis_f64() > 1.0); // encrypted paging is slow
+//! ```
+
+mod driver;
+mod oversub;
+
+pub use driver::{FaultBatch, FaultService, UvmDriver, UvmError, UvmStats};
+pub use oversub::ThrashReport;

@@ -1,0 +1,385 @@
+//! A tiny text format for defining workloads without writing Rust — the
+//! lab's equivalent of a benchmark input deck.
+//!
+//! ```text
+//! # copy-then-execute with one managed range
+//! app mytest
+//! host  a 64MiB pageable
+//! dev   b 64MiB
+//! managed m 32MiB
+//! h2d   b a 64MiB
+//! launch k0 250us x10 managed=m
+//! sync
+//! d2h   a b 64MiB
+//! free dev b
+//! free host a
+//! free managed m
+//! ```
+//!
+//! Sizes accept `B`, `KiB`, `MiB`, `GiB`; durations accept `ns`, `us`,
+//! `ms`, `s`. Kernel names are `k<digits>`; `x<N>` repeats a launch.
+
+use std::collections::HashMap;
+
+use hcc_types::{ByteSize, HostMemKind, SimDuration};
+
+use crate::spec::{Op, Suite, WorkloadSpec};
+
+/// Errors from parsing a workload deck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a size literal like `64MiB`, `4KiB`, `512B`, `1GiB`.
+pub fn parse_size(s: &str) -> Option<ByteSize> {
+    let (digits, unit) = split_number(s)?;
+    let n: u64 = digits.parse().ok()?;
+    match unit {
+        "B" | "b" => Some(ByteSize::bytes(n)),
+        "KiB" | "kib" | "KB" => Some(ByteSize::kib(n)),
+        "MiB" | "mib" | "MB" => Some(ByteSize::mib(n)),
+        "GiB" | "gib" | "GB" => Some(ByteSize::gib(n)),
+        _ => None,
+    }
+}
+
+/// Parses a duration literal like `250us`, `2ms`, `1s`, `800ns`.
+pub fn parse_duration(s: &str) -> Option<SimDuration> {
+    let (digits, unit) = split_number(s)?;
+    let n: u64 = digits.parse().ok()?;
+    match unit {
+        "ns" => Some(SimDuration::from_nanos(n)),
+        "us" => Some(SimDuration::micros(n)),
+        "ms" => Some(SimDuration::millis(n)),
+        "s" => Some(SimDuration::secs(n)),
+        _ => None,
+    }
+}
+
+fn split_number(s: &str) -> Option<(&str, &str)> {
+    let split = s.find(|c: char| !c.is_ascii_digit())?;
+    if split == 0 {
+        return None;
+    }
+    Some((&s[..split], &s[split..]))
+}
+
+#[derive(Default)]
+struct SlotTable {
+    host: HashMap<String, usize>,
+    dev: HashMap<String, usize>,
+    managed: HashMap<String, usize>,
+}
+
+/// Parses a workload deck into a [`WorkloadSpec`]. The spec's name is
+/// taken from the `app` directive; the suite is [`Suite::Micro`].
+///
+/// # Errors
+/// Returns [`ParseError`] with a line number for malformed decks,
+/// unknown buffer names, or a missing `app` directive.
+pub fn parse_workload(text: &str) -> Result<WorkloadSpec, ParseError> {
+    let mut name: Option<String> = None;
+    let mut slots = SlotTable::default();
+    let mut ops = Vec::new();
+    let mut uvm = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "app" => {
+                let app_name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "app needs a name"))?;
+                name = Some((*app_name).to_string());
+            }
+            "host" => {
+                let [_, buf, size, kind] = tokens[..] else {
+                    return Err(err(lineno, "usage: host <name> <size> pageable|pinned"));
+                };
+                let size =
+                    parse_size(size).ok_or_else(|| err(lineno, format!("bad size {size}")))?;
+                let kind = match kind {
+                    "pageable" => HostMemKind::Pageable,
+                    "pinned" => HostMemKind::Pinned,
+                    other => return Err(err(lineno, format!("bad host kind {other}"))),
+                };
+                let slot = slots.host.len();
+                slots.host.insert(buf.to_string(), slot);
+                ops.push(Op::MallocHost { slot, size, kind });
+            }
+            "dev" => {
+                let [_, buf, size] = tokens[..] else {
+                    return Err(err(lineno, "usage: dev <name> <size>"));
+                };
+                let size =
+                    parse_size(size).ok_or_else(|| err(lineno, format!("bad size {size}")))?;
+                let slot = slots.dev.len();
+                slots.dev.insert(buf.to_string(), slot);
+                ops.push(Op::MallocDevice { slot, size });
+            }
+            "managed" => {
+                let [_, buf, size] = tokens[..] else {
+                    return Err(err(lineno, "usage: managed <name> <size>"));
+                };
+                let size =
+                    parse_size(size).ok_or_else(|| err(lineno, format!("bad size {size}")))?;
+                let slot = slots.managed.len();
+                slots.managed.insert(buf.to_string(), slot);
+                ops.push(Op::MallocManaged { slot, size });
+                uvm = true;
+            }
+            "h2d" | "d2h" => {
+                let [dir, a, b, size] = tokens[..] else {
+                    return Err(err(
+                        lineno,
+                        "usage: h2d <dev> <host> <size> (or d2h <host> <dev> <size>)",
+                    ));
+                };
+                let size =
+                    parse_size(size).ok_or_else(|| err(lineno, format!("bad size {size}")))?;
+                if dir == "h2d" {
+                    let dst = *slots
+                        .dev
+                        .get(a)
+                        .ok_or_else(|| err(lineno, format!("unknown dev buffer {a}")))?;
+                    let src = *slots
+                        .host
+                        .get(b)
+                        .ok_or_else(|| err(lineno, format!("unknown host buffer {b}")))?;
+                    ops.push(Op::H2D {
+                        dst,
+                        src,
+                        bytes: size,
+                    });
+                } else {
+                    let dst = *slots
+                        .host
+                        .get(a)
+                        .ok_or_else(|| err(lineno, format!("unknown host buffer {a}")))?;
+                    let src = *slots
+                        .dev
+                        .get(b)
+                        .ok_or_else(|| err(lineno, format!("unknown dev buffer {b}")))?;
+                    ops.push(Op::D2H {
+                        dst,
+                        src,
+                        bytes: size,
+                    });
+                }
+            }
+            "d2d" => {
+                let [_, a, b, size] = tokens[..] else {
+                    return Err(err(lineno, "usage: d2d <dst> <src> <size>"));
+                };
+                let size =
+                    parse_size(size).ok_or_else(|| err(lineno, format!("bad size {size}")))?;
+                let dst = *slots
+                    .dev
+                    .get(a)
+                    .ok_or_else(|| err(lineno, format!("unknown dev buffer {a}")))?;
+                let src = *slots
+                    .dev
+                    .get(b)
+                    .ok_or_else(|| err(lineno, format!("unknown dev buffer {b}")))?;
+                ops.push(Op::D2D {
+                    dst,
+                    src,
+                    bytes: size,
+                });
+            }
+            "launch" => {
+                if tokens.len() < 3 {
+                    return Err(err(
+                        lineno,
+                        "usage: launch k<N> <duration> [x<reps>] [managed=<buf>,...]",
+                    ));
+                }
+                let kernel = tokens[1]
+                    .strip_prefix('k')
+                    .and_then(|k| k.parse::<u32>().ok())
+                    .ok_or_else(|| err(lineno, format!("bad kernel name {}", tokens[1])))?;
+                let ket = parse_duration(tokens[2])
+                    .ok_or_else(|| err(lineno, format!("bad duration {}", tokens[2])))?;
+                let mut repeat = 1u32;
+                let mut managed = Vec::new();
+                for tok in &tokens[3..] {
+                    if let Some(reps) = tok.strip_prefix('x') {
+                        repeat = reps
+                            .parse()
+                            .map_err(|_| err(lineno, format!("bad repeat {tok}")))?;
+                    } else if let Some(bufs) = tok.strip_prefix("managed=") {
+                        for buf in bufs.split(',') {
+                            let slot = *slots.managed.get(buf).ok_or_else(|| {
+                                err(lineno, format!("unknown managed buffer {buf}"))
+                            })?;
+                            managed.push(slot);
+                        }
+                    } else {
+                        return Err(err(lineno, format!("unknown launch option {tok}")));
+                    }
+                }
+                ops.push(Op::Launch {
+                    kernel,
+                    ket,
+                    managed,
+                    repeat,
+                });
+            }
+            "sync" => ops.push(Op::Sync),
+            "free" => {
+                let [_, kind, buf] = tokens[..] else {
+                    return Err(err(lineno, "usage: free dev|host|managed <name>"));
+                };
+                match kind {
+                    "dev" => {
+                        let slot = *slots
+                            .dev
+                            .get(buf)
+                            .ok_or_else(|| err(lineno, format!("unknown dev buffer {buf}")))?;
+                        ops.push(Op::FreeDevice { slot });
+                    }
+                    "host" => {
+                        let slot = *slots
+                            .host
+                            .get(buf)
+                            .ok_or_else(|| err(lineno, format!("unknown host buffer {buf}")))?;
+                        ops.push(Op::FreeHost { slot });
+                    }
+                    "managed" => {
+                        let slot = *slots
+                            .managed
+                            .get(buf)
+                            .ok_or_else(|| err(lineno, format!("unknown managed buffer {buf}")))?;
+                        ops.push(Op::FreeManaged { slot });
+                    }
+                    other => return Err(err(lineno, format!("bad free kind {other}"))),
+                }
+            }
+            other => return Err(err(lineno, format!("unknown directive {other}"))),
+        }
+    }
+    let name = name.ok_or_else(|| err(1, "missing `app <name>` directive"))?;
+    Ok(WorkloadSpec {
+        // Leak the name: specs carry &'static str names; decks are
+        // long-lived experiment definitions, so one leak per parse is the
+        // pragmatic trade (same pattern as test fixtures).
+        name: Box::leak(name.into_boxed_str()),
+        suite: Suite::Micro,
+        uvm,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use hcc_runtime::SimConfig;
+    use hcc_types::CcMode;
+
+    const DECK: &str = "
+# demo deck
+app demo
+host a 8MiB pageable
+dev  b 8MiB
+managed m 4MiB
+h2d b a 8MiB
+launch k0 250us x10 managed=m
+sync
+d2h a b 8MiB
+free dev b
+free host a
+free managed m
+";
+
+    #[test]
+    fn parses_and_runs() {
+        let spec = parse_workload(DECK).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert!(spec.uvm);
+        assert_eq!(spec.launch_count(), 10);
+        assert_eq!(spec.copy_bytes(), ByteSize::mib(16));
+        let r = runner::run(&spec, SimConfig::new(CcMode::On)).unwrap();
+        assert_eq!(r.timeline.launch_metrics().launch_count(), 10);
+        assert!(r.uvm.faults > 0);
+    }
+
+    #[test]
+    fn size_and_duration_literals() {
+        assert_eq!(parse_size("512B"), Some(ByteSize::bytes(512)));
+        assert_eq!(parse_size("4KiB"), Some(ByteSize::kib(4)));
+        assert_eq!(parse_size("1GiB"), Some(ByteSize::gib(1)));
+        assert_eq!(parse_size("MiB"), None);
+        assert_eq!(parse_size("12"), None);
+        assert_eq!(parse_duration("800ns"), Some(SimDuration::from_nanos(800)));
+        assert_eq!(parse_duration("2ms"), Some(SimDuration::millis(2)));
+        assert_eq!(parse_duration("3h"), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_workload("app x\nbogus y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_workload("app x\nh2d b a 1MiB\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown dev buffer"));
+
+        let e = parse_workload("host a 1MiB pinned\n").unwrap_err();
+        assert!(e.message.contains("missing `app"));
+
+        let e = parse_workload("app x\nlaunch q0 1ms\n").unwrap_err();
+        assert!(e.message.contains("bad kernel name"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_workload("app t\n\n# nothing\nsync # trailing\n").unwrap();
+        assert_eq!(spec.ops, vec![Op::Sync]);
+    }
+
+    #[test]
+    fn launch_options() {
+        let spec =
+            parse_workload("app t\nmanaged m 1MiB\nmanaged n 1MiB\nlaunch k3 5us x7 managed=m,n\n")
+                .unwrap();
+        let Op::Launch {
+            kernel,
+            ket,
+            managed,
+            repeat,
+        } = &spec.ops[2]
+        else {
+            panic!("expected launch op");
+        };
+        assert_eq!(*kernel, 3);
+        assert_eq!(*ket, SimDuration::micros(5));
+        assert_eq!(*repeat, 7);
+        assert_eq!(managed.len(), 2);
+    }
+}

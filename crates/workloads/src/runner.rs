@@ -1,0 +1,282 @@
+//! Executes a [`WorkloadSpec`] against a fresh [`CudaContext`] and
+//! collects the trace plus substrate statistics.
+
+use std::collections::HashMap;
+
+use hcc_runtime::{
+    CudaContext, DevicePtr, HostPtr, KernelDesc, ManagedAccess, ManagedPtr, RuntimeError, SimConfig,
+};
+use hcc_runtime::{TdCounters, UvmStats};
+use hcc_trace::{KernelId, Timeline};
+use hcc_types::SimTime;
+
+use crate::spec::{Op, WorkloadSpec};
+
+/// Errors from running a workload.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// An operation referenced a slot that was never allocated.
+    UnboundSlot {
+        /// Which op index failed.
+        op_index: usize,
+        /// Human-readable slot description.
+        what: &'static str,
+    },
+    /// Runtime call failed.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnboundSlot { op_index, what } => {
+                write!(f, "op {op_index}: unbound {what} slot")
+            }
+            RunError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for RunError {
+    fn from(e: RuntimeError) -> Self {
+        RunError::Runtime(e)
+    }
+}
+
+/// Result of one workload run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The recorded trace.
+    pub timeline: Timeline,
+    /// Host-clock completion time (end-to-end `P`).
+    pub end: SimTime,
+    /// TD transition counters.
+    pub td: TdCounters,
+    /// UVM driver statistics.
+    pub uvm: UvmStats,
+}
+
+/// Runs `spec` under `cfg` to completion (a trailing sync is added if the
+/// program does not end with one).
+///
+/// # Errors
+/// Returns [`RunError`] on malformed programs or runtime failures.
+pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
+    let mut ctx = CudaContext::new(cfg);
+    let stream = ctx.default_stream();
+    let mut dev: HashMap<usize, DevicePtr> = HashMap::new();
+    let mut host: HashMap<usize, HostPtr> = HashMap::new();
+    let mut managed: HashMap<usize, ManagedPtr> = HashMap::new();
+
+    for (i, op) in spec.ops.iter().enumerate() {
+        match op {
+            Op::MallocHost { slot, size, kind } => {
+                host.insert(*slot, ctx.malloc_host(*size, *kind)?);
+            }
+            Op::MallocDevice { slot, size } => {
+                dev.insert(*slot, ctx.malloc_device(*size)?);
+            }
+            Op::MallocManaged { slot, size } => {
+                managed.insert(*slot, ctx.malloc_managed(*size)?);
+            }
+            Op::H2D { dst, src, bytes } => {
+                let d = *dev.get(dst).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "device",
+                })?;
+                let h = *host.get(src).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "host",
+                })?;
+                ctx.memcpy_h2d(d, h, *bytes)?;
+            }
+            Op::D2H { dst, src, bytes } => {
+                let h = *host.get(dst).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "host",
+                })?;
+                let d = *dev.get(src).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "device",
+                })?;
+                ctx.memcpy_d2h(h, d, *bytes)?;
+            }
+            Op::D2D { dst, src, bytes } => {
+                let d1 = *dev.get(dst).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "device",
+                })?;
+                let d2 = *dev.get(src).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "device",
+                })?;
+                ctx.memcpy_d2d(d1, d2, *bytes)?;
+            }
+            Op::Launch {
+                kernel,
+                ket,
+                managed: slots,
+                repeat,
+            } => {
+                let mut desc = KernelDesc::new(KernelId(*kernel), *ket);
+                for s in slots {
+                    let m = *managed.get(s).ok_or(RunError::UnboundSlot {
+                        op_index: i,
+                        what: "managed",
+                    })?;
+                    desc = desc.with_managed(ManagedAccess::all(m));
+                }
+                for _ in 0..*repeat {
+                    ctx.launch_kernel(&desc, stream)?;
+                }
+            }
+            Op::Sync => {
+                ctx.synchronize();
+            }
+            Op::FreeDevice { slot } => {
+                let d = dev.remove(slot).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "device",
+                })?;
+                ctx.free_device(d)?;
+            }
+            Op::FreeHost { slot } => {
+                let h = host.remove(slot).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "host",
+                })?;
+                ctx.free_host(h)?;
+            }
+            Op::FreeManaged { slot } => {
+                let m = managed.remove(slot).ok_or(RunError::UnboundSlot {
+                    op_index: i,
+                    what: "managed",
+                })?;
+                ctx.free_managed(m)?;
+            }
+        }
+    }
+    ctx.synchronize();
+    let end = ctx.now();
+    let td = ctx.td_counters();
+    let uvm = ctx.uvm_stats();
+    Ok(RunResult {
+        timeline: ctx.into_timeline(),
+        end,
+        td,
+        uvm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Suite;
+    use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
+
+    fn toy_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "toy",
+            suite: Suite::Micro,
+            uvm: false,
+            ops: vec![
+                Op::MallocHost {
+                    slot: 0,
+                    size: ByteSize::mib(4),
+                    kind: HostMemKind::Pageable,
+                },
+                Op::MallocDevice {
+                    slot: 0,
+                    size: ByteSize::mib(4),
+                },
+                Op::H2D {
+                    dst: 0,
+                    src: 0,
+                    bytes: ByteSize::mib(4),
+                },
+                Op::Launch {
+                    kernel: 0,
+                    ket: SimDuration::micros(500),
+                    managed: vec![],
+                    repeat: 10,
+                },
+                Op::D2H {
+                    dst: 0,
+                    src: 0,
+                    bytes: ByteSize::mib(4),
+                },
+                Op::FreeDevice { slot: 0 },
+                Op::FreeHost { slot: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn toy_runs_and_produces_metrics() {
+        let r = run(&toy_spec(), SimConfig::new(CcMode::Off)).unwrap();
+        let lm = r.timeline.launch_metrics();
+        assert_eq!(lm.launch_count(), 10);
+        let mm = r.timeline.mem_metrics();
+        assert_eq!(mm.copy_bytes, ByteSize::mib(8));
+        assert!(r.end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn cc_run_is_slower_end_to_end() {
+        let base = run(&toy_spec(), SimConfig::new(CcMode::Off)).unwrap();
+        let cc = run(&toy_spec(), SimConfig::new(CcMode::On)).unwrap();
+        assert!(cc.end > base.end);
+        assert!(cc.td.hypercalls > base.td.hypercalls);
+    }
+
+    #[test]
+    fn unbound_slot_is_reported() {
+        let spec = WorkloadSpec {
+            name: "bad",
+            suite: Suite::Micro,
+            uvm: false,
+            ops: vec![Op::H2D {
+                dst: 0,
+                src: 0,
+                bytes: ByteSize::mib(1),
+            }],
+        };
+        let err = run(&spec, SimConfig::new(CcMode::Off)).unwrap_err();
+        assert!(matches!(err, RunError::UnboundSlot { op_index: 0, .. }));
+    }
+
+    #[test]
+    fn managed_workload_records_uvm_stats() {
+        let spec = WorkloadSpec {
+            name: "uvm-toy",
+            suite: Suite::UvmBench,
+            uvm: true,
+            ops: vec![
+                Op::MallocManaged {
+                    slot: 0,
+                    size: ByteSize::mib(8),
+                },
+                Op::Launch {
+                    kernel: 0,
+                    ket: SimDuration::micros(100),
+                    managed: vec![0],
+                    repeat: 1,
+                },
+                Op::FreeManaged { slot: 0 },
+            ],
+        };
+        let r = run(&spec, SimConfig::new(CcMode::Off)).unwrap();
+        assert!(r.uvm.faults > 0);
+        assert!(r.uvm.bytes_migrated >= ByteSize::mib(8));
+    }
+}

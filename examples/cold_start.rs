@@ -1,0 +1,59 @@
+//! Cold starts in confidential serving: before the first CUDA call can
+//! touch the GPU, the TD must attest the device over SPDM and derive
+//! session keys. This example prices that handshake, shows the per-step
+//! breakdown, and compares a cold confidential context against a warm one
+//! — the number a serverless confidential-inference operator cares about.
+//!
+//! ```sh
+//! cargo run --example cold_start
+//! ```
+
+use hcc::prelude::*;
+use hcc::runtime::KernelDesc;
+use hcc::tee::{SpdmSession, TdContext};
+use hcc::trace::KernelId;
+use hcc::types::calib::TdxCalib;
+
+fn first_inference(cfg: SimConfig) -> SimTime {
+    let mut ctx = CudaContext::new(cfg);
+    let size = ByteSize::mib(64); // model shard
+    let h = ctx
+        .malloc_host(size, HostMemKind::Pageable)
+        .expect("host staging");
+    let d = ctx.malloc_device(size).expect("device weights");
+    ctx.memcpy_h2d(d, h, size).expect("weight upload");
+    ctx.launch_kernel(
+        &KernelDesc::new(KernelId(0), SimDuration::millis(4)),
+        ctx.default_stream(),
+    )
+    .expect("first forward pass");
+    ctx.synchronize();
+    ctx.now()
+}
+
+fn main() {
+    println!("hcc cold start — what SPDM attestation costs a confidential endpoint\n");
+
+    // The handshake itself, step by step.
+    let mut td = TdContext::new(CcMode::On, TdxCalib::default());
+    let session = SpdmSession::establish(&mut td);
+    println!("SPDM handshake breakdown:");
+    for (step, cost) in &session.steps {
+        println!("  {step:<22?} {cost}");
+    }
+    println!("  {:<22} {}\n", "TOTAL", session.total_time);
+
+    // End-to-end: time to the first completed inference.
+    let warm = first_inference(SimConfig::new(CcMode::On));
+    let cold = first_inference(SimConfig::new(CcMode::On).with_attestation());
+    let base = first_inference(SimConfig::new(CcMode::Off));
+    println!("time to first inference (64 MiB weights + one 4 ms kernel):");
+    println!("  base (no CC)          {base}");
+    println!("  CC, session warm      {warm}");
+    println!("  CC, cold (attesting)  {cold}");
+    println!(
+        "\nthe handshake adds {} — amortized to nothing on a long-lived server,\n\
+         but real money when every request spins up a fresh TD.",
+        cold.saturating_since(warm)
+    );
+}

@@ -1,0 +1,89 @@
+//! Confidential LLM serving: should you enable CC for your Llama-3-8B
+//! endpoint, and how should you configure it?
+//!
+//! Walks the Fig. 14 decision space — backend, quantization, batch size —
+//! and prints the throughput cost of confidentiality for each choice.
+//!
+//! ```sh
+//! cargo run --example confidential_llm
+//! ```
+
+use hcc::ml::llm::{Backend, LlmConfig, LlmEstimator, LlmPrecision, FIG14_BATCHES};
+use hcc::types::CcMode;
+
+fn main() {
+    let est = LlmEstimator::default();
+
+    println!("Llama-3-8B decode throughput (tokens/s) — CC cost per configuration\n");
+    println!(
+        "{:<10} {:<6} {:>6} {:>12} {:>12} {:>9}",
+        "backend", "prec", "batch", "CC-off", "CC-on", "CC tax"
+    );
+    for backend in [Backend::HuggingFace, Backend::Vllm] {
+        for precision in [LlmPrecision::Bf16, LlmPrecision::Awq] {
+            for batch in FIG14_BATCHES {
+                let off = est.throughput(LlmConfig {
+                    backend,
+                    precision,
+                    batch,
+                    cc: CcMode::Off,
+                });
+                let on = est.throughput(LlmConfig {
+                    backend,
+                    precision,
+                    batch,
+                    cc: CcMode::On,
+                });
+                println!(
+                    "{:<10} {:<6} {:>6} {:>12.0} {:>12.0} {:>8.1}%",
+                    backend.to_string(),
+                    precision.to_string(),
+                    batch,
+                    off,
+                    on,
+                    (1.0 - on / off) * 100.0
+                );
+            }
+        }
+    }
+
+    // The actionable summary.
+    println!("\nrecommendations:");
+    let hf_tax = {
+        let off = est.throughput(LlmConfig {
+            backend: Backend::HuggingFace,
+            precision: LlmPrecision::Bf16,
+            batch: 8,
+            cc: CcMode::Off,
+        });
+        let on = est.throughput(LlmConfig {
+            backend: Backend::HuggingFace,
+            precision: LlmPrecision::Bf16,
+            batch: 8,
+            cc: CcMode::On,
+        });
+        (1.0 - on / off) * 100.0
+    };
+    let vllm_tax = {
+        let off = est.throughput(LlmConfig {
+            backend: Backend::Vllm,
+            precision: LlmPrecision::Bf16,
+            batch: 8,
+            cc: CcMode::Off,
+        });
+        let on = est.throughput(LlmConfig {
+            backend: Backend::Vllm,
+            precision: LlmPrecision::Bf16,
+            batch: 8,
+            cc: CcMode::On,
+        });
+        (1.0 - on / off) * 100.0
+    };
+    println!(
+        "  * serve with vLLM: its CC tax at batch 8 is {vllm_tax:.1}% vs {hf_tax:.1}% for HF \
+         (CUDA graphs dodge the hypercall-laden launch path)"
+    );
+    println!("  * below ~batch 16, AWQ int4 wins (memory-bound decode);");
+    println!("    at batch 64+, BF16 wins (dequant overhead when compute-bound)");
+    println!("  * batch as much as latency allows: fixed CC costs amortize");
+}

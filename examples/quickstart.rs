@@ -1,0 +1,62 @@
+//! Quickstart: run the same small GPU program with confidential computing
+//! off and on, and see where the overhead comes from.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hcc::core::{PerfModel, PhaseBreakdown};
+use hcc::prelude::*;
+use hcc::runtime::KernelDesc;
+use hcc::trace::KernelId;
+
+fn run_app(cc: CcMode) -> hcc::trace::Timeline {
+    let mut ctx = CudaContext::new(SimConfig::new(cc));
+    let stream = ctx.default_stream();
+
+    // Classic copy-then-execute: upload, 20 kernels, download.
+    let size = ByteSize::mib(64);
+    let host = ctx
+        .malloc_host(size, HostMemKind::Pinned)
+        .expect("host allocation");
+    let dev = ctx.malloc_device(size).expect("device allocation");
+    ctx.memcpy_h2d(dev, host, size).expect("upload");
+    let kernel = KernelDesc::new(KernelId(0), SimDuration::millis(2));
+    for _ in 0..20 {
+        ctx.launch_kernel(&kernel, stream).expect("launch");
+    }
+    ctx.synchronize();
+    ctx.memcpy_d2h(host, dev, size).expect("download");
+    ctx.free_device(dev).expect("free device");
+    ctx.free_host(host).expect("free host");
+    ctx.into_timeline()
+}
+
+fn main() {
+    println!("hcc quickstart — the CC tax on one small app\n");
+    let mut spans = Vec::new();
+    for cc in CcMode::ALL {
+        let timeline = run_app(cc);
+        let breakdown = PhaseBreakdown::from_timeline(&timeline);
+        let fitted = PerfModel::fit(&timeline);
+        println!("[{cc}]");
+        println!("  {breakdown}");
+        println!("  bar: [{}]", breakdown.render_bar(56));
+        println!(
+            "  model fit: alpha={:.2} beta={:.2} err={:.1}%",
+            fitted.model.alpha,
+            fitted.model.beta,
+            fitted.error() * 100.0
+        );
+        let lm = timeline.launch_metrics();
+        println!(
+            "  launches: {} | mean KLO {} | total LQT {} | total KQT {}\n",
+            lm.launch_count(),
+            (lm.total_klo() / lm.launch_count() as u64),
+            lm.total_lqt(),
+            lm.total_kqt(),
+        );
+        spans.push(breakdown.span);
+    }
+    println!("end-to-end CC slowdown: x{:.2}", spans[1] / spans[0]);
+}

@@ -1,0 +1,76 @@
+//! The functional side of the substrate: demonstrate that under CC the
+//! data really is protected at every hop — TD-private memory is
+//! ciphertext on the bus, the PCIe payload is AES-GCM sealed and
+//! tamper-evident, and GPU HBM (trusted per the threat model) holds
+//! plaintext again.
+//!
+//! ```sh
+//! cargo run --example secure_dataflow
+//! ```
+
+use hcc::crypto::gcm::AesGcm;
+use hcc::prelude::*;
+use hcc::tee::PrivateMemory;
+
+fn main() {
+    println!("hcc secure dataflow — following one tensor through the CC pipeline\n");
+    let secret = b"patient-record-embedding: [0.12, -0.98, 0.44, ...]";
+
+    // Hop 1: the tensor sits in TD-private memory. The guest reads
+    // plaintext; the memory bus carries TME-MK (AES-XTS) ciphertext.
+    let mut td_mem = PrivateMemory::new(8192, [0x1D; 16]);
+    td_mem.write(0, secret).expect("write into TD memory");
+    let guest_view = td_mem.read(0, secret.len()).expect("guest read");
+    let bus_view = td_mem.bus_view(0, secret.len()).expect("bus read");
+    println!("TD private memory:");
+    println!("  guest sees : {}", String::from_utf8_lossy(&guest_view));
+    println!(
+        "  bus carries: {} (TME-MK ciphertext)",
+        hex_preview(&bus_view)
+    );
+    assert_eq!(guest_view, secret);
+    assert_ne!(bus_view, secret);
+
+    // Hop 2: staging for DMA converts pages to shared — now the
+    // hypervisor legitimately sees the (GCM-sealed) bounce payload.
+    let mut staged = secret.to_vec();
+    let gcm = AesGcm::new(&[0x2A; 16]).expect("session key");
+    let tag = gcm.encrypt(&[0x01; 12], b"dma-channel-7", &mut staged);
+    println!("\nbounce buffer (hypervisor-visible):");
+    println!("  payload    : {} (AES-GCM)", hex_preview(&staged));
+    println!("  tag        : {}", hex_preview(&tag));
+
+    // A malicious hypervisor flips one bit in transit...
+    let mut tampered = staged.clone();
+    tampered[3] ^= 0x80;
+    let verdict = gcm.decrypt(&[0x01; 12], b"dma-channel-7", &mut tampered, &tag);
+    println!("  tampered copy rejected by the GPU: {verdict:?}");
+    assert!(verdict.is_err());
+
+    // Hop 3: the full runtime path — upload through the simulated CC
+    // pipeline and read HBM directly (plaintext; HBM is in the TCB).
+    let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+    let dev = ctx
+        .malloc_device(ByteSize::kib(4))
+        .expect("device allocation");
+    let elapsed = ctx.upload_bytes(dev, secret).expect("CC upload");
+    let hbm = ctx
+        .gpu()
+        .hbm()
+        .read(dev, 0, secret.len() as u64)
+        .expect("hbm read");
+    println!("\nGPU HBM after encrypted upload ({elapsed} of virtual time):");
+    println!("  hbm holds  : {}", String::from_utf8_lossy(&hbm));
+    assert_eq!(hbm, secret);
+
+    let counters = ctx.td_counters();
+    println!(
+        "\nTD transition bill for this upload: {} hypercalls, {} pages converted, {} in transitions",
+        counters.hypercalls, counters.pages_converted, counters.transition_time
+    );
+}
+
+fn hex_preview(bytes: &[u8]) -> String {
+    let head: Vec<String> = bytes.iter().take(12).map(|b| format!("{b:02x}")).collect();
+    format!("{}…", head.join(""))
+}

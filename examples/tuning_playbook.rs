@@ -1,0 +1,88 @@
+//! The CC tuning playbook: take a launch-bound app (3dconv-style), show
+//! why it suffers under CC, then apply the paper's Sec. VII mitigations —
+//! kernel fusion, stream overlap, and parallel transfer encryption — and
+//! measure each one.
+//!
+//! ```sh
+//! cargo run --example tuning_playbook
+//! ```
+
+use hcc::core::{FusionPlanner, KlrAnalysis, OverlapPlanner};
+use hcc::prelude::*;
+use hcc::types::calib::Calibration;
+use hcc::workloads::{micro, runner, suites};
+
+fn main() {
+    println!("hcc tuning playbook — rescuing a launch-bound app under CC\n");
+
+    // Step 1: diagnose. Run 3dconv in both modes and classify it.
+    let spec = suites::by_name("3dconv").expect("3dconv exists");
+    let base = runner::run(&spec, SimConfig::new(CcMode::Off)).expect("base run");
+    let cc = runner::run(&spec, SimConfig::new(CcMode::On)).expect("cc run");
+    let analysis = KlrAnalysis::of(&cc.timeline.launch_metrics());
+    println!(
+        "3dconv: KLR = {:.2} ({:?}) over {} launches",
+        analysis.klr, analysis.class, analysis.launches
+    );
+    println!(
+        "  end-to-end: base {} -> cc {} (x{:.2})",
+        base.end,
+        cc.end,
+        (cc.end.saturating_since(SimTime::ZERO)) / (base.end.saturating_since(SimTime::ZERO))
+    );
+    println!(
+        "  predicted sensitivity to the CC launch tax (x1.42 KLO): x{:.2}\n",
+        analysis.predicted_slowdown(1.42)
+    );
+
+    // Step 2: fusion. Ask the planner how far to fuse the 254 launches.
+    let planner = FusionPlanner::new(Calibration::paper(), CcMode::On);
+    let total_ket = spec.nominal_ket();
+    let plan = planner.recommend(total_ket, 254);
+    println!(
+        "fusion planner: best split = {} launches (est. span {}), vs 254 unfused",
+        plan.best.launches, plan.best.est_span
+    );
+    let unfused = micro::run_fusion_sweep(SimConfig::new(CcMode::On), total_ket, 254);
+    let fused = micro::run_fusion_sweep(
+        SimConfig::new(CcMode::On),
+        total_ket,
+        plan.best.launches.max(1),
+    );
+    println!(
+        "  simulated: unfused span {}, planner's split {} -> saves {:.1}%\n",
+        unfused.span,
+        fused.span,
+        (1.0 - fused.span.as_secs_f64() / unfused.span.as_secs_f64()) * 100.0
+    );
+
+    // Step 3: overlap. Hide the encrypted transfer behind compute.
+    let overlap = OverlapPlanner::new(Calibration::paper(), CcMode::On);
+    let oplan = overlap.recommend(ByteSize::mib(512), SimDuration::millis(10), 64);
+    println!(
+        "overlap planner: {} streams -> estimated x{:.2} over serial",
+        oplan.best.streams,
+        oplan.best.speedup()
+    );
+    let measured = micro::run_overlap(
+        SimConfig::new(CcMode::On),
+        oplan.best.streams,
+        ByteSize::mib(512),
+        SimDuration::millis(10),
+    )
+    .expect("overlap run");
+    println!("  simulated: x{:.2} over serial\n", measured.speedup());
+
+    // Step 4: parallel encryption (the Sec. VIII runtime-library trick).
+    for workers in [1u32, 4, 8] {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On).with_crypto_workers(workers));
+        let h = ctx
+            .malloc_host(ByteSize::mib(256), HostMemKind::Pageable)
+            .expect("host alloc");
+        let d = ctx.malloc_device(ByteSize::mib(256)).expect("device alloc");
+        let t = ctx.memcpy_h2d(d, h, ByteSize::mib(256)).expect("copy");
+        let gbs = ByteSize::mib(256).as_gb_f64() / t.as_secs_f64();
+        println!("crypto workers = {workers}: 256 MiB upload in {t} ({gbs:.2} GB/s)");
+    }
+    println!("\nmoral: fuse the launches, overlap the copies, parallelize the AES.");
+}

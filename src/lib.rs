@@ -1,0 +1,42 @@
+//! # hcc — a confidential-computing GPU performance lab
+//!
+//! Facade crate re-exporting the full `hcc` workspace: a calibrated
+//! discrete-event reproduction of *"Dissecting Performance Overheads of
+//! Confidential Computing on GPU-based Systems"* (ISPASS 2025).
+//!
+//! The typical entry point is [`runtime::CudaContext`] plus the workload
+//! suites in [`workloads`]; the paper's performance model and planners live
+//! in [`core`].
+//!
+//! ```
+//! use hcc::prelude::*;
+//!
+//! let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+//! let d = ctx.malloc_device(ByteSize::mib(16)).unwrap();
+//! let h = ctx.malloc_host(ByteSize::mib(16), HostMemKind::Pageable).unwrap();
+//! ctx.memcpy_h2d(d, h, ByteSize::mib(16)).unwrap();
+//! assert!(ctx.now() > SimTime::ZERO);
+//! ```
+
+pub use hcc_core as core;
+pub use hcc_crypto as crypto;
+pub use hcc_gpu as gpu;
+pub use hcc_ml as ml;
+pub use hcc_runtime as runtime;
+pub use hcc_tee as tee;
+pub use hcc_trace as trace;
+pub use hcc_types as types;
+pub use hcc_uvm as uvm;
+pub use hcc_workloads as workloads;
+
+/// Convenience re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use hcc_core::{PerfModel, PhaseBreakdown};
+    pub use hcc_runtime::{CudaContext, SimConfig};
+    pub use hcc_trace::{Timeline, TraceEvent};
+    pub use hcc_types::{
+        Bandwidth, ByteSize, CcMode, CopyKind, CpuModel, HostMemKind, MemSpace, SimDuration,
+        SimTime,
+    };
+    pub use hcc_workloads::{Program, Suite, WorkloadSpec};
+}

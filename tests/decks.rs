@@ -1,0 +1,51 @@
+//! The shipped example decks must parse, run in both modes, and show the
+//! behaviours they advertise.
+
+use hcc::prelude::*;
+use hcc::workloads::{parse_workload, runner};
+
+const STREAMING_CONV: &str = include_str!("../decks/streaming_conv.hcc");
+const BATCH_TRAINER: &str = include_str!("../decks/batch_trainer.hcc");
+const UVM_STENCIL: &str = include_str!("../decks/uvm_stencil.hcc");
+
+#[test]
+fn streaming_conv_is_launch_bound_and_cc_sensitive() {
+    let spec = parse_workload(STREAMING_CONV).expect("deck parses");
+    assert_eq!(spec.launch_count(), 254);
+    let base = runner::run(&spec, SimConfig::new(CcMode::Off)).expect("base run");
+    let cc = runner::run(&spec, SimConfig::new(CcMode::On)).expect("cc run");
+    let analysis = hcc::core::KlrAnalysis::of(&base.timeline.launch_metrics());
+    assert_eq!(
+        analysis.class,
+        hcc::core::KlrClass::Low,
+        "klr {}",
+        analysis.klr
+    );
+    assert!(cc.end > base.end);
+}
+
+#[test]
+fn batch_trainer_syncs_every_step() {
+    let spec = parse_workload(BATCH_TRAINER).expect("deck parses");
+    assert_eq!(spec.launch_count(), 4);
+    let r = runner::run(&spec, SimConfig::new(CcMode::On)).expect("run");
+    let lm = r.timeline.launch_metrics();
+    // Per-step syncs keep each kernel's queueing at the dispatch floor.
+    for k in &lm.kernels {
+        assert!(k.kqt < SimDuration::micros(20), "kqt {}", k.kqt);
+    }
+}
+
+#[test]
+fn uvm_stencil_faults_cold_then_runs_warm() {
+    let spec = parse_workload(UVM_STENCIL).expect("deck parses");
+    assert!(spec.uvm);
+    let r = runner::run(&spec, SimConfig::new(CcMode::On)).expect("run");
+    let lm = r.timeline.launch_metrics();
+    assert_eq!(lm.kernels.len(), 6);
+    // First (cold) kernel pays encrypted paging; warm reruns do not.
+    let cold = lm.kernels[0].ket;
+    let warm = lm.kernels[3].ket;
+    assert!(cold > warm * 10, "cold {cold} vs warm {warm}");
+    assert!(r.uvm.faults > 0);
+}

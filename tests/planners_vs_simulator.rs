@@ -1,0 +1,123 @@
+//! The analytic planners in `hcc-core` must agree with the event-level
+//! simulator they plan for — planner estimates are only useful if the
+//! simulated system actually behaves the way they predict.
+
+use hcc::core::{FusionPlanner, OverlapPlanner};
+use hcc::prelude::*;
+use hcc::types::calib::Calibration;
+use hcc::workloads::micro;
+
+#[test]
+fn fusion_planner_tracks_simulated_sweep() {
+    let planner = FusionPlanner::new(Calibration::paper(), CcMode::On);
+    let total_ket = SimDuration::millis(20);
+    // Single-launch runs are dominated by first-launch storms (a
+    // stochastic 8% event); compare where the steady state matters.
+    for launches in [8u32, 64, 512] {
+        let est = planner.estimate(total_ket, launches);
+        let sim = micro::run_fusion_sweep(SimConfig::new(CcMode::On), total_ket, launches);
+        // Steady-state per-launch KLO within 50% (median vs the planner's
+        // expectation; the stochastic storms are the Fig. 11a tail, which
+        // the planner deliberately does not model).
+        let per_ket = total_ket / u64::from(launches);
+        let records = micro::run_back_to_back(SimConfig::new(CcMode::On), launches, 0, per_ket);
+        let mut warm: Vec<SimDuration> =
+            records.iter().filter(|r| !r.first).map(|r| r.klo).collect();
+        warm.sort_unstable();
+        let sim_median = warm[warm.len() / 2];
+        let ratio = est.steady_klo / sim_median;
+        assert!(
+            (0.6..=1.6).contains(&ratio),
+            "launches {launches}: planner steady KLO {} vs sim median {}",
+            est.steady_klo,
+            sim_median
+        );
+        // Span within 60% for the launch-bound high-split points.
+        if launches >= 64 {
+            let span_ratio = est.est_span / sim.span;
+            assert!(
+                (0.5..=1.6).contains(&span_ratio),
+                "launches {launches}: planner span {} vs sim {}",
+                est.est_span,
+                sim.span
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_planner_recommendation_beats_naive_extremes_in_simulation() {
+    let planner = FusionPlanner::new(Calibration::paper(), CcMode::On);
+    let total_ket = SimDuration::millis(5);
+    let plan = planner.recommend(total_ket, 1024);
+    let best_sim =
+        micro::run_fusion_sweep(SimConfig::new(CcMode::On), total_ket, plan.best.launches);
+    let max_split_sim = micro::run_fusion_sweep(SimConfig::new(CcMode::On), total_ket, 1024);
+    assert!(
+        best_sim.span < max_split_sim.span,
+        "recommended {} launches ({}) must beat 1024 launches ({})",
+        plan.best.launches,
+        best_sim.span,
+        max_split_sim.span
+    );
+}
+
+#[test]
+fn overlap_planner_direction_matches_simulation() {
+    let planner = OverlapPlanner::new(Calibration::paper(), CcMode::On);
+    let total = ByteSize::mib(512);
+    for (ket, streams) in [
+        (SimDuration::millis(1), 16u32),
+        (SimDuration::millis(100), 16),
+    ] {
+        let est = planner.estimate(total, ket, streams);
+        let sim = micro::run_overlap(SimConfig::new(CcMode::On), streams, total, ket)
+            .expect("overlap run");
+        // Speedups agree within 2x (the planner's pipeline model is
+        // coarser than the engine-level simulation).
+        let ratio = est.speedup() / sim.speedup();
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "ket {ket}: planner x{:.2} vs sim x{:.2}",
+            est.speedup(),
+            sim.speedup()
+        );
+    }
+    // And both agree base-mode overlap at short KET beats CC overlap.
+    let base_planner = OverlapPlanner::new(Calibration::paper(), CcMode::Off);
+    let ket = SimDuration::millis(1);
+    assert!(
+        base_planner.estimate(total, ket, 64).speedup()
+            > planner.estimate(total, ket, 64).speedup()
+    );
+}
+
+#[test]
+fn crypto_worker_planning_matches_runtime() {
+    // The overlap planner's worker model and the runtime's must rank
+    // configurations identically.
+    let time_with_workers = |workers: u32| {
+        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On).with_crypto_workers(workers));
+        let h = ctx
+            .malloc_host(ByteSize::mib(256), HostMemKind::Pageable)
+            .expect("host");
+        let d = ctx.malloc_device(ByteSize::mib(256)).expect("device");
+        ctx.memcpy_h2d(d, h, ByteSize::mib(256)).expect("copy")
+    };
+    let planner_time = |workers: u32| {
+        OverlapPlanner::new(Calibration::paper(), CcMode::On)
+            .with_crypto_workers(workers)
+            .estimate(ByteSize::mib(256), SimDuration::from_nanos(1), 1)
+            .overlapped
+    };
+    let mut last_sim = SimDuration::secs(3600);
+    let mut last_plan = SimDuration::secs(3600);
+    for workers in [1u32, 2, 4, 8] {
+        let sim = time_with_workers(workers);
+        let plan = planner_time(workers);
+        assert!(sim < last_sim, "runtime must improve with workers");
+        assert!(plan < last_plan, "planner must improve with workers");
+        last_sim = sim;
+        last_plan = plan;
+    }
+}
