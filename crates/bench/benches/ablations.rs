@@ -1,14 +1,12 @@
 //! Ablations of the design choices DESIGN.md calls out, reported in
-//! *virtual time* (Criterion `iter_custom`):
+//! *virtual time* (the harness's `virtual_time` mode):
 //!
 //! * bounce-pool reuse vs a pool too small to stay warm,
 //! * UVM fault-batch size and prefetcher on/off,
 //! * crypto algorithm choice on the transfer path,
 //! * channel ring depth vs launch queuing.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_bench::harness::Runner;
 use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
 use hcc_gpu::{CommandProcessor, Gmmu, ManagedId};
 use hcc_tee::{BounceBufferPool, TdContext};
@@ -16,43 +14,38 @@ use hcc_types::calib::{Calibration, GpuCalib, TdxCalib, UvmCalib};
 use hcc_types::{Bandwidth, ByteSize, CcMode, CpuModel, SimDuration, SimTime};
 use hcc_uvm::UvmDriver;
 
-fn as_wall(d: SimDuration) -> Duration {
-    Duration::from_nanos(d.as_nanos().max(1))
-}
-
 /// Bounce-pool reuse: a warm 64 MiB pool vs a 4 MiB pool that keeps
 /// re-converting pages for 4 MiB reservations.
-fn ablate_bounce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_bounce_pool");
+fn ablate_bounce(r: &mut Runner) {
+    let mut group = r.group("ablate_bounce_pool");
+    group.sample_size(15);
     for (label, pool) in [
         ("warm_64mib", ByteSize::mib(64)),
         ("thrash_4mib", ByteSize::mib(4)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &pool, |b, pool| {
-            b.iter_custom(|iters| {
-                let mut td = TdContext::new(CcMode::On, TdxCalib::default());
-                let mut bp = BounceBufferPool::new(*pool);
-                let mut total = SimDuration::ZERO;
-                for _ in 0..iters {
-                    let r = bp.reserve(&mut td, ByteSize::mib(4)).expect("reserve");
-                    total += r.cost;
-                    bp.release(ByteSize::mib(4));
-                    // The thrash variant loses its conversions (pool
-                    // pages get reclaimed between transfers).
-                    if *pool <= ByteSize::mib(4) {
-                        bp = BounceBufferPool::new(*pool);
-                    }
+        group.virtual_time(label, move |iters| {
+            let mut td = TdContext::new(CcMode::On, TdxCalib::default());
+            let mut bp = BounceBufferPool::new(pool);
+            let mut total = SimDuration::ZERO;
+            for _ in 0..iters {
+                let res = bp.reserve(&mut td, ByteSize::mib(4)).expect("reserve");
+                total += res.cost;
+                bp.release(ByteSize::mib(4));
+                // The thrash variant loses its conversions (pool
+                // pages get reclaimed between transfers).
+                if pool <= ByteSize::mib(4) {
+                    bp = BounceBufferPool::new(pool);
                 }
-                as_wall(total)
-            })
+            }
+            total
         });
     }
     group.finish();
 }
 
 /// UVM batching and prefetch: service a cold 64 MiB range per iteration.
-fn ablate_uvm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_uvm");
+fn ablate_uvm(r: &mut Runner) {
+    let mut group = r.group("ablate_uvm");
     group.sample_size(10);
     let variants: [(&str, u64, bool); 4] = [
         ("batch32_prefetch", 32, true),
@@ -61,117 +54,105 @@ fn ablate_uvm(c: &mut Criterion) {
         ("batch128_prefetch", 128, true),
     ];
     for (label, batch, prefetch) in variants {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &(batch, prefetch),
-            |b, (batch, prefetch)| {
-                b.iter_custom(|iters| {
-                    let calib = UvmCalib {
-                        batch_pages: *batch,
-                        prefetch: *prefetch,
-                        ..UvmCalib::default()
-                    };
-                    let mut total = SimDuration::ZERO;
-                    for i in 0..iters {
-                        let mut gmmu = Gmmu::new();
-                        let id = ManagedId(i);
-                        gmmu.register(id, ByteSize::mib(64), calib.page);
-                        let mut td = TdContext::new(CcMode::Off, TdxCalib::default());
-                        let mut drv = UvmDriver::new(calib.clone(), CcMode::Off);
-                        let pages = ByteSize::mib(64).pages(calib.page);
-                        let s = drv
-                            .service_access(&mut gmmu, &mut td, id, 0, pages)
-                            .expect("service");
-                        total += s.total_time;
-                    }
-                    as_wall(total)
-                })
-            },
-        );
+        group.virtual_time(label, move |iters| {
+            let calib = UvmCalib {
+                batch_pages: batch,
+                prefetch,
+                ..UvmCalib::default()
+            };
+            let mut total = SimDuration::ZERO;
+            for i in 0..iters {
+                let mut gmmu = Gmmu::new();
+                let id = ManagedId(i);
+                gmmu.register(id, ByteSize::mib(64), calib.page);
+                let mut td = TdContext::new(CcMode::Off, TdxCalib::default());
+                let mut drv = UvmDriver::new(calib.clone(), CcMode::Off);
+                let pages = ByteSize::mib(64).pages(calib.page);
+                let s = drv
+                    .service_access(&mut gmmu, &mut td, id, 0, pages)
+                    .expect("service");
+                total += s.total_time;
+            }
+            total
+        });
     }
     group.finish();
 }
 
 /// Crypto choice on the transfer path: time to seal 64 MiB for DMA.
-fn ablate_crypto(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_transfer_cipher");
+fn ablate_crypto(r: &mut Runner) {
+    let mut group = r.group("ablate_transfer_cipher");
+    group.sample_size(15);
     let model = SoftCryptoModel::new(CpuModel::EmeraldRapids);
     for alg in CryptoAlgorithm::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(alg), &alg, |b, alg| {
-            b.iter_custom(|iters| {
-                let mut total = SimDuration::ZERO;
-                for _ in 0..iters {
-                    total += model.time_for(*alg, ByteSize::mib(64));
-                }
-                as_wall(total)
-            })
+        group.virtual_time(&format!("{alg}"), move |iters| {
+            let mut total = SimDuration::ZERO;
+            for _ in 0..iters {
+                total += model.time_for(alg, ByteSize::mib(64));
+            }
+            total
         });
     }
     group.finish();
 }
 
 /// Ring depth: total ring wait (LQT) for a 2000-command burst.
-fn ablate_ring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_ring_depth");
+fn ablate_ring(r: &mut Runner) {
+    let mut group = r.group("ablate_ring_depth");
+    group.sample_size(15);
     for depth in [4usize, 32, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, depth| {
-            b.iter_custom(|iters| {
-                let mut total = SimDuration::ZERO;
-                for _ in 0..iters {
-                    let calib = GpuCalib {
-                        ring_depth: *depth,
-                        ..GpuCalib::default()
-                    };
-                    let mut cp = CommandProcessor::new(&calib, CcMode::On);
-                    for _ in 0..2000 {
-                        cp.submit(SimTime::ZERO);
-                    }
-                    total += cp.total_ring_wait();
+        group.virtual_time(&format!("depth_{depth}"), move |iters| {
+            let mut total = SimDuration::ZERO;
+            for _ in 0..iters {
+                let calib = GpuCalib {
+                    ring_depth: depth,
+                    ..GpuCalib::default()
+                };
+                let mut cp = CommandProcessor::new(&calib, CcMode::On);
+                for _ in 0..2000 {
+                    cp.submit(SimTime::ZERO);
                 }
-                as_wall(total)
-            })
+                total += cp.total_ring_wait();
+            }
+            total
         });
     }
     group.finish();
 }
 
 /// Effective CC pipeline vs crypto workers (the Sec. VIII optimization).
-fn ablate_crypto_workers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_crypto_workers");
+fn ablate_crypto_workers(r: &mut Runner) {
+    let mut group = r.group("ablate_crypto_workers");
+    group.sample_size(15);
     let calib = Calibration::paper();
     let model = SoftCryptoModel::new(CpuModel::EmeraldRapids);
     for workers in [1u32, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, workers| {
-                b.iter_custom(|iters| {
-                    let mut total = SimDuration::ZERO;
-                    for _ in 0..iters {
-                        let crypto = model.time_for_parallel(
-                            CryptoAlgorithm::AesGcm128,
-                            ByteSize::gib(1),
-                            *workers,
-                        );
-                        let rest = Bandwidth::serial_pipeline(&[
-                            calib.pcie.bounce_copy,
-                            calib.pcie.pinned_h2d,
-                            calib.pcie.gpu_crypto,
-                        ])
-                        .time_for(ByteSize::gib(1));
-                        total += crypto + rest;
-                    }
-                    as_wall(total)
-                })
-            },
-        );
+        let calib = calib.clone();
+        group.virtual_time(&format!("workers_{workers}"), move |iters| {
+            let mut total = SimDuration::ZERO;
+            for _ in 0..iters {
+                let crypto =
+                    model.time_for_parallel(CryptoAlgorithm::AesGcm128, ByteSize::gib(1), workers);
+                let rest = Bandwidth::serial_pipeline(&[
+                    calib.pcie.bounce_copy,
+                    calib.pcie.pinned_h2d,
+                    calib.pcie.gpu_crypto,
+                ])
+                .time_for(ByteSize::gib(1));
+                total += crypto + rest;
+            }
+            total
+        });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).without_plots();
-    targets = ablate_bounce, ablate_uvm, ablate_crypto, ablate_ring, ablate_crypto_workers
+fn main() {
+    let mut runner = Runner::from_env();
+    ablate_bounce(&mut runner);
+    ablate_uvm(&mut runner);
+    ablate_crypto(&mut runner);
+    ablate_ring(&mut runner);
+    ablate_crypto_workers(&mut runner);
+    runner.finish();
 }
-criterion_main!(benches);

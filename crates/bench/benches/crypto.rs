@@ -2,7 +2,7 @@
 //! "functional" column of Fig. 4b. The *ordering* (GHASH > CTR/XTS > GCM)
 //! must match the figure even though absolute rates are far below AES-NI.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcc_bench::harness::Runner;
 use hcc_crypto::aes::Aes;
 use hcc_crypto::chacha::ChaChaPoly;
 use hcc_crypto::ctr::ctr_xor;
@@ -12,55 +12,47 @@ use hcc_crypto::xts::AesXts;
 
 const SIZES: [usize; 2] = [4 * 1024, 256 * 1024];
 
-fn bench_ciphers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig04b_functional");
+fn main() {
+    let mut runner = Runner::from_env();
     for size in SIZES {
-        group.throughput(Throughput::Bytes(size as u64));
+        let mut group = runner.group(&format!("fig04b_functional/{size}"));
+        group.throughput_bytes(size as u64).sample_size(20);
         let mut buf = vec![0xA5u8; size];
 
         let gcm = AesGcm::new(&[1u8; 16]).expect("key");
-        group.bench_with_input(BenchmarkId::new("aes_gcm_128", size), &size, |b, _| {
-            b.iter(|| gcm.encrypt(&[0u8; 12], &[], &mut buf))
+        group.wall("aes_gcm_128", || {
+            gcm.encrypt(&[0u8; 12], &[], &mut buf);
         });
 
         let gcm256 = AesGcm::new(&[2u8; 32]).expect("key");
-        group.bench_with_input(BenchmarkId::new("aes_gcm_256", size), &size, |b, _| {
-            b.iter(|| gcm256.encrypt(&[0u8; 12], &[], &mut buf))
+        group.wall("aes_gcm_256", || {
+            gcm256.encrypt(&[0u8; 12], &[], &mut buf);
         });
 
         let mut h = [0u8; 16];
         Aes::new(&[3u8; 16]).expect("key").encrypt_block(&mut h);
-        group.bench_with_input(BenchmarkId::new("ghash", size), &size, |b, _| {
-            b.iter(|| {
-                let mut g = Ghash::new(&h);
-                g.update(&buf);
-                g.finalize(0, size as u64)
-            })
+        group.wall("ghash", || {
+            let mut g = Ghash::new(&h);
+            g.update(&buf);
+            g.finalize(0, size as u64);
         });
 
         let aes = Aes::new(&[4u8; 16]).expect("key");
-        group.bench_with_input(BenchmarkId::new("aes_ctr_128", size), &size, |b, _| {
-            b.iter(|| ctr_xor(&aes, [0u8; 16], &mut buf))
+        group.wall("aes_ctr_128", || {
+            ctr_xor(&aes, [0u8; 16], &mut buf);
         });
 
         let xts = AesXts::new(&[5u8; 16], &[6u8; 16]).expect("keys");
-        group.bench_with_input(BenchmarkId::new("aes_xts_128", size), &size, |b, _| {
-            b.iter(|| xts.encrypt_sector(7, &mut buf).expect("full blocks"))
+        group.wall("aes_xts_128", || {
+            xts.encrypt_sector(7, &mut buf).expect("full blocks");
         });
 
         let chacha = ChaChaPoly::new([7u8; 32]);
-        group.bench_with_input(
-            BenchmarkId::new("chacha20_poly1305", size),
-            &size,
-            |b, _| b.iter(|| chacha.encrypt(&[0u8; 12], &[], &mut buf)),
-        );
-    }
-    group.finish();
-}
+        group.wall("chacha20_poly1305", || {
+            chacha.encrypt(&[0u8; 12], &[], &mut buf);
+        });
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ciphers
+        group.finish();
+    }
+    runner.finish();
 }
-criterion_main!(benches);

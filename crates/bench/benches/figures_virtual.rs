@@ -1,117 +1,100 @@
-//! *Virtual-time* benchmarks: Criterion's `iter_custom` is fed the
+//! *Virtual-time* benchmarks: the harness's `virtual_time` mode is fed the
 //! simulator's virtual durations instead of wall-clock, so `cargo bench`
 //! reports the modelled times the figures are built from (one bench per
 //! figure-critical path, base vs CC side by side).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_bench::harness::Runner;
 use hcc_runtime::{CudaContext, KernelDesc, SimConfig};
 use hcc_trace::KernelId;
-use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration, SimTime};
-
-fn as_wall(d: SimDuration) -> Duration {
-    Duration::from_nanos(d.as_nanos())
-}
+use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
 
 /// Fig. 4a/5 path: one 64 MiB pageable H2D copy.
-fn bench_copy_virtual(c: &mut Criterion) {
-    let mut group = c.benchmark_group("virtual_copy_64mib");
+fn bench_copy_virtual(r: &mut Runner) {
+    let mut group = r.group("virtual_copy_64mib");
     for cc in CcMode::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(cc), &cc, |b, cc| {
-            b.iter_custom(|iters| {
-                let mut total = SimDuration::ZERO;
-                for _ in 0..iters {
-                    let mut ctx = CudaContext::new(SimConfig::new(*cc));
-                    let h = ctx
-                        .malloc_host(ByteSize::mib(64), HostMemKind::Pageable)
-                        .expect("host");
-                    let d = ctx.malloc_device(ByteSize::mib(64)).expect("device");
-                    total += ctx.memcpy_h2d(d, h, ByteSize::mib(64)).expect("copy");
-                }
-                as_wall(total)
-            })
+        group.virtual_time(&format!("{cc}"), move |iters| {
+            let mut total = SimDuration::ZERO;
+            for _ in 0..iters {
+                let mut ctx = CudaContext::new(SimConfig::new(cc));
+                let h = ctx
+                    .malloc_host(ByteSize::mib(64), HostMemKind::Pageable)
+                    .expect("host");
+                let d = ctx.malloc_device(ByteSize::mib(64)).expect("device");
+                total += ctx.memcpy_h2d(d, h, ByteSize::mib(64)).expect("copy");
+            }
+            total
         });
     }
     group.finish();
 }
 
 /// Fig. 7/11 path: steady-state launch (KLO + queuing), amortized.
-fn bench_launch_virtual(c: &mut Criterion) {
-    let mut group = c.benchmark_group("virtual_launch");
+fn bench_launch_virtual(r: &mut Runner) {
+    let mut group = r.group("virtual_launch");
     for cc in CcMode::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(cc), &cc, |b, cc| {
-            b.iter_custom(|iters| {
-                let mut ctx = CudaContext::new(SimConfig::new(*cc));
-                let desc = KernelDesc::new(KernelId(0), SimDuration::micros(5));
-                // Warm up past the first launch.
+        group.virtual_time(&format!("{cc}"), move |iters| {
+            let mut ctx = CudaContext::new(SimConfig::new(cc));
+            let desc = KernelDesc::new(KernelId(0), SimDuration::micros(5));
+            // Warm up past the first launch.
+            ctx.launch_kernel(&desc, ctx.default_stream())
+                .expect("warmup");
+            let t0 = ctx.now();
+            for _ in 0..iters {
                 ctx.launch_kernel(&desc, ctx.default_stream())
-                    .expect("warmup");
-                let t0 = ctx.now();
-                for _ in 0..iters {
-                    ctx.launch_kernel(&desc, ctx.default_stream())
-                        .expect("launch");
-                }
-                as_wall(ctx.now() - t0)
-            })
+                    .expect("launch");
+            }
+            ctx.now() - t0
         });
     }
     group.finish();
 }
 
 /// Fig. 9 path: servicing a cold 64 MiB managed access.
-fn bench_uvm_virtual(c: &mut Criterion) {
-    let mut group = c.benchmark_group("virtual_uvm_cold_64mib");
+fn bench_uvm_virtual(r: &mut Runner) {
+    let mut group = r.group("virtual_uvm_cold_64mib");
     group.sample_size(10);
     for cc in CcMode::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(cc), &cc, |b, cc| {
-            b.iter_custom(|iters| {
-                let mut total = SimDuration::ZERO;
-                for _ in 0..iters {
-                    let mut ctx = CudaContext::new(SimConfig::new(*cc));
-                    let m = ctx.malloc_managed(ByteSize::mib(64)).expect("managed");
-                    let desc = KernelDesc::new(KernelId(0), SimDuration::micros(10))
-                        .with_managed(hcc_runtime::ManagedAccess::all(m));
-                    let t0 = ctx.now();
-                    ctx.launch_kernel(&desc, ctx.default_stream())
-                        .expect("launch");
-                    ctx.synchronize();
-                    total += ctx.now() - t0;
-                }
-                as_wall(total)
-            })
+        group.virtual_time(&format!("{cc}"), move |iters| {
+            let mut total = SimDuration::ZERO;
+            for _ in 0..iters {
+                let mut ctx = CudaContext::new(SimConfig::new(cc));
+                let m = ctx.malloc_managed(ByteSize::mib(64)).expect("managed");
+                let desc = KernelDesc::new(KernelId(0), SimDuration::micros(10))
+                    .with_managed(hcc_runtime::ManagedAccess::all(m));
+                let t0 = ctx.now();
+                ctx.launch_kernel(&desc, ctx.default_stream())
+                    .expect("launch");
+                ctx.synchronize();
+                total += ctx.now() - t0;
+            }
+            total
         });
     }
     group.finish();
 }
 
 /// Fig. 6 path: one cudaMalloc + cudaFree pair.
-fn bench_alloc_virtual(c: &mut Criterion) {
-    let mut group = c.benchmark_group("virtual_alloc_free");
+fn bench_alloc_virtual(r: &mut Runner) {
+    let mut group = r.group("virtual_alloc_free");
     for cc in CcMode::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(cc), &cc, |b, cc| {
-            b.iter_custom(|iters| {
-                let mut ctx = CudaContext::new(SimConfig::new(*cc));
-                let t0 = ctx.now();
-                for _ in 0..iters {
-                    let d = ctx.malloc_device(ByteSize::mib(16)).expect("alloc");
-                    ctx.free_device(d).expect("free");
-                }
-                as_wall(ctx.now() - t0)
-            })
+        group.virtual_time(&format!("{cc}"), move |iters| {
+            let mut ctx = CudaContext::new(SimConfig::new(cc));
+            let t0 = ctx.now();
+            for _ in 0..iters {
+                let d = ctx.malloc_device(ByteSize::mib(16)).expect("alloc");
+                ctx.free_device(d).expect("free");
+            }
+            ctx.now() - t0
         });
     }
     group.finish();
 }
 
-fn noop_sanity(_c: &mut Criterion) {
-    // Anchor so SimTime import stays used if groups change.
-    let _ = SimTime::ZERO;
+fn main() {
+    let mut runner = Runner::from_env();
+    bench_copy_virtual(&mut runner);
+    bench_launch_virtual(&mut runner);
+    bench_uvm_virtual(&mut runner);
+    bench_alloc_virtual(&mut runner);
+    runner.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).without_plots();
-    targets = bench_copy_virtual, bench_launch_virtual, bench_uvm_virtual, bench_alloc_virtual, noop_sanity
-}
-criterion_main!(benches);

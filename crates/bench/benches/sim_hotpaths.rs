@@ -1,70 +1,67 @@
 //! Wall-clock cost of the simulator itself: how fast the lab can chew
 //! through launches, copies, fault batches and whole benchmark apps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcc_bench::harness::Runner;
 use hcc_runtime::{CudaContext, KernelDesc, SimConfig};
 use hcc_trace::KernelId;
 use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
 use hcc_workloads::{runner, suites};
 
-fn bench_launch_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_launch_path");
+fn bench_launch_path(r: &mut Runner) {
+    let mut group = r.group("sim_launch_path");
+    group.sample_size(20);
     for cc in CcMode::ALL {
-        group.bench_with_input(BenchmarkId::new("1000_launches", cc), &cc, |b, cc| {
-            b.iter(|| {
-                let mut ctx = CudaContext::new(SimConfig::new(*cc));
-                let desc = KernelDesc::new(KernelId(0), SimDuration::micros(5));
-                for _ in 0..1000 {
-                    ctx.launch_kernel(&desc, ctx.default_stream())
-                        .expect("launch");
-                }
-                ctx.synchronize();
-                ctx.now()
-            })
+        group.wall(&format!("1000_launches/{cc}"), || {
+            let mut ctx = CudaContext::new(SimConfig::new(cc));
+            let desc = KernelDesc::new(KernelId(0), SimDuration::micros(5));
+            for _ in 0..1000 {
+                ctx.launch_kernel(&desc, ctx.default_stream())
+                    .expect("launch");
+            }
+            ctx.synchronize();
+            let _ = ctx.now();
         });
     }
     group.finish();
 }
 
-fn bench_copy_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_copy_path");
+fn bench_copy_path(r: &mut Runner) {
+    let mut group = r.group("sim_copy_path");
+    group.sample_size(20);
     for cc in CcMode::ALL {
-        group.bench_with_input(BenchmarkId::new("100_copies_4mib", cc), &cc, |b, cc| {
-            b.iter(|| {
-                let mut ctx = CudaContext::new(SimConfig::new(*cc));
-                let h = ctx
-                    .malloc_host(ByteSize::mib(4), HostMemKind::Pageable)
-                    .expect("host");
-                let d = ctx.malloc_device(ByteSize::mib(4)).expect("device");
-                for _ in 0..100 {
-                    ctx.memcpy_h2d(d, h, ByteSize::mib(4)).expect("copy");
-                }
-                ctx.now()
-            })
+        group.wall(&format!("100_copies_4mib/{cc}"), || {
+            let mut ctx = CudaContext::new(SimConfig::new(cc));
+            let h = ctx
+                .malloc_host(ByteSize::mib(4), HostMemKind::Pageable)
+                .expect("host");
+            let d = ctx.malloc_device(ByteSize::mib(4)).expect("device");
+            for _ in 0..100 {
+                ctx.memcpy_h2d(d, h, ByteSize::mib(4)).expect("copy");
+            }
+            let _ = ctx.now();
         });
     }
     group.finish();
 }
 
-fn bench_full_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_full_apps");
+fn bench_full_apps(r: &mut Runner) {
+    let mut group = r.group("sim_full_apps");
     group.sample_size(10);
     for name in ["sc", "gemm", "3dconv"] {
         let spec = suites::by_name(name).expect("known app");
-        group.bench_with_input(BenchmarkId::new("run_cc", name), &spec, |b, spec| {
-            b.iter(|| {
-                runner::run(spec, SimConfig::new(CcMode::On))
-                    .expect("run")
-                    .end
-            })
+        group.wall(&format!("run_cc/{name}"), || {
+            let _ = runner::run(&spec, SimConfig::new(CcMode::On))
+                .expect("run")
+                .end;
         });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_launch_path, bench_copy_path, bench_full_apps
+fn main() {
+    let mut runner = Runner::from_env();
+    bench_launch_path(&mut runner);
+    bench_copy_path(&mut runner);
+    bench_full_apps(&mut runner);
+    runner.finish();
 }
-criterion_main!(benches);

@@ -10,6 +10,7 @@
 
 use hcc_core::{CcReport, PerfModel, PhaseBreakdown};
 use hcc_runtime::SimConfig;
+use hcc_types::json::ToJson;
 use hcc_types::CcMode;
 use hcc_workloads::{parse_workload, runner, suites, WorkloadSpec};
 
@@ -124,10 +125,7 @@ fn cmd_trace(args: &[String]) {
     let spec = load_spec(name);
     let r = runner::run(&spec, SimConfig::new(cc_flag(args))).expect("run");
     for event in r.timeline.events() {
-        match serde_json::to_string(event) {
-            Ok(line) => println!("{line}"),
-            Err(e) => eprintln!("serialization failed: {e}"),
-        }
+        println!("{}", event.to_json_string());
     }
 }
 

@@ -2,10 +2,10 @@
 //!
 //! Figure regeneration for the paper's entire evaluation: [`figures`]
 //! computes the data series behind Tables/Figures 1–14, the `src/bin/*`
-//! harnesses print them in the rows the paper reports, and the Criterion
-//! benches under `benches/` measure the hot paths plus the DESIGN.md
-//! ablations (bounce-pool reuse, UVM batching/prefetch, crypto choice,
-//! ring depth).
+//! harnesses print them in the rows the paper reports, and the in-repo
+//! benches under `benches/` (driven by [`harness`]) measure the hot paths
+//! plus the DESIGN.md ablations (bounce-pool reuse, UVM batching/prefetch,
+//! crypto choice, ring depth).
 //!
 //! Run a harness with e.g.
 //! `cargo run -p hcc-bench --bin fig05_copy` — each prints a table whose
@@ -13,6 +13,7 @@
 //! EXPERIMENTS.md at the repo root for the recorded comparison).
 
 pub mod figures;
+pub mod harness;
 pub mod report;
 
 pub use figures::cfg;

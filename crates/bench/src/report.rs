@@ -29,17 +29,15 @@ pub fn ratio(v: f64) -> String {
     }
 }
 
-/// Serializes any serde-serializable rows as a JSON lines block when the
+/// Serializes any [`ToJson`](hcc_types::json::ToJson) rows as a JSON
+/// lines block when the
 /// `HCC_JSON` environment variable is set (for downstream plotting).
-pub fn maybe_json<T: serde::Serialize>(name: &str, rows: &[T]) {
+pub fn maybe_json<T: hcc_types::json::ToJson>(name: &str, rows: &[T]) {
     if std::env::var_os("HCC_JSON").is_none() {
         return;
     }
     for r in rows {
-        match serde_json::to_string(r) {
-            Ok(line) => println!("JSON {name} {line}"),
-            Err(e) => eprintln!("json serialization failed for {name}: {e}"),
-        }
+        println!("JSON {name} {}", r.to_json_string());
     }
 }
 

@@ -1,0 +1,114 @@
+//! # hcc-check
+//!
+//! A zero-dependency, deterministic property-testing harness for the `hcc`
+//! workspace — the in-repo replacement for `proptest`, built on the same
+//! [`Xoshiro256`] generator the simulators draw their jitter from, so a
+//! failing case is always replayable from a single `u64` seed.
+//!
+//! Three pieces:
+//!
+//! * **Strategies** ([`strategy`]) — composable value generators with
+//!   built-in shrinking: integer ranges, floats, bools, vectors, tuples,
+//!   fixed-size byte arrays and weighted choices.
+//! * **Runner** ([`forall`]) — drives a property over `cases` generated
+//!   inputs; on failure it greedily shrinks the counterexample and panics
+//!   with the minimal input, the seed, and the replay instructions.
+//! * **Macros** ([`forall!`], [`ensure!`], [`ensure_eq!`], [`ensure_ne!`])
+//!   — the ergonomic layer tests actually use.
+//!
+//! ```
+//! use hcc_check::strategy::{u64s, vecs};
+//! use hcc_check::{ensure, forall, Config};
+//!
+//! forall!(Config::new(0xC0FFEE).with_cases(64),
+//!         v in vecs(u64s(0..1_000), 0..32) => {
+//!     let doubled: Vec<u64> = v.iter().map(|x| x * 2).collect();
+//!     ensure!(doubled.len() == v.len(), "length must be preserved");
+//! });
+//! ```
+//!
+//! ## Replaying a failure
+//!
+//! Every failure report prints the seed that produced it. Re-run the test
+//! with `HCC_CHECK_SEED=<seed>` to replay the identical case sequence, or
+//! pin the seed in the `Config` while debugging.
+
+pub mod runner;
+pub mod strategy;
+
+pub use hcc_types::rng::Xoshiro256;
+pub use runner::{forall, Config, PropResult};
+pub use strategy::Strategy;
+
+/// Asserts a condition inside a property body, failing the case with a
+/// formatted message instead of panicking (so the runner can shrink).
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property body.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {}\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are *not* equal inside a property body.
+#[macro_export]
+macro_rules! ensure_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "{} == {} (both {:?}) but must differ",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Runs a property over generated inputs: binds the strategy's value to a
+/// pattern and executes the body, which uses [`ensure!`]-family macros (or
+/// early `return Err(..)`) to fail a case.
+///
+/// ```
+/// use hcc_check::strategy::u64s;
+/// use hcc_check::{ensure, forall, Config};
+///
+/// forall!(Config::new(7), x in u64s(1..100) => {
+///     ensure!(x >= 1 && x < 100);
+/// });
+/// ```
+#[macro_export]
+macro_rules! forall {
+    ($cfg:expr, $pat:pat in $strat:expr => $body:block) => {
+        $crate::forall(&$cfg, &$strat, |__hcc_check_value| {
+            let $pat = ::std::clone::Clone::clone(__hcc_check_value);
+            $body
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    };
+}

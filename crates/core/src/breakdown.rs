@@ -1,14 +1,12 @@
 //! Fig. 1-style end-to-end breakdowns: where the time goes in one run,
 //! and how two runs (base vs CC) compare phase by phase.
 
-use serde::Serialize;
-
 use hcc_trace::Timeline;
 use hcc_types::SimDuration;
 
 /// One run's time split into the model's four phases plus the observed
 /// span.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseBreakdown {
     /// Data transfer (`T_mem`).
     pub mem: SimDuration,
@@ -77,7 +75,7 @@ impl std::fmt::Display for PhaseBreakdown {
 }
 
 /// Phase-by-phase comparison of a CC run against its base run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModeComparison {
     /// Base (CC-off) breakdown.
     pub base: PhaseBreakdown,
@@ -109,6 +107,15 @@ impl ModeComparison {
         ]
     }
 }
+
+hcc_types::impl_to_json!(PhaseBreakdown {
+    mem,
+    launch,
+    kernel,
+    other,
+    span
+});
+hcc_types::impl_to_json!(ModeComparison { base, cc });
 
 #[cfg(test)]
 mod tests {

@@ -7,13 +7,11 @@
 //! launches accumulate queuing — so neither "fuse everything" nor "no
 //! fusion" is optimal.
 
-use serde::Serialize;
-
 use hcc_types::calib::{cp_service, Calibration};
 use hcc_types::{CcMode, SimDuration};
 
 /// Analytic cost estimate for one candidate launch count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FusionEstimate {
     /// Number of launches the work is split into.
     pub launches: u32,
@@ -29,7 +27,7 @@ pub struct FusionEstimate {
 }
 
 /// A fusion recommendation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FusionPlan {
     /// The chosen launch count.
     pub best: FusionEstimate,
@@ -122,6 +120,15 @@ impl FusionPlanner {
         FusionPlan { best, candidates }
     }
 }
+
+hcc_types::impl_to_json!(FusionEstimate {
+    launches,
+    steady_klo,
+    total_klo,
+    total_lqt,
+    est_span,
+});
+hcc_types::impl_to_json!(FusionPlan { best, candidates });
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,10 @@
 //! Kernel-to-Launch-Ratio analysis (Observation 6): classifies apps into
 //! launch-bound and compute-bound regimes and predicts CC sensitivity.
 
-use serde::Serialize;
-
 use hcc_trace::LaunchMetrics;
 
 /// KLR regime of an application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KlrClass {
     /// `KET ≫ KLO + LQT`: launch overhead hides under execution; CC's
     /// launch taxes barely move end-to-end time.
@@ -17,7 +15,7 @@ pub enum KlrClass {
 }
 
 /// KLR analysis of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KlrAnalysis {
     /// The ratio `ΣKET / Σ(KLO + LQT)`.
     pub klr: f64,
@@ -62,6 +60,24 @@ impl KlrAnalysis {
         klr.max(launch_factor) / klr.max(1.0)
     }
 }
+
+impl hcc_types::json::ToJson for KlrClass {
+    fn to_json(&self) -> hcc_types::json::Json {
+        hcc_types::json::Json::Str(
+            match self {
+                KlrClass::High => "high",
+                KlrClass::Low => "low",
+            }
+            .to_string(),
+        )
+    }
+}
+
+hcc_types::impl_to_json!(KlrAnalysis {
+    klr,
+    launches,
+    class
+});
 
 #[cfg(test)]
 mod tests {

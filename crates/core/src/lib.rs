@@ -107,3 +107,108 @@ mod model_vs_simulator {
         assert_eq!(high.class, KlrClass::High, "2mm klr {}", high.klr);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hcc_check::strategy::{u64s, u8s, vecs};
+    use hcc_check::{ensure, forall, Config};
+    use hcc_runtime::{CudaContext, KernelDesc, SimConfig};
+    use hcc_trace::KernelId;
+    use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
+
+    /// Runs a random op mix through the simulator and returns its trace.
+    fn random_timeline(ops: &[u8], seed: u64, cc: CcMode) -> hcc_trace::Timeline {
+        let mut ctx = CudaContext::new(SimConfig::new(cc).with_seed(seed));
+        let size = ByteSize::mib(4);
+        let h = ctx.malloc_host(size, HostMemKind::Pageable).unwrap();
+        let d = ctx.malloc_device(size).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    ctx.memcpy_h2d(d, h, size).unwrap();
+                }
+                1 => {
+                    ctx.memcpy_d2h(h, d, size).unwrap();
+                }
+                _ => {
+                    ctx.launch_kernel(
+                        &KernelDesc::new(KernelId(i as u32), SimDuration::micros(40)),
+                        ctx.default_stream(),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        ctx.synchronize();
+        ctx.timeline().clone()
+    }
+
+    /// Fitted overlap factors are probabilities: `0 <= alpha, beta <= 1`
+    /// for any trace the simulator can produce, in either mode.
+    #[test]
+    fn fitted_overlap_factors_are_bounded() {
+        forall!(
+            Config::new(0xC0DE_0001).with_cases(24),
+            (ops, seed) in (vecs(u8s(0..3), 1..24), u64s(0..u64::MAX)) => {
+                for cc in CcMode::ALL {
+                    let tl = random_timeline(&ops, seed, cc);
+                    let fitted = PerfModel::fit(&tl);
+                    let (a, b) = (fitted.model.alpha, fitted.model.beta);
+                    ensure!((0.0..=1.0).contains(&a), "alpha out of bounds: {a}");
+                    ensure!((0.0..=1.0).contains(&b), "beta out of bounds: {b}");
+                }
+            }
+        );
+    }
+
+    /// The serial model (`alpha = beta = 0`) predicts exactly the sum of
+    /// the four phase totals, and the breakdown's shares partition that
+    /// sum: Fig. 3's decomposition loses no time.
+    #[test]
+    fn breakdown_sums_to_total() {
+        forall!(
+            Config::new(0xC0DE_0002).with_cases(24),
+            (ops, seed) in (vecs(u8s(0..3), 1..24), u64s(0..u64::MAX)) => {
+                let tl = random_timeline(&ops, seed, CcMode::On);
+                let phases = tl.phase_totals();
+                let serial = PerfModel::serial(phases).predict();
+                let sum = phases.t_mem + phases.t_launch + phases.t_kernel + phases.t_other;
+                // Scaling by (1 - 0.0) must be lossless nanosecond-wise.
+                let drift = serial.saturating_sub(sum).max(sum.saturating_sub(serial));
+                ensure!(
+                    drift <= SimDuration::from_nanos(4),
+                    "serial prediction {serial} != phase sum {sum}"
+                );
+                let shares = PhaseBreakdown::from_timeline(&tl).shares();
+                let share_sum: f64 = shares.iter().sum();
+                ensure!(
+                    (share_sum - 1.0).abs() < 1e-9 || share_sum == 0.0,
+                    "shares sum to {share_sum}"
+                );
+                ensure!(shares.iter().all(|s| (0.0..=1.0).contains(s)));
+            }
+        );
+    }
+
+    /// Fitting is exact whenever beta's clamp does not engage: the fitted
+    /// model reproduces the observed span.
+    #[test]
+    fn fit_reproduces_span_within_clamp() {
+        forall!(
+            Config::new(0xC0DE_0003).with_cases(24),
+            (ops, seed) in (vecs(u8s(0..3), 2..24), u64s(0..u64::MAX)) => {
+                let tl = random_timeline(&ops, seed, CcMode::Off);
+                let fitted = PerfModel::fit(&tl);
+                let b = fitted.model.beta;
+                if b > 0.0 && b < 1.0 {
+                    ensure!(
+                        fitted.error() < 1e-6,
+                        "unclamped fit error {} (beta {b})",
+                        fitted.error()
+                    );
+                }
+            }
+        );
+    }
+}

@@ -7,13 +7,11 @@
 //! activity. Both are 0 for fully serial apps and approach 1 with perfect
 //! overlap.
 
-use serde::Serialize;
-
 use hcc_trace::{EventKind, PhaseTotals, Timeline};
 use hcc_types::{SimDuration, SimTime};
 
 /// The performance model instance for one application run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfModel {
     /// Part A: total data-transfer time (`T_mem`).
     pub t_mem: SimDuration,
@@ -90,7 +88,7 @@ impl PerfModel {
 }
 
 /// A model fitted to a trace, with the span it was fitted against.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FittedModel {
     /// The fitted model.
     pub model: PerfModel,
@@ -134,6 +132,16 @@ fn measure_copy_overlap(timeline: &Timeline) -> f64 {
     }
     (overlapped / total_copy).clamp(0.0, 1.0)
 }
+
+hcc_types::impl_to_json!(PerfModel {
+    t_mem,
+    t_launch,
+    t_kernel,
+    t_other,
+    alpha,
+    beta,
+});
+hcc_types::impl_to_json!(FittedModel { model, observed });
 
 #[cfg(test)]
 mod tests {
@@ -255,5 +263,66 @@ mod tests {
     fn error_vs_zero_span_is_zero() {
         let m = PerfModel::serial(PhaseTotals::default());
         assert_eq!(m.error_vs(SimDuration::ZERO), 0.0);
+    }
+
+    /// Golden snapshot of the Fig. 3 decomposition on a fixed scenario
+    /// (seeded sim, 16 MiB H2D + 32 kernels + 16 MiB D2H). Any change to
+    /// the calibration defaults, the runtime's event emission, or the
+    /// fitting math shows up here as an intentional diff, not a silent
+    /// drift in the reproduced figure.
+    #[test]
+    fn fig3_fixed_scenario_snapshot() {
+        use crate::PhaseBreakdown;
+        use hcc_runtime::{CudaContext, KernelDesc, SimConfig};
+        use hcc_types::{ByteSize, CcMode, HostMemKind};
+
+        fn decompose(cc: CcMode) -> (PhaseBreakdown, FittedModel) {
+            let mut ctx = CudaContext::new(SimConfig::new(cc).with_seed(0xF16_3));
+            let h = ctx
+                .malloc_host(ByteSize::mib(16), HostMemKind::Pageable)
+                .expect("host");
+            let d = ctx.malloc_device(ByteSize::mib(16)).expect("device");
+            ctx.memcpy_h2d(d, h, ByteSize::mib(16)).expect("h2d");
+            for _ in 0..32 {
+                ctx.launch_kernel(
+                    &KernelDesc::new(KernelId(1), SimDuration::micros(50)),
+                    ctx.default_stream(),
+                )
+                .expect("launch");
+            }
+            ctx.synchronize();
+            ctx.memcpy_d2h(h, d, ByteSize::mib(16)).expect("d2h");
+            ctx.synchronize();
+            let tl = ctx.timeline().clone();
+            let fitted = PerfModel::fit(&tl);
+            (PhaseBreakdown::from_timeline(&tl), fitted)
+        }
+
+        let (base, base_fit) = decompose(CcMode::Off);
+        assert_eq!(base.span.as_nanos(), 4_022_692);
+        assert_eq!(base.mem.as_nanos(), 2_244_163);
+        assert_eq!(base.launch.as_nanos(), 338_554);
+        assert_eq!(base.other.as_nanos(), 102_458);
+        assert_eq!(base_fit.model.alpha, 0.0);
+        assert!((base_fit.model.beta - 0.939_977_816_082_788).abs() < 1e-12);
+        assert_eq!(base_fit.model.predict().as_nanos(), 4_022_692);
+        assert_eq!(base_fit.error(), 0.0);
+
+        let (cc, cc_fit) = decompose(CcMode::On);
+        assert_eq!(cc.span.as_nanos(), 14_770_112);
+        assert_eq!(cc.mem.as_nanos(), 12_434_111);
+        assert_eq!(cc.launch.as_nanos(), 524_774);
+        assert_eq!(cc.other.as_nanos(), 612_638);
+        assert_eq!(cc_fit.model.alpha, 0.0);
+        assert!((cc_fit.model.beta - 0.941_492_461_630_373_9).abs() < 1e-12);
+        assert_eq!(cc_fit.model.predict().as_nanos(), 14_770_112);
+        assert_eq!(cc_fit.error(), 0.0);
+
+        // The headline Fig. 3 story: CC inflates the memory phase far
+        // more than the kernel phase, and the model reproduces the span.
+        let mem_blowup = cc.mem.as_secs_f64() / base.mem.as_secs_f64();
+        let span_blowup = cc.span.as_secs_f64() / base.span.as_secs_f64();
+        assert!(mem_blowup > 5.0, "mem blowup {mem_blowup}");
+        assert!(span_blowup > 3.0 && span_blowup < mem_blowup);
     }
 }

@@ -3,12 +3,10 @@
 //! and verdicts them against the published claim with a tolerance —
 //! reproduction is about shape, not nanoseconds.
 
-use serde::Serialize;
-
 use hcc_types::calib::paper;
 
 /// The verdict for one observation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ObservationCheck {
     /// Observation number (1–9).
     pub id: u8,
@@ -209,6 +207,13 @@ pub fn obs9_quant(
         ),
     )
 }
+
+hcc_types::impl_to_json!(ObservationCheck {
+    id,
+    claim,
+    holds,
+    detail
+});
 
 #[cfg(test)]
 mod tests {

@@ -2,14 +2,12 @@
 //! how much of the (encrypted) transfer time streams can hide, and
 //! recommends a stream count.
 
-use serde::Serialize;
-
 use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
 use hcc_types::calib::Calibration;
 use hcc_types::{ByteSize, CcMode, CpuModel, SimDuration};
 
 /// Estimate for one candidate stream count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverlapEstimate {
     /// Stream count.
     pub streams: u32,
@@ -27,7 +25,7 @@ impl OverlapEstimate {
 }
 
 /// A recommendation with the evaluated candidates.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverlapPlan {
     /// Best candidate.
     pub best: OverlapEstimate,
@@ -156,6 +154,13 @@ impl OverlapPlanner {
         OverlapPlan { best, candidates }
     }
 }
+
+hcc_types::impl_to_json!(OverlapEstimate {
+    streams,
+    overlapped,
+    serial
+});
+hcc_types::impl_to_json!(OverlapPlan { best, candidates });
 
 #[cfg(test)]
 mod tests {

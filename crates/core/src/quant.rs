@@ -2,12 +2,10 @@
 //! (FP32 / AMP / FP16 / AWQ-int4) move a workload's transfer volume and
 //! compute time, and whether they pay off under CC.
 
-use serde::Serialize;
-
 use hcc_types::{ByteSize, CcMode, SimDuration};
 
 /// Precision/quantization schemes the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// 32-bit floats (the baseline).
     Fp32,
@@ -90,7 +88,7 @@ impl std::fmt::Display for Precision {
 }
 
 /// A per-step workload profile the advisor reasons over.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepProfile {
     /// Bytes moved host↔device per step at FP32.
     pub bytes_per_step: ByteSize,
@@ -103,7 +101,7 @@ pub struct StepProfile {
 }
 
 /// The advisor's estimate for one precision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantEstimate {
     /// Scheme evaluated.
     pub precision: Precision,
@@ -174,6 +172,25 @@ impl QuantizationAdvisor {
         cc_speedup / base_speedup
     }
 }
+
+impl hcc_types::json::ToJson for Precision {
+    /// Serializes as the `Display` label.
+    fn to_json(&self) -> hcc_types::json::Json {
+        hcc_types::json::Json::Str(self.to_string())
+    }
+}
+
+hcc_types::impl_to_json!(StepProfile {
+    bytes_per_step,
+    compute_per_step,
+    batch,
+    transfer_rate,
+});
+hcc_types::impl_to_json!(QuantEstimate {
+    precision,
+    step_time,
+    speedup_vs_fp32
+});
 
 #[cfg(test)]
 mod tests {

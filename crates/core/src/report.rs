@@ -3,8 +3,6 @@
 //! breakdowns, launch-path slowdowns, KLR classification, fitted model
 //! parameters, and mitigation recommendations ranked by expected impact.
 
-use serde::Serialize;
-
 use hcc_trace::Timeline;
 use hcc_types::SimDuration;
 
@@ -13,7 +11,7 @@ use crate::klr::{KlrAnalysis, KlrClass};
 use crate::model::PerfModel;
 
 /// A mitigation the report recommends, with its rationale.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recommendation {
     /// Short imperative title.
     pub title: &'static str,
@@ -22,7 +20,7 @@ pub struct Recommendation {
 }
 
 /// The full characterization of one app under CC.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CcReport {
     /// App label.
     pub app: String,
@@ -213,6 +211,17 @@ impl CcReport {
         out
     }
 }
+
+hcc_types::impl_to_json!(Recommendation { title, rationale });
+hcc_types::impl_to_json!(CcReport {
+    app,
+    comparison,
+    klr,
+    launch_slowdowns,
+    copy_slowdown,
+    alpha_beta,
+    recommendations,
+});
 
 #[cfg(test)]
 mod tests {

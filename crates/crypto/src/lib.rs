@@ -154,87 +154,113 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use hcc_check::strategy::{byte_arrays, bytes, u64s, u8s, usizes, vecs};
+    use hcc_check::{ensure_eq, ensure_ne, forall, Config};
 
-    proptest! {
-        #[test]
-        fn gcm_roundtrip_is_identity(
-            key in prop::collection::vec(any::<u8>(), 16),
-            nonce in prop::collection::vec(any::<u8>(), 12),
-            aad in prop::collection::vec(any::<u8>(), 0..64),
-            mut data in prop::collection::vec(any::<u8>(), 0..512),
-        ) {
-            let original = data.clone();
-            let gcm = gcm::AesGcm::new(&key).unwrap();
-            let tag = gcm.encrypt(&nonce, &aad, &mut data);
-            gcm.decrypt(&nonce, &aad, &mut data, &tag).unwrap();
-            prop_assert_eq!(data, original);
-        }
+    #[test]
+    fn gcm_roundtrip_is_identity() {
+        forall!(
+            Config::new(0xC4_0001),
+            (key, nonce, aad, data) in (
+                byte_arrays::<16>(),
+                byte_arrays::<12>(),
+                vecs(bytes(), 0..64),
+                vecs(bytes(), 0..512),
+            ) => {
+                let mut data = data;
+                let original = data.clone();
+                let gcm = gcm::AesGcm::new(&key).unwrap();
+                let tag = gcm.encrypt(&nonce, &aad, &mut data);
+                gcm.decrypt(&nonce, &aad, &mut data, &tag).unwrap();
+                ensure_eq!(data, original);
+            }
+        );
+    }
 
-        #[test]
-        fn gcm_detects_any_single_bitflip(
-            mut data in prop::collection::vec(any::<u8>(), 1..256),
-            flip_byte_seed in any::<usize>(),
-            flip_bit in 0u8..8,
-        ) {
-            let gcm = gcm::AesGcm::new(&[0x55; 16]).unwrap();
-            let tag = gcm.encrypt(&[1u8; 12], &[], &mut data);
-            let idx = flip_byte_seed % data.len();
-            data[idx] ^= 1 << flip_bit;
-            prop_assert_eq!(
-                gcm.decrypt(&[1u8; 12], &[], &mut data, &tag),
-                Err(gcm::GcmError::TagMismatch)
-            );
-        }
+    #[test]
+    fn gcm_detects_any_single_bitflip() {
+        forall!(
+            Config::new(0xC4_0002),
+            (data, flip_byte_seed, flip_bit) in (
+                vecs(bytes(), 1..256),
+                usizes(0..usize::MAX),
+                u8s(0..8),
+            ) => {
+                let mut data = data;
+                let gcm = gcm::AesGcm::new(&[0x55; 16]).unwrap();
+                let tag = gcm.encrypt(&[1u8; 12], &[], &mut data);
+                let idx = flip_byte_seed % data.len();
+                data[idx] ^= 1 << flip_bit;
+                ensure_eq!(
+                    gcm.decrypt(&[1u8; 12], &[], &mut data, &tag),
+                    Err(gcm::GcmError::TagMismatch)
+                );
+            }
+        );
+    }
 
-        #[test]
-        fn xts_roundtrip_is_identity(
-            sector in any::<u64>(),
-            blocks in 1usize..16,
-            seed in any::<u8>(),
-        ) {
-            let xts = xts::AesXts::new(&[9u8; 16], &[8u8; 16]).unwrap();
-            let mut data: Vec<u8> =
-                (0..blocks * 16).map(|i| seed.wrapping_add(i as u8)).collect();
-            let original = data.clone();
-            xts.encrypt_sector(sector, &mut data).unwrap();
-            prop_assert_ne!(&data, &original);
-            xts.decrypt_sector(sector, &mut data).unwrap();
-            prop_assert_eq!(data, original);
-        }
+    #[test]
+    fn xts_roundtrip_is_identity() {
+        forall!(
+            Config::new(0xC4_0003),
+            (sector, blocks, seed) in (
+                u64s(0..u64::MAX),
+                usizes(1..16),
+                u8s(0..255),
+            ) => {
+                let xts = xts::AesXts::new(&[9u8; 16], &[8u8; 16]).unwrap();
+                let mut data: Vec<u8> =
+                    (0..blocks * 16).map(|i| seed.wrapping_add(i as u8)).collect();
+                let original = data.clone();
+                xts.encrypt_sector(sector, &mut data).unwrap();
+                ensure_ne!(&data, &original);
+                xts.decrypt_sector(sector, &mut data).unwrap();
+                ensure_eq!(data, original);
+            }
+        );
+    }
 
-        #[test]
-        fn chacha_roundtrip_is_identity(
-            key in prop::collection::vec(any::<u8>(), 32),
-            mut data in prop::collection::vec(any::<u8>(), 0..512),
-        ) {
-            let key: [u8; 32] = key.try_into().unwrap();
-            let original = data.clone();
-            let aead = chacha::ChaChaPoly::new(key);
-            let tag = aead.encrypt(&[2u8; 12], b"aad", &mut data);
-            aead.decrypt(&[2u8; 12], b"aad", &mut data, &tag).unwrap();
-            prop_assert_eq!(data, original);
-        }
+    #[test]
+    fn chacha_roundtrip_is_identity() {
+        forall!(
+            Config::new(0xC4_0004),
+            (key, data) in (byte_arrays::<32>(), vecs(bytes(), 0..512)) => {
+                let mut data = data;
+                let original = data.clone();
+                let aead = chacha::ChaChaPoly::new(key);
+                let tag = aead.encrypt(&[2u8; 12], b"aad", &mut data);
+                aead.decrypt(&[2u8; 12], b"aad", &mut data, &tag).unwrap();
+                ensure_eq!(data, original);
+            }
+        );
+    }
 
-        #[test]
-        fn ctr_double_application_is_identity(
-            key in prop::collection::vec(any::<u8>(), 32),
-            mut data in prop::collection::vec(any::<u8>(), 0..256),
-        ) {
-            let aes = aes::Aes::new(&key).unwrap();
-            let original = data.clone();
-            ctr::ctr_xor(&aes, [3u8; 16], &mut data);
-            ctr::ctr_xor(&aes, [3u8; 16], &mut data);
-            prop_assert_eq!(data, original);
-        }
+    #[test]
+    fn ctr_double_application_is_identity() {
+        forall!(
+            Config::new(0xC4_0005),
+            (key, data) in (byte_arrays::<32>(), vecs(bytes(), 0..256)) => {
+                let mut data = data;
+                let aes = aes::Aes::new(&key).unwrap();
+                let original = data.clone();
+                ctr::ctr_xor(&aes, [3u8; 16], &mut data);
+                ctr::ctr_xor(&aes, [3u8; 16], &mut data);
+                ensure_eq!(data, original);
+            }
+        );
+    }
 
-        #[test]
-        fn aes_block_roundtrip(key in prop::collection::vec(any::<u8>(), 16), block: [u8; 16]) {
-            let aes = aes::Aes::new(&key).unwrap();
-            let mut b = block;
-            aes.encrypt_block(&mut b);
-            aes.decrypt_block(&mut b);
-            prop_assert_eq!(b, block);
-        }
+    #[test]
+    fn aes_block_roundtrip() {
+        forall!(
+            Config::new(0xC4_0006),
+            (key, block) in (byte_arrays::<16>(), byte_arrays::<16>()) => {
+                let aes = aes::Aes::new(&key).unwrap();
+                let mut b = block;
+                aes.encrypt_block(&mut b);
+                aes.decrypt_block(&mut b);
+                ensure_eq!(b, block);
+            }
+        );
     }
 }

@@ -48,91 +48,112 @@ pub use memory::{DeviceMemError, DeviceMemory, DevicePtr};
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use hcc_check::strategy::{bools, u64s, usizes, vecs};
+    use hcc_check::{ensure, ensure_eq, forall, Config};
     use hcc_types::calib::GpuCalib;
     use hcc_types::{ByteSize, CcMode, SimDuration, SimTime};
-    use proptest::prelude::*;
 
-    proptest! {
-        /// The virtual clock never runs backwards on any engine: each
-        /// operation starts at or after its ready time, and ends after it
-        /// starts.
-        #[test]
-        fn engine_clock_monotone(ops in prop::collection::vec((0u64..1_000_000, 1u64..100_000), 1..200)) {
-            let mut r = Resource::new("x");
-            for (ready, dur) in ops {
-                let slot = r.schedule(
-                    SimTime::from_nanos(ready),
-                    SimDuration::from_nanos(dur),
-                );
-                prop_assert!(slot.start >= SimTime::from_nanos(ready));
-                prop_assert!(slot.end > slot.start);
-                prop_assert!(r.next_free() == slot.end);
+    /// The virtual clock never runs backwards on any engine: each
+    /// operation starts at or after its ready time, and ends after it
+    /// starts.
+    #[test]
+    fn engine_clock_monotone() {
+        forall!(
+            Config::new(0x690_0001),
+            ops in vecs((u64s(0..1_000_000), u64s(1..100_000)), 1..200) => {
+                let mut r = Resource::new("x");
+                for (ready, dur) in ops {
+                    let slot = r.schedule(
+                        SimTime::from_nanos(ready),
+                        SimDuration::from_nanos(dur),
+                    );
+                    ensure!(slot.start >= SimTime::from_nanos(ready));
+                    ensure!(slot.end > slot.start);
+                    ensure!(r.next_free() == slot.end);
+                }
             }
-        }
+        );
+    }
 
-        /// A serial resource's total busy time equals the sum of services,
-        /// and intervals never overlap.
-        #[test]
-        fn serial_intervals_disjoint(ops in prop::collection::vec((0u64..100_000, 1u64..10_000), 1..100)) {
-            let mut r = Resource::new("x");
-            let mut intervals = Vec::new();
-            let mut total = SimDuration::ZERO;
-            for (ready, dur) in ops {
-                let d = SimDuration::from_nanos(dur);
-                let slot = r.schedule(SimTime::from_nanos(ready), d);
-                intervals.push((slot.start, slot.end));
-                total += d;
+    /// A serial resource's total busy time equals the sum of services,
+    /// and intervals never overlap.
+    #[test]
+    fn serial_intervals_disjoint() {
+        forall!(
+            Config::new(0x690_0002),
+            ops in vecs((u64s(0..100_000), u64s(1..10_000)), 1..100) => {
+                let mut r = Resource::new("x");
+                let mut intervals = Vec::new();
+                let mut total = SimDuration::ZERO;
+                for (ready, dur) in ops {
+                    let d = SimDuration::from_nanos(dur);
+                    let slot = r.schedule(SimTime::from_nanos(ready), d);
+                    intervals.push((slot.start, slot.end));
+                    total += d;
+                }
+                ensure_eq!(r.busy_time(), total);
+                intervals.sort();
+                for w in intervals.windows(2) {
+                    ensure!(w[0].1 <= w[1].0);
+                }
             }
-            prop_assert_eq!(r.busy_time(), total);
-            intervals.sort();
-            for w in intervals.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0);
-            }
-        }
+        );
+    }
 
-        /// Ring waits are only incurred when more than `depth` commands
-        /// are in flight; with huge rings, LQT is always zero.
-        #[test]
-        fn deep_ring_never_waits(n in 1usize..200) {
+    /// Ring waits are only incurred when more than `depth` commands
+    /// are in flight; with huge rings, LQT is always zero.
+    #[test]
+    fn deep_ring_never_waits() {
+        forall!(Config::new(0x690_0003), n in usizes(1..200) => {
             let calib = GpuCalib { ring_depth: 10_000, ..GpuCalib::default() };
             let mut cp = CommandProcessor::new(&calib, CcMode::On);
             for _ in 0..n {
                 let s = cp.submit(SimTime::ZERO);
-                prop_assert!(s.ring_wait.is_zero());
+                ensure!(s.ring_wait.is_zero());
             }
-            prop_assert!(cp.total_ring_wait().is_zero());
-        }
+            ensure!(cp.total_ring_wait().is_zero());
+        });
+    }
 
-        /// Device memory conserves bytes: used equals the sum of live
-        /// allocation sizes at every step.
-        #[test]
-        fn hbm_conserves_bytes(ops in prop::collection::vec((1u64..64, any::<bool>()), 1..100)) {
-            let mut hbm = DeviceMemory::new(ByteSize::mib(1024));
-            let mut live: Vec<(DevicePtr, ByteSize)> = Vec::new();
-            for (mib, drop_one) in ops {
-                if drop_one && !live.is_empty() {
-                    let (ptr, _) = live.swap_remove(0);
-                    hbm.free(ptr).unwrap();
-                } else if let Ok(ptr) = hbm.alloc(ByteSize::mib(mib)) {
-                    live.push((ptr, ByteSize::mib(mib)));
+    /// Device memory conserves bytes: used equals the sum of live
+    /// allocation sizes at every step.
+    #[test]
+    fn hbm_conserves_bytes() {
+        forall!(
+            Config::new(0x690_0004),
+            ops in vecs((u64s(1..64), bools()), 1..100) => {
+                let mut hbm = DeviceMemory::new(ByteSize::mib(1024));
+                let mut live: Vec<(DevicePtr, ByteSize)> = Vec::new();
+                for (mib, drop_one) in ops {
+                    if drop_one && !live.is_empty() {
+                        let (ptr, _) = live.swap_remove(0);
+                        hbm.free(ptr).unwrap();
+                    } else if let Ok(ptr) = hbm.alloc(ByteSize::mib(mib)) {
+                        live.push((ptr, ByteSize::mib(mib)));
+                    }
+                    let expected: ByteSize = live.iter().map(|(_, s)| *s).sum();
+                    ensure_eq!(hbm.used(), expected);
                 }
-                let expected: ByteSize = live.iter().map(|(_, s)| *s).sum();
-                prop_assert_eq!(hbm.used(), expected);
             }
-        }
+        );
+    }
 
-        /// GMMU faults are idempotent once marked resident.
-        #[test]
-        fn faults_clear_after_migration(pages in 1u64..64, touch in 1u64..64) {
-            let mut g = Gmmu::new();
-            let id = ManagedId(0);
-            g.register(id, ByteSize::kib(64 * pages), ByteSize::kib(64));
-            let touch = touch.min(pages);
-            let f1 = g.scan_faults(id, 0, touch).unwrap();
-            prop_assert_eq!(f1.len() as u64, touch);
-            g.mark_device(id, &f1).unwrap();
-            let f2 = g.scan_faults(id, 0, touch).unwrap();
-            prop_assert!(f2.is_empty());
-        }
+    /// GMMU faults are idempotent once marked resident.
+    #[test]
+    fn faults_clear_after_migration() {
+        forall!(
+            Config::new(0x690_0005),
+            (pages, touch) in (u64s(1..64), u64s(1..64)) => {
+                let mut g = Gmmu::new();
+                let id = ManagedId(0);
+                g.register(id, ByteSize::kib(64 * pages), ByteSize::kib(64));
+                let touch = touch.min(pages);
+                let f1 = g.scan_faults(id, 0, touch).unwrap();
+                ensure_eq!(f1.len() as u64, touch);
+                g.mark_device(id, &f1).unwrap();
+                let f2 = g.scan_faults(id, 0, touch).unwrap();
+                ensure!(f2.is_empty());
+            }
+        );
     }
 }

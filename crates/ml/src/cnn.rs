@@ -9,14 +9,12 @@
 //! reported means: ~24 % throughput drop at batch 64, ~7.3 % at 1024,
 //! and a further FP16 training-time cut near 27.7 %.
 
-use serde::Serialize;
-
 use hcc_core::Precision;
 use hcc_types::calib::Calibration;
 use hcc_types::{Bandwidth, ByteSize, CcMode, SimDuration};
 
 /// One of the six evaluated CNNs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CnnModel {
     /// Model name as in Fig. 13.
     pub name: &'static str,
@@ -76,7 +74,7 @@ pub const IMAGE_BYTES: ByteSize = ByteSize::bytes(3 * 32 * 32 * 4);
 pub const EPOCHS: u64 = 200;
 
 /// Training configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Batch size (the paper uses 64 and 1024).
     pub batch: u32,
@@ -87,7 +85,7 @@ pub struct TrainConfig {
 }
 
 /// Estimated training performance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainEstimate {
     /// Time per training step.
     pub step_time: SimDuration,
@@ -233,6 +231,24 @@ impl Default for CnnEstimator {
         CnnEstimator::new(Calibration::paper())
     }
 }
+
+hcc_types::impl_to_json!(CnnModel {
+    name,
+    per_image_us,
+    kernels_per_step,
+    params_mib,
+});
+hcc_types::impl_to_json!(TrainConfig {
+    batch,
+    precision,
+    cc
+});
+hcc_types::impl_to_json!(TrainEstimate {
+    step_time,
+    steps_per_epoch,
+    throughput,
+    total_time,
+});
 
 #[cfg(test)]
 mod tests {

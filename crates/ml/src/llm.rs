@@ -9,13 +9,11 @@
 //! keeps its launch count (and hence its CC tax) low — the reason it
 //! "remains robust with CC enabled" (Observation 9).
 
-use serde::Serialize;
-
 use hcc_types::calib::Calibration;
 use hcc_types::{CcMode, SimDuration};
 
 /// Serving backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// HuggingFace transformers (`model.generate`).
     HuggingFace,
@@ -33,7 +31,7 @@ impl std::fmt::Display for Backend {
 }
 
 /// Model precision for inference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LlmPrecision {
     /// 16-bit weights (the unquantized configuration).
     Bf16,
@@ -51,7 +49,7 @@ impl std::fmt::Display for LlmPrecision {
 }
 
 /// One inference configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LlmConfig {
     /// Serving backend.
     pub backend: Backend,
@@ -172,7 +170,7 @@ pub const FIG14_BATCHES: [u32; 6] = [1, 4, 8, 16, 64, 128];
 
 /// A single inference request (for end-to-end latency studies beyond the
 /// paper's throughput grid).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Prompt length in tokens.
     pub prompt_tokens: u32,
@@ -181,7 +179,7 @@ pub struct Request {
 }
 
 /// End-to-end latency estimate for one request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestLatency {
     /// Encrypted (or plain) prompt upload over PCIe.
     pub upload: SimDuration,
@@ -258,6 +256,34 @@ impl LlmEstimator {
         }
     }
 }
+
+macro_rules! display_to_json {
+    ($($ty:ty),+) => {
+        $(impl hcc_types::json::ToJson for $ty {
+            /// Serializes as the `Display` label.
+            fn to_json(&self) -> hcc_types::json::Json {
+                hcc_types::json::Json::Str(self.to_string())
+            }
+        })+
+    };
+}
+display_to_json!(Backend, LlmPrecision);
+
+hcc_types::impl_to_json!(LlmConfig {
+    backend,
+    precision,
+    batch,
+    cc
+});
+hcc_types::impl_to_json!(Request {
+    prompt_tokens,
+    gen_tokens
+});
+hcc_types::impl_to_json!(RequestLatency {
+    upload,
+    prefill,
+    decode
+});
 
 #[cfg(test)]
 mod tests {

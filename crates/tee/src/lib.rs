@@ -35,81 +35,90 @@ pub use td::{TdContext, TdCounters};
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use hcc_check::strategy::{bools, bytes, u64s, u8s, usizes, vecs};
+    use hcc_check::{ensure, ensure_eq, forall, Config};
     use hcc_types::calib::TdxCalib;
     use hcc_types::{ByteSize, CcMode, SimDuration};
-    use proptest::prelude::*;
 
-    proptest! {
-        // Software XTS makes full-region checks expensive; a few dozen
-        // cases explore the state space adequately.
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    // Software XTS makes full-region checks expensive; a few dozen cases
+    // explore the state space adequately.
+    const CASES: u32 = 24;
 
-        /// Reserve/release cycles never corrupt pool accounting, and the
-        /// converted high-water mark is monotone.
-        #[test]
-        fn bounce_pool_accounting(ops in prop::collection::vec((1u64..=8, any::<bool>()), 1..50)) {
-            let mut td = TdContext::new(CcMode::On, TdxCalib::default());
-            let mut pool = BounceBufferPool::new(ByteSize::mib(16));
-            let mut held: Vec<ByteSize> = Vec::new();
-            let mut last_converted = ByteSize::ZERO;
-            for (mib, release) in ops {
-                if release && !held.is_empty() {
-                    let sz = held.pop().unwrap();
-                    pool.release(sz);
-                } else {
-                    let sz = ByteSize::mib(mib);
-                    if pool.reserve(&mut td, sz).is_ok() {
-                        held.push(sz);
+    /// Reserve/release cycles never corrupt pool accounting, and the
+    /// converted high-water mark is monotone.
+    #[test]
+    fn bounce_pool_accounting() {
+        forall!(
+            Config::new(0x7EE_0001).with_cases(CASES),
+            ops in vecs((u64s(1..9), bools()), 1..50) => {
+                let mut td = TdContext::new(CcMode::On, TdxCalib::default());
+                let mut pool = BounceBufferPool::new(ByteSize::mib(16));
+                let mut held: Vec<ByteSize> = Vec::new();
+                let mut last_converted = ByteSize::ZERO;
+                for (mib, release) in ops {
+                    if release && !held.is_empty() {
+                        let sz = held.pop().unwrap();
+                        pool.release(sz);
+                    } else {
+                        let sz = ByteSize::mib(mib);
+                        if pool.reserve(&mut td, sz).is_ok() {
+                            held.push(sz);
+                        }
                     }
+                    ensure!(pool.in_use() <= pool.capacity());
+                    ensure!(pool.converted() >= last_converted);
+                    ensure!(pool.converted() <= pool.capacity());
+                    last_converted = pool.converted();
                 }
-                prop_assert!(pool.in_use() <= pool.capacity());
-                prop_assert!(pool.converted() >= last_converted);
-                prop_assert!(pool.converted() <= pool.capacity());
-                last_converted = pool.converted();
             }
-        }
+        );
+    }
 
-        /// Private-memory guest reads always return what was written,
-        /// regardless of page conversions in between.
-        #[test]
-        fn privmem_read_your_writes(
-            writes in prop::collection::vec(
-                (0usize..8000, prop::collection::vec(any::<u8>(), 1..200), any::<bool>()),
-                1..20,
-            ),
-        ) {
-            let mut mem = PrivateMemory::new(8192, [9u8; 16]);
-            let mut shadow = vec![0u8; mem.size()];
-            for (offset, data, convert) in writes {
-                if offset + data.len() > mem.size() {
-                    continue;
+    /// Private-memory guest reads always return what was written,
+    /// regardless of page conversions in between.
+    #[test]
+    fn privmem_read_your_writes() {
+        forall!(
+            Config::new(0x7EE_0002).with_cases(CASES),
+            writes in vecs((usizes(0..8000), vecs(bytes(), 1..200), bools()), 1..20) => {
+                let mut mem = PrivateMemory::new(8192, [9u8; 16]);
+                let mut shadow = vec![0u8; mem.size()];
+                for (offset, data, convert) in writes {
+                    if offset + data.len() > mem.size() {
+                        continue;
+                    }
+                    mem.write(offset, &data).unwrap();
+                    shadow[offset..offset + data.len()].copy_from_slice(&data);
+                    if convert {
+                        mem.set_memory_decrypted(offset, data.len()).unwrap();
+                    } else {
+                        mem.set_memory_encrypted(offset, data.len()).unwrap();
+                    }
+                    ensure_eq!(&mem.read(0, mem.size()).unwrap(), &shadow);
                 }
-                mem.write(offset, &data).unwrap();
-                shadow[offset..offset + data.len()].copy_from_slice(&data);
-                if convert {
-                    mem.set_memory_decrypted(offset, data.len()).unwrap();
-                } else {
-                    mem.set_memory_encrypted(offset, data.len()).unwrap();
-                }
-                prop_assert_eq!(&mem.read(0, mem.size()).unwrap(), &shadow);
             }
-        }
+        );
+    }
 
-        /// Transition time grows monotonically with activity.
-        #[test]
-        fn td_transition_time_monotone(calls in prop::collection::vec(0u8..3, 1..60)) {
-            let mut td = TdContext::new(CcMode::On, TdxCalib::default());
-            let mut last = SimDuration::ZERO;
-            for c in calls {
-                match c {
-                    0 => { td.hypercall("p"); }
-                    1 => { td.seamcall("q"); }
-                    _ => { td.convert_pages(3); }
+    /// Transition time grows monotonically with activity.
+    #[test]
+    fn td_transition_time_monotone() {
+        forall!(
+            Config::new(0x7EE_0003).with_cases(CASES),
+            calls in vecs(u8s(0..3), 1..60) => {
+                let mut td = TdContext::new(CcMode::On, TdxCalib::default());
+                let mut last = SimDuration::ZERO;
+                for c in calls {
+                    match c {
+                        0 => { td.hypercall("p"); }
+                        1 => { td.seamcall("q"); }
+                        _ => { td.convert_pages(3); }
+                    }
+                    let now = td.counters().transition_time;
+                    ensure!(now > last);
+                    last = now;
                 }
-                let now = td.counters().transition_time;
-                prop_assert!(now > last);
-                last = now;
             }
-        }
+        );
     }
 }

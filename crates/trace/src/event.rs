@@ -1,12 +1,11 @@
 //! Trace events — the simulator's equivalent of an Nsight Systems export.
 
-use serde::Serialize;
-
+use hcc_types::json::{Json, ToJson};
 use hcc_types::{ByteSize, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime};
 
 /// Identifies a kernel *function* (not an individual launch), so repeated
 /// launches of the same kernel can be grouped (Fig. 10/12a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct KernelId(pub u32);
 
 impl std::fmt::Display for KernelId {
@@ -17,7 +16,7 @@ impl std::fmt::Display for KernelId {
 
 /// Identifies a CUDA stream within a context. Stream 0 is the default
 /// (synchronizing) stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StreamId(pub u32);
 
 impl std::fmt::Display for StreamId {
@@ -27,7 +26,7 @@ impl std::fmt::Display for StreamId {
 }
 
 /// What a trace span represents.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum EventKind {
     /// A `cudaLaunchKernel` call on the host. The span is the KLO; the
@@ -118,7 +117,7 @@ impl EventKind {
 }
 
 /// One timed span in the trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// What happened.
     pub kind: EventKind,
@@ -166,6 +165,83 @@ impl TraceEvent {
         self.end - self.start
     }
 }
+
+impl ToJson for KernelId {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(self.0))
+    }
+}
+
+impl ToJson for StreamId {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(self.0))
+    }
+}
+
+impl ToJson for EventKind {
+    /// Serializes as a flat tagged object: `{"type": <tag>, ...fields}`.
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> =
+            vec![("type".to_string(), Json::Str(self.tag().to_string()))];
+        let mut put = |key: &str, value: Json| fields.push((key.to_string(), value));
+        match self {
+            EventKind::Launch {
+                kernel,
+                queue_wait,
+                first,
+            } => {
+                put("kernel", kernel.to_json());
+                put("queue_wait", queue_wait.to_json());
+                put("first", Json::Bool(*first));
+            }
+            EventKind::Kernel { kernel, uvm } => {
+                put("kernel", kernel.to_json());
+                put("uvm", Json::Bool(*uvm));
+            }
+            EventKind::Memcpy {
+                kind,
+                bytes,
+                mem,
+                managed,
+            } => {
+                put("kind", kind.to_json());
+                put("bytes", bytes.to_json());
+                put("mem", mem.to_json());
+                put("managed", Json::Bool(*managed));
+            }
+            EventKind::Alloc { space, bytes } | EventKind::Free { space, bytes } => {
+                put("space", space.to_json());
+                put("bytes", bytes.to_json());
+            }
+            EventKind::Sync => {}
+            EventKind::Crypto { bytes, encrypt } => {
+                put("bytes", bytes.to_json());
+                put("encrypt", Json::Bool(*encrypt));
+            }
+            EventKind::Hypercall { reason } => {
+                put("reason", Json::Str((*reason).to_string()));
+            }
+            EventKind::UvmFault {
+                kernel,
+                pages,
+                bytes,
+            } => {
+                put("kernel", kernel.to_json());
+                put("pages", Json::U64(*pages));
+                put("bytes", bytes.to_json());
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+hcc_types::impl_to_json!(TraceEvent {
+    kind,
+    start,
+    end,
+    stream,
+    correlation
+});
 
 #[cfg(test)]
 mod tests {

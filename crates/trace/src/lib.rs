@@ -48,90 +48,103 @@ pub use timeline::{KernelRecord, LaunchMetrics, LaunchRecord, MemMetrics, PhaseT
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use hcc_check::strategy::{u16s, u64s, vecs};
+    use hcc_check::{ensure, ensure_eq, forall, Config};
     use hcc_types::{SimDuration, SimTime};
-    use proptest::prelude::*;
 
-    fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
-        prop::collection::vec((0u64..1_000_000, 0u64..100_000, any::<u16>()), 1..100).prop_map(
-            |raw| {
-                raw.into_iter()
-                    .enumerate()
-                    .map(|(i, (start, len, kernel))| {
-                        let s = SimTime::from_nanos(start);
-                        let e = s + SimDuration::from_nanos(len);
-                        if i % 2 == 0 {
-                            TraceEvent::new(
-                                EventKind::Launch {
-                                    kernel: KernelId(u32::from(kernel)),
-                                    queue_wait: SimDuration::from_nanos(len / 2),
-                                    first: false,
-                                },
-                                s,
-                                e,
-                            )
-                            .with_correlation(i as u64)
-                        } else {
-                            TraceEvent::new(
-                                EventKind::Kernel {
-                                    kernel: KernelId(u32::from(kernel)),
-                                    uvm: false,
-                                },
-                                s,
-                                e,
-                            )
-                            .with_correlation(i as u64 - 1)
-                        }
-                    })
-                    .collect()
-            },
+    /// Builds alternating launch/kernel events from raw (start, len, kernel)
+    /// triples — the shrinkable representation the strategies generate.
+    fn events_from(raw: &[(u64, u64, u16)]) -> Vec<TraceEvent> {
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(start, len, kernel))| {
+                let s = SimTime::from_nanos(start);
+                let e = s + SimDuration::from_nanos(len);
+                if i % 2 == 0 {
+                    TraceEvent::new(
+                        EventKind::Launch {
+                            kernel: KernelId(u32::from(kernel)),
+                            queue_wait: SimDuration::from_nanos(len / 2),
+                            first: false,
+                        },
+                        s,
+                        e,
+                    )
+                    .with_correlation(i as u64)
+                } else {
+                    TraceEvent::new(
+                        EventKind::Kernel {
+                            kernel: KernelId(u32::from(kernel)),
+                            uvm: false,
+                        },
+                        s,
+                        e,
+                    )
+                    .with_correlation(i as u64 - 1)
+                }
+            })
+            .collect()
+    }
+
+    fn raw_events() -> impl hcc_check::Strategy<Value = Vec<(u64, u64, u16)>> {
+        vecs(
+            (u64s(0..1_000_000), u64s(0..100_000), u16s(0..u16::MAX)),
+            1..100,
         )
     }
 
-    proptest! {
-        /// The end-to-end span can never be shorter than any phase total
-        /// component derived from non-overlapping host work... but phases
-        /// *can* exceed the span when events overlap. What must always hold:
-        /// span >= longest single event.
-        #[test]
-        fn span_bounds_longest_event(events in arb_events()) {
+    /// The end-to-end span can never be shorter than any phase total
+    /// component derived from non-overlapping host work... but phases
+    /// *can* exceed the span when events overlap. What must always hold:
+    /// span >= longest single event.
+    #[test]
+    fn span_bounds_longest_event() {
+        forall!(Config::new(0x7ACE_0001), raw in raw_events() => {
+            let events = events_from(&raw);
             let tl: Timeline = events.iter().cloned().collect();
             let longest = events.iter().map(TraceEvent::duration).max().unwrap();
-            prop_assert!(tl.span() >= longest);
-        }
+            ensure!(tl.span() >= longest, "span {} < longest {}", tl.span(), longest);
+        });
+    }
 
-        /// CDF points are monotone and end at probability 1.
-        #[test]
-        fn cdf_points_monotone(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+    /// CDF points are monotone and end at probability 1.
+    #[test]
+    fn cdf_points_monotone() {
+        forall!(Config::new(0x7ACE_0002), samples in vecs(u64s(0..10_000_000), 1..200) => {
             let cdf = Cdf::from_durations(
                 samples.into_iter().map(SimDuration::from_nanos).collect(),
             );
             let pts = cdf.points();
             for w in pts.windows(2) {
-                prop_assert!(w[0].0 <= w[1].0);
-                prop_assert!(w[0].1 <= w[1].1);
+                ensure!(w[0].0 <= w[1].0);
+                ensure!(w[0].1 <= w[1].1);
             }
-            prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
-        }
+            ensure!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+        });
+    }
 
-        /// Mean lies between min and max.
-        #[test]
-        fn mean_within_bounds(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+    /// Mean lies between min and max.
+    #[test]
+    fn mean_within_bounds() {
+        forall!(Config::new(0x7ACE_0003), samples in vecs(u64s(0..10_000_000), 1..200) => {
             let durations: Vec<SimDuration> =
                 samples.into_iter().map(SimDuration::from_nanos).collect();
             let s = Summary::of(&durations).unwrap();
-            prop_assert!(s.mean >= s.min && s.mean <= s.max);
-            prop_assert!(s.median >= s.min && s.median <= s.max);
-        }
+            ensure!(s.mean >= s.min && s.mean <= s.max);
+            ensure!(s.median >= s.min && s.median <= s.max);
+        });
+    }
 
-        /// Metric totals equal the sum over records.
-        #[test]
-        fn launch_totals_consistent(events in arb_events()) {
-            let tl: Timeline = events.into_iter().collect();
+    /// Metric totals equal the sum over records.
+    #[test]
+    fn launch_totals_consistent() {
+        forall!(Config::new(0x7ACE_0004), raw in raw_events() => {
+            let tl: Timeline = events_from(&raw).into_iter().collect();
             let lm = tl.launch_metrics();
             let klo_sum: SimDuration = lm.launches.iter().map(|l| l.klo).sum();
-            prop_assert_eq!(lm.total_klo(), klo_sum);
+            ensure_eq!(lm.total_klo(), klo_sum);
             let ket_sum: SimDuration = lm.kernels.iter().map(|k| k.ket).sum();
-            prop_assert_eq!(lm.total_ket(), ket_sum);
-        }
+            ensure_eq!(lm.total_ket(), ket_sum);
+        });
     }
 }

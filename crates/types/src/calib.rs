@@ -8,15 +8,13 @@
 //! records the published target values so tests can assert reproduction
 //! quality against them.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Bandwidth, ByteSize, CcMode, SimDuration};
 
 /// The full calibration bundle consumed by the simulators.
 ///
 /// `Calibration::default()` is the paper configuration (Table I hardware,
 /// Sec. VI measurements). Ablation benches mutate individual fields.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Calibration {
     /// PCIe / host-memory transfer path rates.
     pub pcie: PcieCalib,
@@ -40,7 +38,7 @@ impl Calibration {
 }
 
 /// PCIe and host staging-path rates (paper Fig. 4a, Sec. VI-A).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PcieCalib {
     /// Peak pinned-memory DMA rate, host→device, non-CC. PCIe 5.0 ×16
     /// practical ceiling on the H100 NVL testbed.
@@ -92,7 +90,7 @@ impl Default for PcieCalib {
 }
 
 /// Intel TDX transition and page-conversion costs (Sec. II-A, Fig. 8).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TdxCalib {
     /// Latency of a plain VM exit / vmcall in a regular VM.
     pub vmexit: SimDuration,
@@ -142,7 +140,7 @@ impl Default for TdxCalib {
 /// Base costs are absolute; CC costs are expressed as multipliers the paper
 /// reports (API-level means): `cudaMalloc` ×5.67, `cudaMallocHost` ×5.72,
 /// `cudaFree` ×10.54, `cudaMallocManaged` ×5.43, managed free ×3.35.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AllocCalib {
     /// `cudaMalloc` fixed cost, non-CC.
     pub dmalloc_base: SimDuration,
@@ -197,7 +195,7 @@ impl Default for AllocCalib {
 }
 
 /// Kernel-launch path calibration (paper Sec. VI-B, Fig. 7/8/11/12a).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LaunchCalib {
     /// Mean driver-side cost of `cudaLaunchKernel`, non-CC, steady state.
     pub klo_base: SimDuration,
@@ -258,7 +256,7 @@ impl Default for LaunchCalib {
 }
 
 /// GPU engine service parameters (Sec. II-A architecture).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuCalib {
     /// Depth of a channel's command ring; a full ring blocks the next
     /// launch on the host — the source of LQT.
@@ -302,7 +300,7 @@ impl Default for GpuCalib {
 }
 
 /// Unified-virtual-memory calibration (Sec. II-B, Fig. 9).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UvmCalib {
     /// UVM migration granule (NVIDIA "vablock" style batch unit).
     pub page: ByteSize,
@@ -364,7 +362,7 @@ pub fn dispatch_latency(gpu: &GpuCalib, cc: CcMode) -> SimDuration {
 }
 
 /// The evaluation platform of Table I, for the `table1_setup` harness.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemConfig {
     /// CPU description.
     pub cpu: &'static str,
@@ -465,6 +463,98 @@ pub mod paper {
     /// CNN: mean FP16 training-time reduction at batch 1024, percent.
     pub const CNN_FP16_TIME_CUT_PCT: f64 = 27.7;
 }
+
+crate::impl_to_json!(Calibration {
+    pcie,
+    tdx,
+    alloc,
+    launch,
+    gpu,
+    uvm
+});
+crate::impl_to_json!(PcieCalib {
+    pinned_h2d,
+    pinned_d2h,
+    host_staging,
+    bounce_copy,
+    d2d,
+    dma_setup,
+    pageable_setup,
+    gpu_crypto,
+    bounce_chunk,
+    cc_transfer_setup,
+});
+crate::impl_to_json!(TdxCalib {
+    vmexit,
+    hypercall_mult,
+    seamcall,
+    page_convert,
+    bounce_pool,
+    bounce_reserve,
+});
+crate::impl_to_json!(AllocCalib {
+    dmalloc_base,
+    dmalloc_per_gib,
+    hmalloc_base,
+    hmalloc_per_gib,
+    free_base,
+    managed_alloc_factor,
+    managed_free_factor,
+    cc_dmalloc_mult,
+    cc_hmalloc_mult,
+    cc_free_mult,
+    cc_managed_alloc_mult,
+    cc_managed_free_mult,
+    jitter_frac,
+});
+crate::impl_to_json!(LaunchCalib {
+    klo_base,
+    klo_sigma,
+    doorbell_trap_prob,
+    first_launch_hypercalls,
+    first_launch_extra,
+    cc_first_mult,
+    cc_first_spike_prob,
+    cc_first_spike_us,
+    spike_prob,
+    spike_range,
+    inter_launch_gap,
+    cc_gap_mult,
+    gap_sigma,
+});
+crate::impl_to_json!(GpuCalib {
+    ring_depth,
+    cp_service,
+    cc_cp_service_mult,
+    dispatch,
+    cc_dispatch_mult,
+    compute_slots,
+    cc_ket_factor,
+    ket_jitter,
+});
+crate::impl_to_json!(UvmCalib {
+    page,
+    batch_pages,
+    cc_batch_pages,
+    fault_latency,
+    cc_fault_hypercalls,
+    migrate_bw,
+    cc_migrate_bw,
+    cc_batch_overhead,
+    prefetch,
+    prefetch_hit,
+});
+crate::impl_to_json!(SystemConfig {
+    cpu,
+    memory,
+    tme_mk,
+    storage,
+    system,
+    os,
+    hypervisor,
+    tdx_tools,
+    gpu,
+});
 
 #[cfg(test)]
 mod tests {

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod calib;
+pub mod json;
 pub mod mode;
 pub mod rng;
 mod size;

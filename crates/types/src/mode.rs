@@ -3,11 +3,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Whether the workload runs inside a trust domain with NVIDIA CC enabled
 /// (`On`) or in a regular VM (`Off`, the paper's "base"/"non-CC" mode).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CcMode {
     /// Regular VM, no confidential computing (the paper's *base*).
     #[default]
@@ -40,7 +38,7 @@ impl fmt::Display for CcMode {
 /// Under CC, *pinned* host memory cannot exist natively (TDX forbids device
 /// access to private pages), so the runtime transparently demotes it to a
 /// pageable/UVM-backed mechanism — the paper's Observation 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum HostMemKind {
     /// Ordinary pageable host memory (`malloc`).
     #[default]
@@ -64,7 +62,7 @@ impl fmt::Display for HostMemKind {
 }
 
 /// The memory space an allocation lives in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
     /// Host (CPU) memory.
     Host,
@@ -86,7 +84,7 @@ impl fmt::Display for MemSpace {
 
 /// Direction of an explicit memory copy, as labelled by Nsight Systems and
 /// the paper's Fig. 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CopyKind {
     /// Host to device.
     H2D,
@@ -113,7 +111,7 @@ impl fmt::Display for CopyKind {
 
 /// CPU models whose single-core software-crypto throughput the paper
 /// measures (Fig. 4b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuModel {
     /// Intel 5th-gen Xeon (Emerald Rapids), the paper's TDX host.
     EmeraldRapids,
@@ -134,6 +132,18 @@ impl fmt::Display for CpuModel {
         }
     }
 }
+
+macro_rules! display_to_json {
+    ($($ty:ty),+) => {
+        $(impl crate::json::ToJson for $ty {
+            /// Serializes as the `Display` label.
+            fn to_json(&self) -> crate::json::Json {
+                crate::json::Json::Str(self.to_string())
+            }
+        })+
+    };
+}
+display_to_json!(CcMode, HostMemKind, MemSpace, CopyKind, CpuModel);
 
 #[cfg(test)]
 mod tests {

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 use crate::TypeError;
 
@@ -21,9 +19,7 @@ use crate::TypeError;
 /// assert_eq!(ByteSize::mib(1).as_u64(), 1024 * 1024);
 /// assert_eq!(ByteSize::mib(2) / ByteSize::kib(64), 32);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -186,7 +182,7 @@ impl Sum for ByteSize {
 /// let t = gcm.time_for(ByteSize::gib(1));
 /// assert!((t.as_secs_f64() - 1.0737 / 3.36).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {
@@ -276,6 +272,20 @@ impl fmt::Display for Bandwidth {
         } else {
             write!(f, "{:.2}MB/s", gb * 1e3)
         }
+    }
+}
+
+impl crate::json::ToJson for ByteSize {
+    /// Serializes as the raw byte count.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.as_u64())
+    }
+}
+
+impl crate::json::ToJson for Bandwidth {
+    /// Serializes as bytes per second.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::F64(self.bytes_per_s())
     }
 }
 

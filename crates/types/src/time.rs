@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulation's virtual clock, in nanoseconds since the
 /// start of the simulation.
 ///
@@ -18,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let t1 = t0 + SimDuration::micros(5);
 /// assert_eq!(t1 - t0, SimDuration::micros(5));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -116,9 +112,7 @@ impl Sub for SimTime {
 /// let base = SimDuration::micros(100);
 /// assert!((cc / base - 1.42).abs() < 1e-9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -295,6 +289,20 @@ impl Sum for SimDuration {
 impl<'a> Sum<&'a SimDuration> for SimDuration {
     fn sum<I: Iterator<Item = &'a SimDuration>>(iter: I) -> SimDuration {
         iter.copied().sum()
+    }
+}
+
+impl crate::json::ToJson for SimTime {
+    /// Serializes as integer nanoseconds since the origin.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.as_nanos())
+    }
+}
+
+impl crate::json::ToJson for SimDuration {
+    /// Serializes as integer nanoseconds.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.as_nanos())
     }
 }
 

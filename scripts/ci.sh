@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Tier-1 verification, fully offline.
+#
+# The workspace has no crates.io dependencies (see DESIGN.md, "Offline-first
+# dependency policy"), so everything here must succeed with the network
+# unplugged. CARGO_NET_OFFLINE=1 turns any accidental reintroduction of an
+# external dependency into a hard resolver error instead of a hidden fetch.
+#
+# Usage: scripts/ci.sh [--no-fmt]
+#   --no-fmt   skip the rustfmt gate (e.g. toolchains without rustfmt)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+if [ "${1:-}" != "--no-fmt" ]; then
+    run cargo fmt --check
+fi
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+
+echo "tier-1: OK"

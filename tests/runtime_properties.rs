@@ -1,20 +1,24 @@
 //! Property-based tests over the full runtime: invariants that must hold
 //! for *any* operation mix, size, or seed.
+//!
+//! Ported to the in-repo `hcc-check` harness: every property pins its seed
+//! so CI failures replay bit-for-bit (`HCC_CHECK_SEED=<seed>` overrides).
 
 use hcc::prelude::*;
 use hcc::runtime::KernelDesc;
 use hcc::trace::KernelId;
-use proptest::prelude::*;
+use hcc_check::strategy::{bytes, u64s, u8s, vecs};
+use hcc_check::{ensure, ensure_eq, forall, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u32 = 24;
 
-    /// CC never makes any blocking operation faster: for every op kind
-    /// and size, the CC-mode duration is >= the base-mode duration (same
-    /// seed, so jitter streams differ only by the mode decorrelation —
-    /// tolerate a small jitter allowance on kernel-free ops).
-    #[test]
-    fn cc_is_never_faster_for_copies_and_management(mib in 1u64..128) {
+/// CC never makes any blocking operation faster: for every op kind
+/// and size, the CC-mode duration is >= the base-mode duration (same
+/// seed, so jitter streams differ only by the mode decorrelation —
+/// tolerate a small jitter allowance on kernel-free ops).
+#[test]
+fn cc_is_never_faster_for_copies_and_management() {
+    forall!(Config::new(0x24_0001).with_cases(CASES), mib in u64s(1..128) => {
         let size = ByteSize::mib(mib);
         let run = |cc: CcMode| {
             let mut ctx = CudaContext::new(SimConfig::new(cc).with_seed(7));
@@ -29,92 +33,109 @@ proptest! {
         };
         let (copy_b, mgmt_b) = run(CcMode::Off);
         let (copy_c, mgmt_c) = run(CcMode::On);
-        prop_assert!(copy_c > copy_b, "copy {copy_c} vs {copy_b}");
-        prop_assert!(mgmt_c > mgmt_b, "mgmt {mgmt_c} vs {mgmt_b}");
-    }
+        ensure!(copy_c > copy_b, "copy {copy_c} vs {copy_b}");
+        ensure!(mgmt_c > mgmt_b, "mgmt {mgmt_c} vs {mgmt_b}");
+    });
+}
 
-    /// Copy time is monotone in size within one mode (bigger copies never
-    /// finish faster).
-    #[test]
-    fn copy_time_monotone_in_size(a in 1u64..256, b in 1u64..256) {
-        let (small, large) = (a.min(b), a.max(b));
-        prop_assume!(small < large);
-        let time = |mib: u64| {
-            let size = ByteSize::mib(mib);
-            let mut ctx = CudaContext::new(SimConfig::new(CcMode::On).with_seed(9));
+/// Copy time is monotone in size within one mode (bigger copies never
+/// finish faster). Generated as (small, delta>0) so every case is a
+/// strict size increase — no case filtering needed.
+#[test]
+fn copy_time_monotone_in_size() {
+    forall!(
+        Config::new(0x24_0002).with_cases(CASES),
+        (small, delta) in (u64s(1..255), u64s(1..255)) => {
+            let large = small + delta;
+            let time = |mib: u64| {
+                let size = ByteSize::mib(mib);
+                let mut ctx = CudaContext::new(SimConfig::new(CcMode::On).with_seed(9));
+                let h = ctx.malloc_host(size, HostMemKind::Pageable).unwrap();
+                let d = ctx.malloc_device(size).unwrap();
+                ctx.memcpy_h2d(d, h, size).unwrap()
+            };
+            ensure!(time(large) > time(small));
+        }
+    );
+}
+
+/// The host clock is monotone across arbitrary op sequences, every
+/// event lies within the final span, and launches equal kernels.
+#[test]
+fn clock_monotone_and_events_bounded() {
+    forall!(
+        Config::new(0x24_0003).with_cases(CASES),
+        (ops, seed) in (vecs(u8s(0..4), 1..30), u64s(0..u64::MAX)) => {
+            let mut ctx = CudaContext::new(SimConfig::new(CcMode::On).with_seed(seed));
+            let size = ByteSize::mib(2);
             let h = ctx.malloc_host(size, HostMemKind::Pageable).unwrap();
             let d = ctx.malloc_device(size).unwrap();
-            ctx.memcpy_h2d(d, h, size).unwrap()
-        };
-        prop_assert!(time(large) > time(small));
-    }
-
-    /// The host clock is monotone across arbitrary op sequences, every
-    /// event lies within the final span, and launches equal kernels.
-    #[test]
-    fn clock_monotone_and_events_bounded(
-        ops in prop::collection::vec(0u8..4, 1..30),
-        seed in any::<u64>(),
-    ) {
-        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On).with_seed(seed));
-        let size = ByteSize::mib(2);
-        let h = ctx.malloc_host(size, HostMemKind::Pageable).unwrap();
-        let d = ctx.malloc_device(size).unwrap();
-        let mut last = ctx.now();
-        let mut launches = 0u64;
-        for op in ops {
-            match op {
-                0 => { ctx.memcpy_h2d(d, h, size).unwrap(); }
-                1 => { ctx.memcpy_d2h(h, d, size).unwrap(); }
-                2 => {
-                    ctx.launch_kernel(
-                        &KernelDesc::new(KernelId(0), SimDuration::micros(50)),
-                        ctx.default_stream(),
-                    )
-                    .unwrap();
-                    launches += 1;
+            let mut last = ctx.now();
+            let mut launches = 0u64;
+            for op in ops {
+                match op {
+                    0 => { ctx.memcpy_h2d(d, h, size).unwrap(); }
+                    1 => { ctx.memcpy_d2h(h, d, size).unwrap(); }
+                    2 => {
+                        ctx.launch_kernel(
+                            &KernelDesc::new(KernelId(0), SimDuration::micros(50)),
+                            ctx.default_stream(),
+                        )
+                        .unwrap();
+                        launches += 1;
+                    }
+                    _ => { ctx.synchronize(); }
                 }
-                _ => { ctx.synchronize(); }
+                ensure!(ctx.now() >= last, "clock went backwards");
+                last = ctx.now();
             }
-            prop_assert!(ctx.now() >= last, "clock went backwards");
-            last = ctx.now();
+            ctx.synchronize();
+            let end = ctx.timeline().end();
+            for e in ctx.timeline().events() {
+                ensure!(e.end <= end);
+            }
+            let lm = ctx.timeline().launch_metrics();
+            ensure_eq!(lm.launch_count() as u64, launches);
+            ensure_eq!(lm.kernels.len() as u64, launches);
         }
-        ctx.synchronize();
-        let end = ctx.timeline().end();
-        for e in ctx.timeline().events() {
-            prop_assert!(e.end <= end);
-        }
-        let lm = ctx.timeline().launch_metrics();
-        prop_assert_eq!(lm.launch_count() as u64, launches);
-        prop_assert_eq!(lm.kernels.len() as u64, launches);
-    }
+    );
+}
 
-    /// Stream-ordered kernels never overlap: each kernel on one stream
-    /// starts at or after the previous one ends.
-    #[test]
-    fn stream_order_is_preserved(kets in prop::collection::vec(1u64..500, 2..20)) {
-        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
-        for (i, ket) in kets.iter().enumerate() {
-            ctx.launch_kernel(
-                &KernelDesc::new(KernelId(i as u32), SimDuration::micros(*ket)),
-                ctx.default_stream(),
-            )
-            .unwrap();
+/// Stream-ordered kernels never overlap: each kernel on one stream
+/// starts at or after the previous one ends.
+#[test]
+fn stream_order_is_preserved() {
+    forall!(
+        Config::new(0x24_0004).with_cases(CASES),
+        kets in vecs(u64s(1..500), 2..20) => {
+            let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+            for (i, ket) in kets.iter().enumerate() {
+                ctx.launch_kernel(
+                    &KernelDesc::new(KernelId(i as u32), SimDuration::micros(*ket)),
+                    ctx.default_stream(),
+                )
+                .unwrap();
+            }
+            ctx.synchronize();
+            let lm = ctx.timeline().launch_metrics();
+            for pair in lm.kernels.windows(2) {
+                ensure!(pair[1].start >= pair[0].start + pair[0].ket);
+            }
         }
-        ctx.synchronize();
-        let lm = ctx.timeline().launch_metrics();
-        for pair in lm.kernels.windows(2) {
-            prop_assert!(pair[1].start >= pair[0].start + pair[0].ket);
-        }
-    }
+    );
+}
 
-    /// Functional uploads round-trip arbitrary payloads under CC.
-    #[test]
-    fn functional_upload_roundtrip(payload in prop::collection::vec(any::<u8>(), 1..4096)) {
-        let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
-        let d = ctx.malloc_device(ByteSize::kib(4)).unwrap();
-        ctx.upload_bytes(d, &payload).unwrap();
-        let back = ctx.download_bytes(d, payload.len() as u64).unwrap();
-        prop_assert_eq!(back, payload);
-    }
+/// Functional uploads round-trip arbitrary payloads under CC.
+#[test]
+fn functional_upload_roundtrip() {
+    forall!(
+        Config::new(0x24_0005).with_cases(CASES),
+        payload in vecs(bytes(), 1..4096) => {
+            let mut ctx = CudaContext::new(SimConfig::new(CcMode::On));
+            let d = ctx.malloc_device(ByteSize::kib(4)).unwrap();
+            ctx.upload_bytes(d, &payload).unwrap();
+            let back = ctx.download_bytes(d, payload.len() as u64).unwrap();
+            ensure_eq!(back, payload);
+        }
+    );
 }
