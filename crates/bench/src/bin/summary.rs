@@ -6,6 +6,7 @@
 //! cargo run --release -p hcc-bench --bin summary
 //! ```
 
+use hcc_bench::engine;
 use hcc_bench::figures::{fig04a, fig05, fig06, fig07, fig09, fig12};
 use hcc_bench::report;
 use hcc_core::observations as obs;
@@ -20,6 +21,18 @@ fn line(label: &str, paper: &str, measured: String) {
 }
 
 fn main() {
+    // Prefetch every simulation-backed figure population in one parallel
+    // batch; the per-figure calls below then resolve from the engine's
+    // cache (overlapping populations — e.g. Fig. 7 ⊂ Fig. 5's apps plus
+    // the Fig. 9 explicit variants — are simulated once).
+    let mut prefetch = Vec::new();
+    prefetch.extend(fig04a::scenarios());
+    prefetch.extend(fig05::scenarios());
+    prefetch.extend(fig06::scenarios(ByteSize::mib(64), 40));
+    prefetch.extend(fig07::scenarios());
+    prefetch.extend(fig09::scenarios());
+    let _ = engine::global().run_all(&prefetch);
+
     report::section("hcc reproduction summary (paper vs measured)");
     println!("{:<44} {:>14} {:>14}", "statistic", "paper", "measured");
 
@@ -181,4 +194,9 @@ fn main() {
         }
     }
     println!("\n{pass}/{} observation checks pass", checks.len());
+
+    // Engine statistics carry wall-clock times, so they go to stderr:
+    // stdout stays byte-identical across HCC_ENGINE_THREADS settings
+    // (the tier-2 CI smoke diffs it).
+    eprint!("\n{}", engine::global().stats().render());
 }

@@ -1,0 +1,411 @@
+//! The parallel, memoizing experiment engine.
+//!
+//! Every figure generator used to re-simulate its own (workload, mode,
+//! seed) combinations serially; the scorecard paid for the same
+//! deterministic simulations many times over. [`ExperimentEngine`] accepts
+//! [`Scenario`] requests, fans cache misses out across a `std::thread`
+//! worker pool, and memoizes each distinct scenario (keyed by
+//! [`Scenario::content_hash`]) so it is simulated **exactly once per
+//! process**.
+//!
+//! Determinism is the contract: each scenario runs in its own fresh,
+//! seed-deterministic `CudaContext`, so neither the worker count nor the
+//! completion order can change a result — a parallel run produces
+//! bit-identical figure rows to the old serial loops (asserted by
+//! `tests/engine_parity.rs` and the tier-2 CI smoke step).
+//!
+//! ```
+//! use hcc_bench::engine::ExperimentEngine;
+//! use hcc_bench::figures;
+//! use hcc_types::CcMode;
+//!
+//! let engine = ExperimentEngine::new(2);
+//! let scn = figures::scenario("2mm", CcMode::On);
+//! let first = engine.run(&scn);
+//! let again = engine.run(&scn);
+//! assert!(std::sync::Arc::ptr_eq(&first, &again)); // memoized
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use hcc_workloads::{runner, RunError, RunResult, Scenario};
+
+/// Environment variable selecting the worker-pool width of the process
+/// global engine (`HCC_ENGINE_THREADS=1` forces serial execution).
+pub const THREADS_ENV: &str = "HCC_ENGINE_THREADS";
+
+/// The memoized outcome of one scenario simulation.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Human-readable scenario label.
+    pub label: String,
+    /// The scenario's content hash — the key this entry is cached under.
+    pub hash: u64,
+    /// Wall-clock time the simulation took on its worker.
+    pub wall: Duration,
+    /// The simulation outcome. Errors are memoized too: a deterministic
+    /// failure would fail identically on every re-run.
+    pub result: Result<RunResult, RunError>,
+}
+
+impl ScenarioResult {
+    /// The successful run, panicking with the scenario label otherwise.
+    pub fn expect_run(&self) -> &RunResult {
+        match &self.result {
+            Ok(r) => r,
+            Err(e) => panic!("scenario {} failed: {e}", self.label),
+        }
+    }
+}
+
+/// Aggregate engine counters, exposed in the `summary` stats block.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Worker-pool width.
+    pub threads: usize,
+    /// Distinct scenarios actually simulated.
+    pub scenarios_run: u64,
+    /// Requests served from the cache (including duplicates within a
+    /// single batch).
+    pub cache_hits: u64,
+    /// Serial-equivalent simulation time: the sum of every per-scenario
+    /// wall time, i.e. what a serial loop would have paid.
+    pub sim_wall: Duration,
+    /// Wall-clock time spent inside engine batches.
+    pub elapsed: Duration,
+    /// Per-scenario (label, wall time), in completion-insertion order.
+    pub per_scenario: Vec<(String, Duration)>,
+}
+
+impl EngineStats {
+    /// Mean worker utilization across batches: busy time over
+    /// `elapsed x threads`, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.elapsed.as_secs_f64() * self.threads as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.sim_wall.as_secs_f64() / denom).min(1.0)
+    }
+
+    /// Parallel speedup over the serial-equivalent baseline.
+    pub fn speedup(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 1.0;
+        }
+        self.sim_wall.as_secs_f64() / elapsed
+    }
+
+    /// Multi-line stats block for reports. Wall-clock figures, so this is
+    /// printed to stderr by the harnesses — stdout stays byte-identical
+    /// across thread counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== experiment engine ==\n");
+        out.push_str(&format!("worker threads:        {}\n", self.threads));
+        out.push_str(&format!("scenarios run:         {}\n", self.scenarios_run));
+        out.push_str(&format!("cache hits: {}\n", self.cache_hits));
+        out.push_str(&format!(
+            "serial-equivalent sim: {:.3} s\n",
+            self.sim_wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "engine wall clock:     {:.3} s (x{:.2} vs serial baseline)\n",
+            self.elapsed.as_secs_f64(),
+            self.speedup()
+        ));
+        out.push_str(&format!(
+            "worker utilization:    {:.0}%\n",
+            self.utilization() * 100.0
+        ));
+        let mut slowest: Vec<&(String, Duration)> = self.per_scenario.iter().collect();
+        slowest.sort_by_key(|(_, w)| std::cmp::Reverse(*w));
+        for (label, wall) in slowest.iter().take(5) {
+            out.push_str(&format!(
+                "  {:<28} {:>8.1} ms\n",
+                label,
+                wall.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+}
+
+/// Fans [`Scenario`] requests out across a worker pool and memoizes every
+/// distinct result. Shared by reference (`&self`) — the cache and stats
+/// are internally synchronized.
+#[derive(Debug)]
+pub struct ExperimentEngine {
+    threads: usize,
+    cache: Mutex<HashMap<u64, Arc<ScenarioResult>>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl ExperimentEngine {
+    /// An engine with the given worker-pool width (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ExperimentEngine {
+            threads,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats {
+                threads,
+                ..EngineStats::default()
+            }),
+        }
+    }
+
+    /// An engine sized from [`THREADS_ENV`], defaulting to the machine's
+    /// available parallelism capped at 8 workers.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(8)
+            });
+        ExperimentEngine::new(threads)
+    }
+
+    /// Worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs (or recalls) a single scenario.
+    pub fn run(&self, scenario: &Scenario) -> Arc<ScenarioResult> {
+        self.run_all(std::slice::from_ref(scenario))
+            .pop()
+            .expect("one request yields one result")
+    }
+
+    /// Runs a batch: results come back in request order, each distinct
+    /// scenario simulated at most once ever (per engine), misses fanned
+    /// out across the worker pool.
+    pub fn run_all(&self, scenarios: &[Scenario]) -> Vec<Arc<ScenarioResult>> {
+        let batch_start = Instant::now();
+        let hashes: Vec<u64> = scenarios.iter().map(Scenario::content_hash).collect();
+
+        // Collect the distinct cache misses, preserving first-seen order so
+        // the work queue (and thus the stats listing) is deterministic.
+        let mut pending: Vec<(u64, &Scenario)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            let mut seen = HashSet::new();
+            for (hash, scenario) in hashes.iter().zip(scenarios) {
+                if !cache.contains_key(hash) && seen.insert(*hash) {
+                    pending.push((*hash, scenario));
+                }
+            }
+        }
+
+        let fresh = self.execute(&pending);
+
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for entry in &fresh {
+                cache.insert(entry.hash, Arc::clone(entry));
+            }
+        }
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.scenarios_run += fresh.len() as u64;
+            stats.cache_hits += (scenarios.len() - fresh.len()) as u64;
+            stats.elapsed += batch_start.elapsed();
+            for entry in &fresh {
+                stats.sim_wall += entry.wall;
+                stats.per_scenario.push((entry.label.clone(), entry.wall));
+            }
+        }
+
+        let cache = self.cache.lock().expect("cache lock");
+        hashes
+            .iter()
+            .map(|h| Arc::clone(cache.get(h).expect("all requests resolved")))
+            .collect()
+    }
+
+    /// Simulates the pending scenarios, on this thread when the batch (or
+    /// the pool) is width 1, otherwise across a scoped worker pool pulling
+    /// from a shared index queue.
+    fn execute(&self, pending: &[(u64, &Scenario)]) -> Vec<Arc<ScenarioResult>> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let simulate = |hash: u64, scenario: &Scenario| {
+            let started = Instant::now();
+            let result = runner::run_scenario(scenario);
+            Arc::new(ScenarioResult {
+                label: scenario.label(),
+                hash,
+                wall: started.elapsed(),
+                result,
+            })
+        };
+
+        let workers = self.threads.min(pending.len());
+        if workers <= 1 {
+            return pending
+                .iter()
+                .map(|(hash, scenario)| simulate(*hash, scenario))
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<Arc<ScenarioResult>>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some((hash, scenario)) = pending.get(i) else {
+                        break;
+                    };
+                    let entry = simulate(*hash, scenario);
+                    *slots[i].lock().expect("slot lock") = Some(entry);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+}
+
+/// The process-global engine the figure generators share, so e.g. the
+/// `summary` bin's Fig. 5 and Fig. 7 passes reuse each other's runs. Sized
+/// from [`THREADS_ENV`] on first use.
+pub fn global() -> &'static ExperimentEngine {
+    static GLOBAL: OnceLock<ExperimentEngine> = OnceLock::new();
+    GLOBAL.get_or_init(ExperimentEngine::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_runtime::SimConfig;
+    use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
+    use hcc_workloads::{Op, Suite, WorkloadSpec};
+
+    fn toy(seed: u64) -> Scenario {
+        let spec = WorkloadSpec {
+            name: "engine-toy",
+            suite: Suite::Micro,
+            uvm: false,
+            ops: vec![
+                Op::MallocHost {
+                    slot: 0,
+                    size: ByteSize::mib(1),
+                    kind: HostMemKind::Pageable,
+                },
+                Op::MallocDevice {
+                    slot: 0,
+                    size: ByteSize::mib(1),
+                },
+                Op::H2D {
+                    dst: 0,
+                    src: 0,
+                    bytes: ByteSize::mib(1),
+                },
+                Op::Launch {
+                    kernel: 0,
+                    ket: SimDuration::micros(50),
+                    managed: vec![],
+                    repeat: 4,
+                },
+            ],
+        };
+        Scenario::adhoc(spec, SimConfig::new(CcMode::On).with_seed(seed))
+    }
+
+    #[test]
+    fn memoizes_identical_scenarios() {
+        let engine = ExperimentEngine::new(2);
+        let first = engine.run(&toy(1));
+        let again = engine.run(&toy(1));
+        assert!(Arc::ptr_eq(&first, &again));
+        let stats = engine.stats();
+        assert_eq!(stats.scenarios_run, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.per_scenario.len(), 1);
+    }
+
+    #[test]
+    fn batch_dedups_but_preserves_request_order() {
+        let engine = ExperimentEngine::new(4);
+        let batch = [toy(1), toy(2), toy(1), toy(3), toy(2)];
+        let results = engine.run_all(&batch);
+        assert_eq!(results.len(), 5);
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        assert!(Arc::ptr_eq(&results[1], &results[4]));
+        assert!(!Arc::ptr_eq(&results[0], &results[1]));
+        for (scenario, result) in batch.iter().zip(&results) {
+            assert_eq!(scenario.content_hash(), result.hash);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.scenarios_run, 3);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_results() {
+        let serial = ExperimentEngine::new(1);
+        let parallel = ExperimentEngine::new(4);
+        let batch: Vec<Scenario> = (0..6).map(toy).collect();
+        for (s, p) in serial.run_all(&batch).iter().zip(parallel.run_all(&batch)) {
+            let s = s.expect_run();
+            let p = p.expect_run();
+            assert_eq!(s.timeline, p.timeline);
+            assert_eq!(s.end, p.end);
+        }
+    }
+
+    #[test]
+    fn errors_are_memoized_not_retried() {
+        let engine = ExperimentEngine::new(2);
+        let bad = Scenario::standard("no-such-app", SimConfig::default());
+        let first = engine.run(&bad);
+        assert!(first.result.is_err());
+        let again = engine.run(&bad);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(engine.stats().scenarios_run, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-such-app")]
+    fn expect_run_names_the_failing_scenario() {
+        let engine = ExperimentEngine::new(1);
+        let _ = engine
+            .run(&Scenario::standard("no-such-app", SimConfig::default()))
+            .expect_run();
+    }
+
+    #[test]
+    fn stats_render_mentions_cache_hits() {
+        let engine = ExperimentEngine::new(2);
+        let _ = engine.run(&toy(1));
+        let _ = engine.run(&toy(1));
+        let block = engine.stats().render();
+        assert!(block.contains("cache hits: 1"));
+        assert!(block.contains("worker threads:        2"));
+    }
+}

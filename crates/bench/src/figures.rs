@@ -1,22 +1,46 @@
 //! Data generators for every figure in the paper's evaluation. Each
 //! submodule computes the rows/series a figure plots; the `src/bin/*`
 //! harnesses print them and the integration tests assert their shape.
+//!
+//! Every simulation-backed module expresses its runs as [`Scenario`]
+//! requests built through the one construction path below ([`scenario`],
+//! [`uvm_scenario`], [`adhoc_scenario`]) and executes them through the
+//! shared [`crate::engine`], so overlapping figure populations (e.g.
+//! Fig. 5 and Fig. 7) pay for each distinct simulation once per process.
+//! Modules that need several runs also export a `scenarios()` helper so
+//! harnesses can prefetch the whole population in one parallel batch.
 
 use hcc_runtime::SimConfig;
 use hcc_types::CcMode;
+use hcc_workloads::{Scenario, WorkloadSpec};
 
 /// Fresh config for a mode with the standard experiment seed.
 pub fn cfg(cc: CcMode) -> SimConfig {
     SimConfig::new(cc).with_seed(0xFA11_2025)
 }
 
+/// A standard suite app under the standard experiment seed — the single
+/// construction path for by-name figure runs.
+pub fn scenario(app: &'static str, cc: CcMode) -> Scenario {
+    Scenario::standard(app, cfg(cc))
+}
+
+/// The managed-memory variant of a standard app, same seed policy.
+pub fn uvm_scenario(app: &'static str, cc: CcMode) -> Scenario {
+    Scenario::uvm_variant(app, cfg(cc))
+}
+
+/// An inline microbenchmark program, same seed policy.
+pub fn adhoc_scenario(spec: WorkloadSpec, cc: CcMode) -> Scenario {
+    Scenario::adhoc(spec, cfg(cc))
+}
+
 /// Fig. 1 / overview: end-to-end phase breakdown of a representative app
 /// under base, CC, and CC+UVM.
 pub mod fig01 {
     use hcc_core::PhaseBreakdown;
-    use hcc_runtime::SimConfig;
     use hcc_types::CcMode;
-    use hcc_workloads::{runner, suites};
+    use hcc_workloads::Scenario;
 
     /// One row of the overview figure.
     #[derive(Debug, Clone)]
@@ -27,23 +51,28 @@ pub mod fig01 {
         pub breakdown: PhaseBreakdown,
     }
 
+    const LABELS: [&str; 3] = ["CC-off", "CC-on", "CC-on + UVM"];
+
+    /// The three overview scenarios on a gemm-class app.
+    pub fn scenarios() -> Vec<Scenario> {
+        vec![
+            super::scenario("gemm", CcMode::Off),
+            super::scenario("gemm", CcMode::On),
+            super::uvm_scenario("gemm", CcMode::On),
+        ]
+    }
+
     /// Computes the three scenarios on a gemm-class app.
     pub fn rows() -> Vec<Row> {
-        let spec = suites::by_name("gemm").expect("gemm exists");
-        let uvm_spec = suites::uvm_variant("gemm").expect("gemm-uvm exists");
-        let mut rows = Vec::new();
-        for (label, spec, cc) in [
-            ("CC-off", &spec, CcMode::Off),
-            ("CC-on", &spec, CcMode::On),
-            ("CC-on + UVM", &uvm_spec, CcMode::On),
-        ] {
-            let r = runner::run(spec, SimConfig::new(cc)).expect("run succeeds");
-            rows.push(Row {
+        let results = crate::engine::global().run_all(&scenarios());
+        LABELS
+            .iter()
+            .zip(results)
+            .map(|(label, res)| Row {
                 label,
-                breakdown: PhaseBreakdown::from_timeline(&r.timeline),
-            });
-        }
-        rows
+                breakdown: PhaseBreakdown::from_timeline(&res.expect_run().timeline),
+            })
+            .collect()
     }
 }
 
@@ -52,7 +81,7 @@ pub mod fig01 {
 pub mod fig03 {
     use hcc_core::PerfModel;
     use hcc_types::CcMode;
-    use hcc_workloads::{runner, suites};
+    use hcc_workloads::{suites, Scenario};
 
     /// One validation row.
     #[derive(Debug, Clone)]
@@ -69,30 +98,47 @@ pub mod fig03 {
         pub error: f64,
     }
 
-    /// Fits the model to every standard app in both modes.
-    pub fn rows() -> Vec<Row> {
+    /// Every standard app in both modes.
+    pub fn scenarios() -> Vec<Scenario> {
         let mut out = Vec::new();
         for spec in suites::all() {
             for cc in CcMode::ALL {
-                let r = runner::run(&spec, super::cfg(cc)).expect("run succeeds");
-                let fitted = PerfModel::fit(&r.timeline);
-                out.push(Row {
-                    app: spec.name,
+                out.push(super::scenario(spec.name, cc));
+            }
+        }
+        out
+    }
+
+    /// Fits the model to every standard app in both modes.
+    pub fn rows() -> Vec<Row> {
+        let mut keys = Vec::new();
+        for spec in suites::all() {
+            for cc in CcMode::ALL {
+                keys.push((spec.name, cc));
+            }
+        }
+        let results = crate::engine::global().run_all(&scenarios());
+        keys.into_iter()
+            .zip(results)
+            .map(|((app, cc), res)| {
+                let fitted = PerfModel::fit(&res.expect_run().timeline);
+                Row {
+                    app,
                     cc,
                     alpha: fitted.model.alpha,
                     beta: fitted.model.beta,
                     error: fitted.error(),
-                });
-            }
-        }
-        out
+                }
+            })
+            .collect()
     }
 }
 
 /// Fig. 4a: PCIe transfer bandwidth vs size, pageable/pinned × base/cc.
 pub mod fig04a {
-    use hcc_runtime::CudaContext;
-    use hcc_types::{Bandwidth, ByteSize, CcMode, HostMemKind};
+    use hcc_trace::EventKind;
+    use hcc_types::{Bandwidth, ByteSize, CcMode, HostMemKind, SimDuration};
+    use hcc_workloads::{Op, Scenario, Suite, WorkloadSpec};
 
     /// One bandwidth sample.
     #[derive(Debug, Clone, Copy)]
@@ -112,24 +158,68 @@ pub mod fig04a {
         (0..13).map(|i| ByteSize::bytes(64u64 << (2 * i))).collect()
     }
 
-    /// Measures H2D bandwidth across the sweep.
-    pub fn series() -> Vec<Point> {
+    fn sweep() -> Vec<(CcMode, HostMemKind, ByteSize)> {
         let mut out = Vec::new();
         for cc in CcMode::ALL {
             for mem in HostMemKind::ALL {
                 for size in sizes() {
-                    let mut ctx = CudaContext::new(super::cfg(cc));
-                    let h = ctx.malloc_host(size, mem).expect("host alloc");
-                    let d = ctx.malloc_device(size).expect("device alloc");
-                    let t = ctx.memcpy_h2d(d, h, size).expect("copy");
-                    let gbs = Bandwidth::observed(size, t)
-                        .map(|b| b.as_gb_per_s())
-                        .unwrap_or(0.0);
-                    out.push(Point { size, mem, cc, gbs });
+                    out.push((cc, mem, size));
                 }
             }
         }
         out
+    }
+
+    fn point_spec(size: ByteSize, mem: HostMemKind) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "fig04a-h2d",
+            suite: Suite::Micro,
+            uvm: false,
+            ops: vec![
+                Op::MallocHost {
+                    slot: 0,
+                    size,
+                    kind: mem,
+                },
+                Op::MallocDevice { slot: 0, size },
+                Op::H2D {
+                    dst: 0,
+                    src: 0,
+                    bytes: size,
+                },
+            ],
+        }
+    }
+
+    /// One single-copy scenario per sweep point.
+    pub fn scenarios() -> Vec<Scenario> {
+        sweep()
+            .into_iter()
+            .map(|(cc, mem, size)| super::adhoc_scenario(point_spec(size, mem), cc))
+            .collect()
+    }
+
+    /// Measures H2D bandwidth across the sweep.
+    pub fn series() -> Vec<Point> {
+        let results = crate::engine::global().run_all(&scenarios());
+        sweep()
+            .into_iter()
+            .zip(results)
+            .map(|((cc, mem, size), res)| {
+                let copy: SimDuration = res
+                    .expect_run()
+                    .timeline
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::Memcpy { .. }))
+                    .map(|e| e.duration())
+                    .sum();
+                let gbs = Bandwidth::observed(size, copy)
+                    .map(|b| b.as_gb_per_s())
+                    .unwrap_or(0.0);
+                Point { size, mem, cc, gbs }
+            })
+            .collect()
     }
 
     /// Peak bandwidth for a (mode, kind) pair from a measured series.
@@ -189,7 +279,7 @@ pub mod fig04b {
 pub mod fig05 {
     use hcc_trace::MemMetrics;
     use hcc_types::CcMode;
-    use hcc_workloads::runner;
+    use hcc_workloads::{suites, Scenario};
 
     /// One app's copy-time row.
     #[derive(Debug, Clone)]
@@ -209,22 +299,36 @@ pub mod fig05 {
         }
     }
 
-    /// Runs every standard app with explicit copies in both modes.
-    pub fn rows() -> Vec<Row> {
+    fn population() -> Vec<&'static str> {
+        suites::all()
+            .into_iter()
+            .filter(|spec| !spec.copy_bytes().is_zero())
+            .map(|spec| spec.name)
+            .collect()
+    }
+
+    /// Every copy-carrying standard app in both modes.
+    pub fn scenarios() -> Vec<Scenario> {
         let mut out = Vec::new();
-        for spec in hcc_workloads::suites::all() {
-            if spec.copy_bytes().is_zero() {
-                continue;
-            }
-            let base = runner::run(&spec, super::cfg(CcMode::Off)).expect("run");
-            let cc = runner::run(&spec, super::cfg(CcMode::On)).expect("run");
-            out.push(Row {
-                app: spec.name,
-                base: base.timeline.mem_metrics(),
-                cc: cc.timeline.mem_metrics(),
-            });
+        for app in population() {
+            out.push(super::scenario(app, CcMode::Off));
+            out.push(super::scenario(app, CcMode::On));
         }
         out
+    }
+
+    /// Runs every standard app with explicit copies in both modes.
+    pub fn rows() -> Vec<Row> {
+        let results = crate::engine::global().run_all(&scenarios());
+        population()
+            .into_iter()
+            .zip(results.chunks_exact(2))
+            .map(|(app, pair)| Row {
+                app,
+                base: pair[0].expect_run().timeline.mem_metrics(),
+                cc: pair[1].expect_run().timeline.mem_metrics(),
+            })
+            .collect()
     }
 
     /// Mean/max/min slowdown over rows (Observation 3's statistics).
@@ -239,8 +343,9 @@ pub mod fig05 {
 
 /// Fig. 6: memory-management times, base vs CC.
 pub mod fig06 {
-    use hcc_runtime::CudaContext;
-    use hcc_types::{ByteSize, CcMode, HostMemKind, SimDuration};
+    use hcc_trace::EventKind;
+    use hcc_types::{ByteSize, CcMode, HostMemKind, MemSpace, SimDuration};
+    use hcc_workloads::{Op, RunResult, Scenario, Suite, WorkloadSpec};
 
     /// Aggregated management times for one mode.
     #[derive(Debug, Clone, Copy, Default)]
@@ -257,29 +362,73 @@ pub mod fig06 {
         pub managed_free: SimDuration,
     }
 
-    /// Measures `iters` alloc/free cycles of `size` in one mode.
-    pub fn measure(cc: CcMode, size: ByteSize, iters: u32) -> Times {
-        let mut ctx = CudaContext::new(super::cfg(cc));
-        let mut t = Times::default();
+    /// `iters` alloc/free cycles of `size` as one inline program, matching
+    /// the original serial measurement loop op for op so the RNG draw
+    /// order (and thus every jittered management cost) is unchanged.
+    fn cycle_spec(size: ByteSize, iters: u32) -> WorkloadSpec {
+        let mut ops = Vec::with_capacity(iters as usize * 6);
         for _ in 0..iters {
-            let t0 = ctx.now();
-            let d = ctx.malloc_device(size).expect("dmalloc");
-            t.dmalloc += ctx.now() - t0;
-            let t1 = ctx.now();
-            let h = ctx.malloc_host(size, HostMemKind::Pinned).expect("hmalloc");
-            t.hmalloc += ctx.now() - t1;
-            let t2 = ctx.now();
-            ctx.free_device(d).expect("free");
-            ctx.free_host(h).expect("free host");
-            t.free += ctx.now() - t2;
-            let t3 = ctx.now();
-            let m = ctx.malloc_managed(size).expect("managed");
-            t.managed_alloc += ctx.now() - t3;
-            let t4 = ctx.now();
-            ctx.free_managed(m).expect("free managed");
-            t.managed_free += ctx.now() - t4;
+            ops.push(Op::MallocDevice { slot: 0, size });
+            ops.push(Op::MallocHost {
+                slot: 0,
+                size,
+                kind: HostMemKind::Pinned,
+            });
+            ops.push(Op::FreeDevice { slot: 0 });
+            ops.push(Op::FreeHost { slot: 0 });
+            ops.push(Op::MallocManaged { slot: 0, size });
+            ops.push(Op::FreeManaged { slot: 0 });
+        }
+        WorkloadSpec {
+            name: "fig06-mgmt",
+            suite: Suite::Micro,
+            uvm: false,
+            ops,
+        }
+    }
+
+    /// The management-cycle scenario for both modes.
+    pub fn scenarios(size: ByteSize, iters: u32) -> Vec<Scenario> {
+        CcMode::ALL
+            .into_iter()
+            .map(|cc| super::adhoc_scenario(cycle_spec(size, iters), cc))
+            .collect()
+    }
+
+    /// Buckets the trace's Alloc/Free event spans (which equal the
+    /// management calls' clock deltas) by memory space.
+    fn times_from(run: &RunResult) -> Times {
+        let mut t = Times::default();
+        for e in run.timeline.events() {
+            let d = e.duration();
+            match e.kind {
+                EventKind::Alloc {
+                    space: MemSpace::Device,
+                    ..
+                } => t.dmalloc += d,
+                EventKind::Alloc {
+                    space: MemSpace::Host,
+                    ..
+                } => t.hmalloc += d,
+                EventKind::Alloc {
+                    space: MemSpace::Managed,
+                    ..
+                } => t.managed_alloc += d,
+                EventKind::Free {
+                    space: MemSpace::Managed,
+                    ..
+                } => t.managed_free += d,
+                EventKind::Free { .. } => t.free += d,
+                _ => {}
+            }
         }
         t
+    }
+
+    /// Measures `iters` alloc/free cycles of `size` in one mode.
+    pub fn measure(cc: CcMode, size: ByteSize, iters: u32) -> Times {
+        let res = crate::engine::global().run(&super::adhoc_scenario(cycle_spec(size, iters), cc));
+        times_from(res.expect_run())
     }
 
     /// The five CC/base ratios (hmalloc, dmalloc, free, managed alloc,
@@ -300,7 +449,7 @@ pub mod fig06 {
 /// Fig. 7: KLO / LQT / KQT per app, CC normalized to base.
 pub mod fig07 {
     use hcc_types::CcMode;
-    use hcc_workloads::runner;
+    use hcc_workloads::{suites, Scenario};
 
     /// One app's launch-path ratios.
     #[derive(Debug, Clone)]
@@ -317,26 +466,42 @@ pub mod fig07 {
         pub kqt: f64,
     }
 
-    /// Runs every multi-launch app in both modes.
-    pub fn rows() -> Vec<Row> {
+    fn population() -> Vec<(&'static str, u64)> {
+        suites::multi_launch()
+            .into_iter()
+            .filter(|spec| !spec.uvm) // Fig. 7 is the non-UVM launch study.
+            .map(|spec| (spec.name, spec.launch_count()))
+            .collect()
+    }
+
+    /// Every multi-launch non-UVM app in both modes.
+    pub fn scenarios() -> Vec<Scenario> {
         let mut out = Vec::new();
-        for spec in hcc_workloads::suites::multi_launch() {
-            if spec.uvm {
-                continue; // Fig. 7 is the non-UVM launch study.
-            }
-            let base = runner::run(&spec, super::cfg(CcMode::Off)).expect("run");
-            let cc = runner::run(&spec, super::cfg(CcMode::On)).expect("run");
-            let b = base.timeline.launch_metrics();
-            let c = cc.timeline.launch_metrics();
-            out.push(Row {
-                app: spec.name,
-                launches: spec.launch_count(),
-                klo: c.total_klo() / b.total_klo(),
-                lqt: c.total_lqt() / b.total_lqt(),
-                kqt: c.total_kqt() / b.total_kqt(),
-            });
+        for (app, _) in population() {
+            out.push(super::scenario(app, CcMode::Off));
+            out.push(super::scenario(app, CcMode::On));
         }
         out
+    }
+
+    /// Runs every multi-launch app in both modes.
+    pub fn rows() -> Vec<Row> {
+        let results = crate::engine::global().run_all(&scenarios());
+        population()
+            .into_iter()
+            .zip(results.chunks_exact(2))
+            .map(|((app, launches), pair)| {
+                let b = pair[0].expect_run().timeline.launch_metrics();
+                let c = pair[1].expect_run().timeline.launch_metrics();
+                Row {
+                    app,
+                    launches,
+                    klo: c.total_klo() / b.total_klo(),
+                    lqt: c.total_lqt() / b.total_lqt(),
+                    kqt: c.total_kqt() / b.total_kqt(),
+                }
+            })
+            .collect()
     }
 
     /// Mean (KLO, LQT, KQT) ratios across apps.
@@ -394,7 +559,7 @@ pub mod fig08 {
 /// Fig. 9: KET normalized to the base non-UVM run.
 pub mod fig09 {
     use hcc_types::{CcMode, SimDuration};
-    use hcc_workloads::{runner, suites};
+    use hcc_workloads::{suites, Scenario};
 
     /// One app's four KET totals.
     #[derive(Debug, Clone)]
@@ -428,26 +593,39 @@ pub mod fig09 {
         }
     }
 
-    fn total_ket(spec: &hcc_workloads::WorkloadSpec, cc: CcMode) -> SimDuration {
-        let r = runner::run(spec, super::cfg(cc)).expect("run");
-        r.timeline.launch_metrics().total_ket()
+    /// The Fig. 9 population: each UVM-capable app in all four
+    /// (variant × mode) configurations.
+    pub fn scenarios() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for name in suites::UVM_VARIANT_APPS {
+            out.push(super::scenario(name, CcMode::Off));
+            out.push(super::scenario(name, CcMode::On));
+            out.push(super::uvm_scenario(name, CcMode::Off));
+            out.push(super::uvm_scenario(name, CcMode::On));
+        }
+        out
     }
 
     /// Runs the Fig. 9 population in all four configurations.
     pub fn rows() -> Vec<Row> {
-        let mut out = Vec::new();
-        for name in suites::UVM_VARIANT_APPS {
-            let explicit = suites::by_name(name).expect("explicit variant");
-            let uvm = suites::uvm_variant(name).expect("uvm variant");
-            out.push(Row {
-                app: explicit.name,
-                base: total_ket(&explicit, CcMode::Off),
-                cc: total_ket(&explicit, CcMode::On),
-                base_uvm: total_ket(&uvm, CcMode::Off),
-                cc_uvm: total_ket(&uvm, CcMode::On),
-            });
-        }
-        out
+        let results = crate::engine::global().run_all(&scenarios());
+        let ket = |res: &std::sync::Arc<crate::engine::ScenarioResult>| {
+            res.expect_run().timeline.launch_metrics().total_ket()
+        };
+        suites::UVM_VARIANT_APPS
+            .iter()
+            .zip(results.chunks_exact(4))
+            .map(|(name, quad)| {
+                let explicit = suites::by_name(name).expect("explicit variant");
+                Row {
+                    app: explicit.name,
+                    base: ket(&quad[0]),
+                    cc: ket(&quad[1]),
+                    base_uvm: ket(&quad[2]),
+                    cc_uvm: ket(&quad[3]),
+                }
+            })
+            .collect()
     }
 }
 
@@ -455,7 +633,7 @@ pub mod fig09 {
 pub mod fig10 {
     use hcc_trace::EventKind;
     use hcc_types::CcMode;
-    use hcc_workloads::runner;
+    use hcc_workloads::suites;
 
     /// One scatter point.
     #[derive(Debug, Clone, Copy)]
@@ -477,11 +655,16 @@ pub mod fig10 {
     /// Event scatter for one app in both modes, longest event dropped
     /// per the figure's note.
     pub fn scatter(app: &str) -> Vec<Point> {
-        let spec = hcc_workloads::suites::by_name(app).expect("known app");
+        let spec = suites::by_name(app).expect("known app");
+        let requests: Vec<_> = CcMode::ALL
+            .into_iter()
+            .map(|cc| super::scenario(spec.name, cc))
+            .collect();
+        let results = crate::engine::global().run_all(&requests);
         let mut out = Vec::new();
-        for cc in CcMode::ALL {
-            let r = runner::run(&spec, super::cfg(cc)).expect("run");
-            let mut pts: Vec<Point> = r
+        for (cc, res) in CcMode::ALL.into_iter().zip(results) {
+            let mut pts: Vec<Point> = res
+                .expect_run()
                 .timeline
                 .events()
                 .iter()
@@ -520,7 +703,7 @@ pub mod fig10 {
 pub mod fig11 {
     use hcc_trace::Cdf;
     use hcc_types::CcMode;
-    use hcc_workloads::runner;
+    use hcc_workloads::{suites, Scenario};
 
     /// CDF pair for one metric.
     #[derive(Debug, Clone)]
@@ -531,26 +714,36 @@ pub mod fig11 {
         pub cc: Cdf,
     }
 
-    /// Pools every non-UVM app's launches/kernels and builds the CDFs.
-    pub fn klo_and_ket() -> (CdfPair, CdfPair) {
-        let mut klo = (Vec::new(), Vec::new());
-        let mut ket = (Vec::new(), Vec::new());
-        for spec in hcc_workloads::suites::all() {
+    /// Every non-UVM standard app in both modes.
+    pub fn scenarios() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for spec in suites::all() {
             if spec.uvm {
                 continue;
             }
             for cc in CcMode::ALL {
-                let r = runner::run(&spec, super::cfg(cc)).expect("run");
-                let lm = r.timeline.launch_metrics();
-                match cc {
-                    CcMode::Off => {
-                        klo.0.extend(lm.klos());
-                        ket.0.extend(lm.kets());
-                    }
-                    CcMode::On => {
-                        klo.1.extend(lm.klos());
-                        ket.1.extend(lm.kets());
-                    }
+                out.push(super::scenario(spec.name, cc));
+            }
+        }
+        out
+    }
+
+    /// Pools every non-UVM app's launches/kernels and builds the CDFs.
+    pub fn klo_and_ket() -> (CdfPair, CdfPair) {
+        let requests = scenarios();
+        let results = crate::engine::global().run_all(&requests);
+        let mut klo = (Vec::new(), Vec::new());
+        let mut ket = (Vec::new(), Vec::new());
+        for (scn, res) in requests.iter().zip(results) {
+            let lm = res.expect_run().timeline.launch_metrics();
+            match scn.cc() {
+                CcMode::Off => {
+                    klo.0.extend(lm.klos());
+                    ket.0.extend(lm.kets());
+                }
+                CcMode::On => {
+                    klo.1.extend(lm.klos());
+                    ket.1.extend(lm.kets());
                 }
             }
         }
@@ -678,7 +871,8 @@ pub mod fig14 {
 
 /// Fig. 12: microbenchmarks — launch trains (a), the fusion sweep (b)
 /// and stream overlap (c). Thin wrappers over `hcc_workloads::micro`
-/// that produce the plotted series.
+/// that produce the plotted series. These drive their own multi-stream
+/// contexts directly, so they stay outside the scenario engine.
 pub mod fig12 {
     use hcc_trace::LaunchRecord;
     use hcc_types::{ByteSize, CcMode, SimDuration};

@@ -11,9 +11,16 @@
 //! `cargo run -p hcc-bench --bin fig05_copy` — each prints a table whose
 //! shape should be compared against the corresponding figure (see
 //! EXPERIMENTS.md at the repo root for the recorded comparison).
+//!
+//! All simulation-backed figures route their runs through the [`engine`]:
+//! a parallel, memoizing executor of `hcc_workloads::Scenario` requests,
+//! so each distinct (app, mode, seed, calibration) combination simulates
+//! exactly once per process no matter how many figures ask for it.
 
+pub mod engine;
 pub mod figures;
 pub mod harness;
 pub mod report;
 
+pub use engine::ExperimentEngine;
 pub use figures::cfg;

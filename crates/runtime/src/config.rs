@@ -39,6 +39,7 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// The paper's configuration in the given mode.
+    #[must_use]
     pub fn new(cc: CcMode) -> Self {
         SimConfig {
             cc,
@@ -52,12 +53,14 @@ impl SimConfig {
     }
 
     /// Replaces the calibration bundle.
+    #[must_use]
     pub fn with_calib(mut self, calib: Calibration) -> Self {
         self.calib = calib;
         self
     }
 
     /// Sets the RNG seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -67,6 +70,7 @@ impl SimConfig {
     ///
     /// # Panics
     /// Panics if `workers` is zero.
+    #[must_use]
     pub fn with_crypto_workers(mut self, workers: u32) -> Self {
         assert!(workers > 0, "need at least one crypto worker");
         self.crypto_workers = workers;
@@ -74,6 +78,7 @@ impl SimConfig {
     }
 
     /// Sets the CPU model for crypto rates.
+    #[must_use]
     pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
         self.cpu = cpu;
         self
@@ -81,9 +86,32 @@ impl SimConfig {
 
     /// Enables cold-start modeling: the SPDM attestation handshake is
     /// charged when the context is created.
+    #[must_use]
     pub fn with_attestation(mut self) -> Self {
         self.attest_at_creation = true;
         self
+    }
+
+    /// Stable content hash over every field that can change a simulation's
+    /// outcome: seed, mode, CPU, crypto workers, HBM capacity, the
+    /// attestation flag, and the full calibration fingerprint.
+    ///
+    /// Two configs with equal hashes are behaviourally identical to the
+    /// simulator; the experiment engine uses this as (part of) its
+    /// memoization key, so no knob may be left out — a silently aliased
+    /// field would let the cache return results from a different
+    /// configuration.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = hcc_types::hash::Fnv64::new();
+        h.write_u8(self.cc as u8);
+        h.write_u64(self.seed);
+        h.write_u8(self.cpu as u8);
+        h.write_u32(self.crypto_workers);
+        h.write_u64(self.hbm.as_u64());
+        h.write_bool(self.attest_at_creation);
+        h.write_u64(self.calib.fingerprint());
+        h.finish()
     }
 }
 
@@ -110,5 +138,35 @@ mod tests {
     #[should_panic(expected = "at least one crypto worker")]
     fn zero_workers_rejected() {
         let _ = SimConfig::default().with_crypto_workers(0);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_covers_every_knob() {
+        let base = SimConfig::new(CcMode::On).with_seed(7);
+        assert_eq!(base.content_hash(), base.clone().content_hash());
+
+        let variants = [
+            SimConfig::new(CcMode::Off).with_seed(7),
+            SimConfig::new(CcMode::On).with_seed(8),
+            SimConfig::new(CcMode::On)
+                .with_seed(7)
+                .with_crypto_workers(4),
+            SimConfig::new(CcMode::On)
+                .with_seed(7)
+                .with_cpu(CpuModel::Grace),
+            SimConfig::new(CcMode::On).with_seed(7).with_attestation(),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base.content_hash(), v.content_hash(), "variant {i}");
+        }
+
+        let mut hbm = SimConfig::new(CcMode::On).with_seed(7);
+        hbm.hbm = ByteSize::gib(40);
+        assert_ne!(base.content_hash(), hbm.content_hash());
+
+        let mut calib = Calibration::paper();
+        calib.tdx.hypercall_mult = 2.0;
+        let recal = SimConfig::new(CcMode::On).with_seed(7).with_calib(calib);
+        assert_ne!(base.content_hash(), recal.content_hash());
     }
 }

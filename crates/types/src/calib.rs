@@ -35,6 +35,20 @@ impl Calibration {
     pub fn paper() -> Self {
         Self::default()
     }
+
+    /// Stable content fingerprint over every calibration constant.
+    ///
+    /// Hashes the canonical JSON rendering of the bundle: floats print in
+    /// shortest-roundtrip form, so any perturbation of any constant changes
+    /// the fingerprint. Used by `SimConfig::content_hash` so scenario cache
+    /// keys cannot alias two different calibrations.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use crate::json::ToJson;
+        let mut h = crate::hash::Fnv64::new();
+        h.write_str(&self.to_json_string());
+        h.finish()
+    }
 }
 
 /// PCIe and host staging-path rates (paper Fig. 4a, Sec. VI-A).
@@ -606,6 +620,24 @@ mod tests {
         assert!(text.contains("H100 NVL"));
         assert!(text.contains("Xeon 6530"));
         assert!(text.contains("QEMU 7.2.0"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_constant() {
+        let base = Calibration::paper();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        let mut tweaked = Calibration::paper();
+        tweaked.tdx.hypercall_mult *= 1.25;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+
+        let mut tweaked = Calibration::paper();
+        tweaked.uvm.prefetch = !tweaked.uvm.prefetch;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+
+        let mut tweaked = Calibration::paper();
+        tweaked.launch.klo_base = tweaked.launch.klo_base + SimDuration::from_nanos(1);
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod calib;
+pub mod hash;
 pub mod json;
 pub mod mode;
 pub mod rng;

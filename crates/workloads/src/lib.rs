@@ -10,6 +10,11 @@
 //! figures depend on — launch counts (`3dconv` 254, `sc` 1611, `2mm` 2,
 //! `dwt2d` 10), copy-then-execute data movement, and a wide KLR spectrum.
 //!
+//! Experiments are requested through the unified [`Scenario`] API
+//! ([`scenario`]): an app selection plus the full `SimConfig`, with a
+//! stable [`Scenario::content_hash`] the `hcc-bench` experiment engine
+//! uses to memoize each distinct simulation.
+//!
 //! ```
 //! use hcc_runtime::SimConfig;
 //! use hcc_types::CcMode;
@@ -24,11 +29,13 @@
 pub mod micro;
 pub mod parse;
 pub mod runner;
+pub mod scenario;
 pub mod spec;
 pub mod suites;
 
 pub use parse::{parse_workload, ParseError};
-pub use runner::{run, RunError, RunResult};
+pub use runner::{run, run_scenario, RunError, RunResult};
+pub use scenario::{AppSelector, Scenario};
 pub use spec::{Op, Suite, WorkloadSpec};
 
 /// Convenience alias so downstream code can say `Program` for the op list.

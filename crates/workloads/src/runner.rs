@@ -10,6 +10,7 @@ use hcc_runtime::{TdCounters, UvmStats};
 use hcc_trace::{KernelId, Timeline};
 use hcc_types::SimTime;
 
+use crate::scenario::{AppSelector, Scenario};
 use crate::spec::{Op, WorkloadSpec};
 
 /// Errors from running a workload.
@@ -23,6 +24,13 @@ pub enum RunError {
         /// Human-readable slot description.
         what: &'static str,
     },
+    /// A scenario named an app no suite defines.
+    UnknownApp {
+        /// The requested app name.
+        name: &'static str,
+        /// Whether the UVM-variant table was consulted.
+        uvm: bool,
+    },
     /// Runtime call failed.
     Runtime(RuntimeError),
 }
@@ -32,6 +40,10 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::UnboundSlot { op_index, what } => {
                 write!(f, "op {op_index}: unbound {what} slot")
+            }
+            RunError::UnknownApp { name, uvm } => {
+                let table = if *uvm { "UVM variant" } else { "standard app" };
+                write!(f, "unknown {table} {name:?}")
             }
             RunError::Runtime(e) => write!(f, "runtime: {e}"),
         }
@@ -66,8 +78,33 @@ pub struct RunResult {
     pub uvm: UvmStats,
 }
 
+/// Resolves and runs a [`Scenario`] — the unified entry point the
+/// experiment engine in `hcc-bench` fans out and memoizes.
+///
+/// # Errors
+/// Returns [`RunError::UnknownApp`] when a by-name selector resolves to no
+/// suite entry, and propagates [`run`] errors otherwise.
+pub fn run_scenario(scenario: &Scenario) -> Result<RunResult, RunError> {
+    match &scenario.app {
+        // Ad-hoc programs run in place without the resolve-clone.
+        AppSelector::Adhoc(spec) => run(spec, scenario.cfg.clone()),
+        AppSelector::Standard(name) => {
+            let spec =
+                crate::suites::by_name(name).ok_or(RunError::UnknownApp { name, uvm: false })?;
+            run(&spec, scenario.cfg.clone())
+        }
+        AppSelector::UvmVariant(name) => {
+            let spec =
+                crate::suites::uvm_variant(name).ok_or(RunError::UnknownApp { name, uvm: true })?;
+            run(&spec, scenario.cfg.clone())
+        }
+    }
+}
+
 /// Runs `spec` under `cfg` to completion (a trailing sync is added if the
-/// program does not end with one).
+/// program does not end with one). This is the thin spec-level shim under
+/// [`run_scenario`]; prefer building a [`Scenario`] so results can be
+/// shared through the experiment engine's cache.
 ///
 /// # Errors
 /// Returns [`RunError`] on malformed programs or runtime failures.
@@ -253,6 +290,24 @@ mod tests {
         };
         let err = run(&spec, SimConfig::new(CcMode::Off)).unwrap_err();
         assert!(matches!(err, RunError::UnboundSlot { op_index: 0, .. }));
+    }
+
+    #[test]
+    fn scenario_path_matches_spec_path() {
+        let scn = Scenario::adhoc(toy_spec(), SimConfig::new(CcMode::On));
+        let via_scenario = run_scenario(&scn).unwrap();
+        let via_spec = run(&toy_spec(), SimConfig::new(CcMode::On)).unwrap();
+        assert_eq!(via_scenario.timeline, via_spec.timeline);
+        assert_eq!(via_scenario.end, via_spec.end);
+    }
+
+    #[test]
+    fn unknown_scenario_app_is_reported() {
+        let err = run_scenario(&Scenario::standard("no-such", SimConfig::default())).unwrap_err();
+        assert!(matches!(err, RunError::UnknownApp { uvm: false, .. }));
+        let err =
+            run_scenario(&Scenario::uvm_variant("no-such", SimConfig::default())).unwrap_err();
+        assert!(matches!(err, RunError::UnknownApp { uvm: true, .. }));
     }
 
     #[test]

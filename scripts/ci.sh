@@ -27,3 +27,29 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 
 echo "tier-1: OK"
+
+# Tier-2 smoke: the experiment engine's determinism contract on the real
+# summary harness. stdout must be byte-identical at 1 and 4 worker
+# threads, and the parallel run must actually share work (cache hits).
+echo "==> tier-2: summary determinism across HCC_ENGINE_THREADS"
+t2_dir=$(mktemp -d)
+trap 'rm -rf "$t2_dir"' EXIT
+
+HCC_ENGINE_THREADS=1 ./target/release/summary \
+    >"$t2_dir/serial.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/summary \
+    >"$t2_dir/parallel.out" 2>"$t2_dir/parallel.stats"
+
+if ! diff -u "$t2_dir/serial.out" "$t2_dir/parallel.out"; then
+    echo "tier-2: FAIL — summary stdout differs between 1 and 4 threads" >&2
+    exit 1
+fi
+
+hits=$(sed -n 's/^cache hits: \([0-9][0-9]*\)$/\1/p' "$t2_dir/parallel.stats")
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "tier-2: FAIL — expected nonzero engine cache hits, got '${hits:-none}'" >&2
+    exit 1
+fi
+
+grep -A 6 "== experiment engine ==" "$t2_dir/parallel.stats" || true
+echo "tier-2: OK (stdout identical, $hits cache hits)"

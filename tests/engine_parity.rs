@@ -1,0 +1,122 @@
+//! The experiment engine's determinism contract: fanning scenarios out
+//! across a worker pool and memoizing the results must be invisible in
+//! the data — bit-identical timelines to direct serial `runner::run`
+//! calls, for every app and mode, at any thread count. Plus an
+//! `hcc-check` property that cache entries never cross scenarios with
+//! different content hashes.
+
+use std::sync::Arc;
+
+use hcc_bench::engine::ExperimentEngine;
+use hcc_bench::figures;
+use hcc_check::strategy::{bools, u64s};
+use hcc_check::{ensure, ensure_eq, forall, Config};
+use hcc_runtime::SimConfig;
+use hcc_types::{CcMode, SimDuration};
+use hcc_workloads::{runner, suites, Op, Scenario, Suite, WorkloadSpec};
+
+/// The parallel engine reproduces serial `runner::run` bit for bit across
+/// the full standard population in both modes.
+#[test]
+fn parallel_engine_matches_serial_runner_everywhere() {
+    let engine = ExperimentEngine::new(4);
+    let mut scenarios = Vec::new();
+    for spec in suites::all() {
+        for cc in CcMode::ALL {
+            scenarios.push(figures::scenario(spec.name, cc));
+        }
+    }
+    let results = engine.run_all(&scenarios);
+
+    let mut i = 0;
+    for spec in suites::all() {
+        for cc in CcMode::ALL {
+            let serial = runner::run(&spec, figures::cfg(cc))
+                .unwrap_or_else(|e| panic!("{} [{cc}]: {e}", spec.name));
+            let engine_run = results[i].expect_run();
+            assert_eq!(
+                engine_run.timeline, serial.timeline,
+                "{} [{cc}]: engine timeline diverged from serial run",
+                spec.name
+            );
+            assert_eq!(engine_run.end, serial.end, "{} [{cc}]", spec.name);
+            i += 1;
+        }
+    }
+    assert_eq!(i, results.len());
+
+    let stats = engine.stats();
+    assert_eq!(stats.scenarios_run, results.len() as u64);
+    assert_eq!(stats.cache_hits, 0, "population is duplicate-free");
+}
+
+/// Worker-pool width is invisible: 1 thread and 8 threads produce the
+/// same timelines for the multi-launch population.
+#[test]
+fn thread_count_does_not_change_results() {
+    let narrow = ExperimentEngine::new(1);
+    let wide = ExperimentEngine::new(8);
+    let mut scenarios = Vec::new();
+    for spec in suites::multi_launch() {
+        for cc in CcMode::ALL {
+            scenarios.push(figures::scenario(spec.name, cc));
+        }
+    }
+    for (n, w) in narrow
+        .run_all(&scenarios)
+        .iter()
+        .zip(wide.run_all(&scenarios))
+    {
+        let n = n.expect_run();
+        let w = w.expect_run();
+        assert_eq!(n.timeline, w.timeline);
+        assert_eq!(n.end, w.end);
+    }
+}
+
+fn toy_scenario(ket_us: u64, repeat: u64, cc_on: bool) -> Scenario {
+    let spec = WorkloadSpec {
+        name: "parity-toy",
+        suite: Suite::Micro,
+        uvm: false,
+        ops: vec![Op::Launch {
+            kernel: 0,
+            ket: SimDuration::micros(ket_us),
+            managed: vec![],
+            repeat: repeat as u32,
+        }],
+    };
+    let cc = if cc_on { CcMode::On } else { CcMode::Off };
+    Scenario::adhoc(spec, SimConfig::new(cc))
+}
+
+/// Cache-soundness property: hashes agree exactly when the scenario
+/// fields agree, repeat lookups return the same memoized entry, every
+/// entry's recorded hash matches its scenario, and scenarios with
+/// different hashes never share an entry.
+#[test]
+fn cache_lookups_never_cross_scenario_hashes() {
+    let engine = ExperimentEngine::new(2);
+    forall!(
+        Config::new(0x24_0E01).with_cases(24),
+        (a, b) in (
+            (u64s(1..20), u64s(1..4), bools()),
+            (u64s(1..20), u64s(1..4), bools())
+        ) => {
+            let scn_a = toy_scenario(a.0, a.1, a.2);
+            let scn_b = toy_scenario(b.0, b.1, b.2);
+            let same_fields = a == b;
+            ensure_eq!(scn_a.content_hash() == scn_b.content_hash(), same_fields);
+
+            let res_a = engine.run(&scn_a);
+            let res_b = engine.run(&scn_b);
+            ensure_eq!(res_a.hash, scn_a.content_hash());
+            ensure_eq!(res_b.hash, scn_b.content_hash());
+            ensure_eq!(Arc::ptr_eq(&res_a, &res_b), same_fields);
+
+            // A repeat lookup is a cache hit on the identical entry.
+            let again = engine.run(&scn_a);
+            ensure!(Arc::ptr_eq(&res_a, &again));
+        }
+    );
+}
