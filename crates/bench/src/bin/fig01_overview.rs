@@ -9,7 +9,9 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "scenario", "mem", "launch", "kernel", "other", "span"
     );
-    for r in fig01::rows() {
+    let computed = fig01::try_rows();
+    report::failure_lines(&computed.failures);
+    for r in &computed.data {
         println!(
             "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
             r.label,
@@ -21,4 +23,5 @@ fn main() {
         );
         println!("  [{}]", r.breakdown.render_bar(60));
     }
+    report::exit_on_failures(&computed.failures);
 }

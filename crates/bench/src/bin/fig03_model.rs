@@ -9,9 +9,10 @@ fn main() {
         "{:<16} {:>6} {:>8} {:>8} {:>8}",
         "app", "mode", "alpha", "beta", "err%"
     );
-    let rows = fig03::rows();
+    let computed = fig03::try_rows();
+    report::failure_lines(&computed.failures);
     let mut worst: f64 = 0.0;
-    for r in &rows {
+    for r in &computed.data {
         println!(
             "{:<16} {:>6} {:>8.3} {:>8.3} {:>8.2}",
             r.app,
@@ -23,4 +24,5 @@ fn main() {
         worst = worst.max(r.error);
     }
     println!("worst fitted error: {:.2}%", worst * 100.0);
+    report::exit_on_failures(&computed.failures);
 }

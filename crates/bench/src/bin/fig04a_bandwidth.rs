@@ -6,7 +6,9 @@ use hcc_types::{CcMode, HostMemKind};
 
 fn main() {
     report::section("Fig. 4a — data-transfer bandwidth (GB/s)");
-    let pts = fig04a::series();
+    let computed = fig04a::try_series();
+    report::failure_lines(&computed.failures);
+    let pts = &computed.data;
     println!(
         "{:>12} {:>14} {:>14} {:>14} {:>14}",
         "size", "base/pageable", "base/pinned", "cc/pageable", "cc/pinned"
@@ -29,9 +31,10 @@ fn main() {
     }
     println!(
         "peaks: base pin {:.2}, base page {:.2}, cc pin {:.2}, cc page {:.2} GB/s",
-        fig04a::peak(&pts, CcMode::Off, HostMemKind::Pinned),
-        fig04a::peak(&pts, CcMode::Off, HostMemKind::Pageable),
-        fig04a::peak(&pts, CcMode::On, HostMemKind::Pinned),
-        fig04a::peak(&pts, CcMode::On, HostMemKind::Pageable),
+        fig04a::peak(pts, CcMode::Off, HostMemKind::Pinned),
+        fig04a::peak(pts, CcMode::Off, HostMemKind::Pageable),
+        fig04a::peak(pts, CcMode::On, HostMemKind::Pinned),
+        fig04a::peak(pts, CcMode::On, HostMemKind::Pageable),
     );
+    report::exit_on_failures(&computed.failures);
 }

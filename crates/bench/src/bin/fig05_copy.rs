@@ -9,8 +9,10 @@ fn main() {
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
         "app", "b.h2d", "b.d2h", "b.d2d", "c.h2d", "c.d2h", "c.d2d", "ratio"
     );
-    let rows = fig05::rows();
-    for r in &rows {
+    let computed = fig05::try_rows();
+    report::failure_lines(&computed.failures);
+    let rows = &computed.data;
+    for r in rows {
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
             r.app,
@@ -23,8 +25,9 @@ fn main() {
             report::ratio(r.slowdown()),
         );
     }
-    let (mean, max, min) = fig05::stats(&rows);
+    let (mean, max, min) = fig05::stats(rows);
     println!(
         "copy slowdown: mean x{mean:.2}, max x{max:.2}, min x{min:.2} (paper: 5.80 / 19.69 / 1.17)"
     );
+    report::exit_on_failures(&computed.failures);
 }

@@ -6,7 +6,9 @@ use hcc_types::ByteSize;
 
 fn main() {
     report::section("Fig. 6 — memory management CC/base slowdowns");
-    let r = fig06::ratios(ByteSize::mib(64), 40);
+    let computed = fig06::try_ratios(ByteSize::mib(64), 40);
+    report::failure_lines(&computed.failures);
+    let r = computed.data;
     println!("cudaMallocHost     {}   (paper x5.72)", report::ratio(r[0]));
     println!("cudaMalloc         {}   (paper x5.67)", report::ratio(r[1]));
     println!(
@@ -15,4 +17,5 @@ fn main() {
     );
     println!("cudaMallocManaged  {}   (paper x5.43)", report::ratio(r[3]));
     println!("managed cudaFree   {}   (paper x3.35)", report::ratio(r[4]));
+    report::exit_on_failures(&computed.failures);
 }

@@ -9,8 +9,10 @@ fn main() {
         "{:<16} {:>9} {:>8} {:>8} {:>8}",
         "app", "launches", "KLO", "LQT", "KQT"
     );
-    let rows = fig07::rows();
-    for r in &rows {
+    let computed = fig07::try_rows();
+    report::failure_lines(&computed.failures);
+    let rows = &computed.data;
+    for r in rows {
         println!(
             "{:<16} {:>9} {:>8} {:>8} {:>8}",
             r.app,
@@ -20,8 +22,9 @@ fn main() {
             report::ratio(r.kqt),
         );
     }
-    let (klo, lqt, kqt) = fig07::means(&rows);
+    let (klo, lqt, kqt) = fig07::means(rows);
     println!(
         "means: KLO x{klo:.2} (paper 1.42), LQT x{lqt:.2} (paper 1.43), KQT x{kqt:.2} (paper 2.32)"
     );
+    report::exit_on_failures(&computed.failures);
 }

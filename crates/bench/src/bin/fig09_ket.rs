@@ -10,11 +10,12 @@ fn main() {
         "{:<12} {:>10} {:>12} {:>12} {:>14}",
         "app", "cc/base", "uvm(base)", "uvm(cc)", "uvm-cc/base"
     );
-    let rows = fig09::rows();
+    let computed = fig09::try_rows();
+    report::failure_lines(&computed.failures);
     let mut nonuvm = Vec::new();
     let mut uvm_base = Vec::new();
     let mut uvm_cc = Vec::new();
-    for r in &rows {
+    for r in &computed.data {
         println!(
             "{:<12} {:>10} {:>12} {:>12} {:>14}",
             r.app,
@@ -35,4 +36,5 @@ fn main() {
     );
     let max = uvm_cc.iter().copied().fold(0.0, f64::max);
     println!("UVM-CC max x{max:.0}");
+    report::exit_on_failures(&computed.failures);
 }

@@ -4,9 +4,13 @@ use hcc_bench::figures::fig10;
 use hcc_bench::report;
 
 fn main() {
+    let mut failures = Vec::new();
     for app in fig10::APPS {
         report::section(&format!("Fig. 10 — event scatter: {app}"));
-        let pts = fig10::scatter(app);
+        let computed = fig10::try_scatter(app);
+        report::failure_lines(&computed.failures);
+        let pts = computed.data;
+        failures.extend(computed.failures);
         let launches = pts.iter().filter(|p| !p.is_kernel).count();
         let kernels = pts.iter().filter(|p| p.is_kernel).count();
         println!("{launches} launch events, {kernels} kernel events");
@@ -27,4 +31,5 @@ fn main() {
             );
         }
     }
+    report::exit_on_failures(&failures);
 }

@@ -4,7 +4,9 @@ use hcc_bench::figures::fig11;
 use hcc_bench::report;
 
 fn main() {
-    let (klo, ket) = fig11::klo_and_ket();
+    let computed = fig11::try_klo_and_ket();
+    report::failure_lines(&computed.failures);
+    let (klo, ket) = &computed.data;
     report::section("Fig. 11a — KLO CDF (top 5 launches trimmed for display)");
     let quantiles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
     println!("{:>8} {:>12} {:>12}", "q", "base", "cc");
@@ -40,4 +42,5 @@ fn main() {
         ket.cc.mean(),
         report::ratio(ket.cc.mean() / ket.base.mean())
     );
+    report::exit_on_failures(&computed.failures);
 }

@@ -42,8 +42,11 @@ fn copy_ratio(calib: &Calibration) -> f64 {
             ],
         };
         let res = engine::global().run(&scenario(spec, cc, calib));
-        res.expect_run()
-            .timeline
+        let run = res.run().unwrap_or_else(|f| {
+            eprintln!("sensitivity scenario failed: {f}");
+            std::process::exit(1);
+        });
+        run.timeline
             .events()
             .iter()
             .filter(|e| matches!(e.kind, EventKind::Memcpy { .. }))
@@ -70,7 +73,10 @@ fn klo_ratio(calib: &Calibration) -> f64 {
             }],
         };
         let res = engine::global().run(&scenario(spec, cc, calib));
-        let run = res.expect_run();
+        let run = res.run().unwrap_or_else(|f| {
+            eprintln!("sensitivity scenario failed: {f}");
+            std::process::exit(1);
+        });
         let lm = run.timeline.launch_metrics();
         // Skip the first (cold) launch.
         let warm: Vec<SimDuration> = lm.launches[1..].iter().map(|l| l.klo).collect();

@@ -36,8 +36,16 @@ fn main() {
     report::section("hcc reproduction summary (paper vs measured)");
     println!("{:<44} {:>14} {:>14}", "statistic", "paper", "measured");
 
+    // Any scenario failure (injected fault escalated to abort, panic)
+    // still renders the surviving statistics; the tail exit call turns
+    // the partial report into a nonzero exit for CI.
+    let mut failures = Vec::new();
+
     // Fig. 4a
-    let pts = fig04a::series();
+    let c4a = fig04a::try_series();
+    report::failure_lines(&c4a.failures);
+    let pts = c4a.data;
+    failures.extend(c4a.failures);
     let base_pin = fig04a::peak(&pts, CcMode::Off, HostMemKind::Pinned);
     let base_page = fig04a::peak(&pts, CcMode::Off, HostMemKind::Pageable);
     let cc_pin = fig04a::peak(&pts, CcMode::On, HostMemKind::Pinned);
@@ -45,14 +53,20 @@ fn main() {
     line("CC pinned H2D peak (GB/s)", "3.03", format!("{cc_pin:.2}"));
 
     // Fig. 5
-    let rows5 = fig05::rows();
+    let c5 = fig05::try_rows();
+    report::failure_lines(&c5.failures);
+    let rows5 = c5.data;
+    failures.extend(c5.failures);
     let (mean, max, min) = fig05::stats(&rows5);
     line("copy slowdown mean", "x5.80", report::ratio(mean));
     line("copy slowdown max", "x19.69", report::ratio(max));
     line("copy slowdown min", "x1.17", report::ratio(min));
 
     // Fig. 6
-    let r6 = fig06::ratios(ByteSize::mib(64), 40);
+    let c6 = fig06::try_ratios(ByteSize::mib(64), 40);
+    report::failure_lines(&c6.failures);
+    let r6 = c6.data;
+    failures.extend(c6.failures);
     line("cudaMallocHost", "x5.72", report::ratio(r6[0]));
     line("cudaMalloc", "x5.67", report::ratio(r6[1]));
     line("cudaFree", "x10.54", report::ratio(r6[2]));
@@ -60,14 +74,20 @@ fn main() {
     line("managed cudaFree", "x3.35", report::ratio(r6[4]));
 
     // Fig. 7
-    let rows7 = fig07::rows();
+    let c7 = fig07::try_rows();
+    report::failure_lines(&c7.failures);
+    let rows7 = c7.data;
+    failures.extend(c7.failures);
     let (klo, lqt, kqt) = fig07::means(&rows7);
     line("mean KLO slowdown", "x1.42", report::ratio(klo));
     line("mean LQT slowdown", "x1.43", report::ratio(lqt));
     line("mean KQT slowdown", "x2.32", report::ratio(kqt));
 
     // Fig. 9
-    let rows9 = fig09::rows();
+    let c9 = fig09::try_rows();
+    report::failure_lines(&c9.failures);
+    let rows9 = c9.data;
+    failures.extend(c9.failures);
     let nonuvm: Vec<f64> = rows9.iter().map(fig09::Row::nonuvm_ratio).collect();
     let uvm_base: Vec<f64> = rows9.iter().map(fig09::Row::uvm_base_slowdown).collect();
     let uvm_cc: Vec<f64> = rows9.iter().map(fig09::Row::uvm_cc_slowdown).collect();
@@ -199,4 +219,6 @@ fn main() {
     // stdout stays byte-identical across HCC_ENGINE_THREADS settings
     // (the tier-2 CI smoke diffs it).
     eprint!("\n{}", engine::global().stats().render());
+
+    report::exit_on_failures(&failures);
 }

@@ -29,10 +29,19 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use hcc_workloads::{runner, RunError, RunResult, Scenario};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// the engine's state (a memo cache and counters) is always internally
+/// consistent at lock release, so a poisoned guard is still valid.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Environment variable selecting the worker-pool width of the process
 /// global engine (`HCC_ENGINE_THREADS=1` forces serial execution).
@@ -60,6 +69,35 @@ impl ScenarioResult {
             Err(e) => panic!("scenario {} failed: {e}", self.label),
         }
     }
+
+    /// The successful run, or a structured failure naming the scenario —
+    /// what figure generators render as a per-row failure line instead of
+    /// aborting the whole report.
+    pub fn run(&self) -> Result<&RunResult, ScenarioFailure> {
+        match &self.result {
+            Ok(r) => Ok(r),
+            Err(e) => Err(ScenarioFailure {
+                label: self.label.clone(),
+                error: e.to_string(),
+            }),
+        }
+    }
+}
+
+/// A failed scenario as reports surface it: which row failed, and the
+/// rendering of its typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioFailure {
+    /// The failing scenario's label.
+    pub label: String,
+    /// Rendering of the underlying [`RunError`].
+    pub error: String,
+}
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.label, self.error)
+    }
 }
 
 /// Aggregate engine counters, exposed in the `summary` stats block.
@@ -79,6 +117,15 @@ pub struct EngineStats {
     pub elapsed: Duration,
     /// Per-scenario (label, wall time), in completion-insertion order.
     pub per_scenario: Vec<(String, Duration)>,
+    /// Faults injected across all successful runs (from their traces).
+    pub faults_injected: u64,
+    /// Retry attempts those faults cost.
+    pub fault_retries: u64,
+    /// Faults the data path recovered from (every injection on a run that
+    /// still completed).
+    pub recoveries: u64,
+    /// Scenarios that ended in an error or a caught panic.
+    pub failed_scenarios: u64,
 }
 
 impl EngineStats {
@@ -123,6 +170,18 @@ impl EngineStats {
             "worker utilization:    {:.0}%\n",
             self.utilization() * 100.0
         ));
+        if self.faults_injected > 0 {
+            out.push_str(&format!(
+                "faults injected:       {} ({} retries, {} recovered)\n",
+                self.faults_injected, self.fault_retries, self.recoveries
+            ));
+        }
+        if self.failed_scenarios > 0 {
+            out.push_str(&format!(
+                "failed scenarios:      {}\n",
+                self.failed_scenarios
+            ));
+        }
         let mut slowest: Vec<&(String, Duration)> = self.per_scenario.iter().collect();
         slowest.sort_by_key(|(_, w)| std::cmp::Reverse(*w));
         for (label, wall) in slowest.iter().take(5) {
@@ -199,7 +258,7 @@ impl ExperimentEngine {
         // the work queue (and thus the stats listing) is deterministic.
         let mut pending: Vec<(u64, &Scenario)> = Vec::new();
         {
-            let cache = self.cache.lock().expect("cache lock");
+            let cache = relock(&self.cache);
             let mut seen = HashSet::new();
             for (hash, scenario) in hashes.iter().zip(scenarios) {
                 if !cache.contains_key(hash) && seen.insert(*hash) {
@@ -211,23 +270,34 @@ impl ExperimentEngine {
         let fresh = self.execute(&pending);
 
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = relock(&self.cache);
             for entry in &fresh {
                 cache.insert(entry.hash, Arc::clone(entry));
             }
         }
         {
-            let mut stats = self.stats.lock().expect("stats lock");
+            let mut stats = relock(&self.stats);
             stats.scenarios_run += fresh.len() as u64;
             stats.cache_hits += (scenarios.len() - fresh.len()) as u64;
             stats.elapsed += batch_start.elapsed();
             for entry in &fresh {
                 stats.sim_wall += entry.wall;
                 stats.per_scenario.push((entry.label.clone(), entry.wall));
+                match &entry.result {
+                    Ok(run) => {
+                        let mm = run.timeline.mem_metrics();
+                        stats.faults_injected += mm.faults_injected;
+                        stats.fault_retries += mm.fault_retries;
+                        // The run completed, so every injection on it was
+                        // recovered (by retry or degrade).
+                        stats.recoveries += mm.faults_injected;
+                    }
+                    Err(_) => stats.failed_scenarios += 1,
+                }
             }
         }
 
-        let cache = self.cache.lock().expect("cache lock");
+        let cache = relock(&self.cache);
         hashes
             .iter()
             .map(|h| Arc::clone(cache.get(h).expect("all requests resolved")))
@@ -243,7 +313,20 @@ impl ExperimentEngine {
         }
         let simulate = |hash: u64, scenario: &Scenario| {
             let started = Instant::now();
-            let result = runner::run_scenario(scenario);
+            // A panicking scenario must not take down the batch (or
+            // poison the pool): catch the unwind and memoize it as a
+            // structured failure like any other deterministic error.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                runner::run_scenario(scenario)
+            }))
+            .unwrap_or_else(|payload| {
+                let message = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(RunError::Panicked { message })
+            });
             Arc::new(ScenarioResult {
                 label: scenario.label(),
                 hash,
@@ -271,7 +354,7 @@ impl ExperimentEngine {
                         break;
                     };
                     let entry = simulate(*hash, scenario);
-                    *slots[i].lock().expect("slot lock") = Some(entry);
+                    *relock(&slots[i]) = Some(entry);
                 });
             }
         });
@@ -279,7 +362,7 @@ impl ExperimentEngine {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("slot lock")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .expect("worker filled every slot")
             })
             .collect()
@@ -287,7 +370,7 @@ impl ExperimentEngine {
 
     /// A snapshot of the engine counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats.lock().expect("stats lock").clone()
+        relock(&self.stats).clone()
     }
 }
 
@@ -397,6 +480,76 @@ mod tests {
         let _ = engine
             .run(&Scenario::standard("no-such-app", SimConfig::default()))
             .expect_run();
+    }
+
+    fn crashing() -> Scenario {
+        let spec = WorkloadSpec {
+            name: "engine-crash",
+            suite: Suite::Micro,
+            uvm: false,
+            ops: vec![Op::Crash {
+                message: "deliberate chaos-op panic",
+            }],
+        };
+        Scenario::adhoc(spec, SimConfig::new(CcMode::Off))
+    }
+
+    #[test]
+    fn panicking_scenario_is_contained_and_batch_completes() {
+        let engine = ExperimentEngine::new(2);
+        let batch = [toy(1), crashing(), toy(2)];
+        let results = engine.run_all(&batch);
+        assert!(results[0].result.is_ok());
+        assert!(results[2].result.is_ok());
+        match &results[1].result {
+            Err(RunError::Panicked { message }) => {
+                assert!(message.contains("deliberate chaos-op panic"), "{message}");
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        let failure = results[1].run().unwrap_err();
+        assert!(failure.label.contains("engine-crash"), "{failure}");
+        let stats = engine.stats();
+        assert_eq!(stats.failed_scenarios, 1);
+        assert!(stats.render().contains("failed scenarios:      1"));
+        // The engine (and its locks) survive for the next batch.
+        assert!(engine.run(&toy(3)).result.is_ok());
+    }
+
+    #[test]
+    fn fault_counters_aggregate_from_run_traces() {
+        use hcc_types::FaultPlan;
+        let engine = ExperimentEngine::new(2);
+        let spec = WorkloadSpec {
+            name: "engine-faulty",
+            suite: Suite::Micro,
+            uvm: false,
+            ops: vec![
+                Op::MallocHost {
+                    slot: 0,
+                    size: ByteSize::mib(2),
+                    kind: HostMemKind::Pageable,
+                },
+                Op::MallocDevice {
+                    slot: 0,
+                    size: ByteSize::mib(2),
+                },
+                Op::H2D {
+                    dst: 0,
+                    src: 0,
+                    bytes: ByteSize::mib(2),
+                },
+            ],
+        };
+        let cfg = SimConfig::new(CcMode::On)
+            .with_fault_plan(FaultPlan::uniform(5, 1.0).with_max_per_site(1));
+        let result = engine.run(&Scenario::adhoc(spec, cfg));
+        assert!(result.result.is_ok());
+        let stats = engine.stats();
+        assert!(stats.faults_injected > 0);
+        assert!(stats.fault_retries > 0);
+        assert_eq!(stats.recoveries, stats.faults_injected);
+        assert!(stats.render().contains("faults injected:"));
     }
 
     #[test]

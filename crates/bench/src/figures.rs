@@ -11,12 +11,60 @@
 //! harnesses can prefetch the whole population in one parallel batch.
 
 use hcc_runtime::SimConfig;
-use hcc_types::CcMode;
+use hcc_types::{CcMode, FaultPlan};
 use hcc_workloads::{Scenario, WorkloadSpec};
 
-/// Fresh config for a mode with the standard experiment seed.
+use crate::engine::ScenarioFailure;
+
+/// Environment variable carrying a [`FaultPlan`] spec (e.g.
+/// `seed=7,gcm=0.35,bounce=0.3`) that every figure config picks up —
+/// the fault-sweep knob of EXPERIMENTS.md.
+pub const FAULT_PLAN_ENV: &str = "HCC_FAULT_PLAN";
+
+/// A figure computation plus the scenarios that failed to contribute.
+/// Figure tables render `data` and surface `failures` as per-row lines
+/// instead of aborting the whole report.
+#[derive(Debug, Clone)]
+pub struct Computed<T> {
+    /// The successfully computed payload (failed rows omitted).
+    pub data: T,
+    /// One entry per scenario that could not produce its row.
+    pub failures: Vec<ScenarioFailure>,
+}
+
+impl<T> Computed<T> {
+    /// `true` when every scenario produced its row.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The fault plan selected by [`FAULT_PLAN_ENV`], parsed once per
+/// process. `None` when unset; a malformed spec is reported on stderr
+/// and ignored.
+fn fault_plan_from_env() -> Option<FaultPlan> {
+    static PLAN: std::sync::OnceLock<Option<FaultPlan>> = std::sync::OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var(FAULT_PLAN_ENV).ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("ignoring {FAULT_PLAN_ENV}: {e}");
+                None
+            }
+        }
+    })
+    .clone()
+}
+
+/// Fresh config for a mode with the standard experiment seed (and the
+/// process-wide fault plan, when [`FAULT_PLAN_ENV`] selects one).
 pub fn cfg(cc: CcMode) -> SimConfig {
-    SimConfig::new(cc).with_seed(0xFA11_2025)
+    let cfg = SimConfig::new(cc).with_seed(0xFA11_2025);
+    match fault_plan_from_env() {
+        Some(plan) => cfg.with_fault_plan(plan),
+        None => cfg,
+    }
 }
 
 /// A standard suite app under the standard experiment seed — the single
@@ -62,17 +110,27 @@ pub mod fig01 {
         ]
     }
 
-    /// Computes the three scenarios on a gemm-class app.
-    pub fn rows() -> Vec<Row> {
+    /// Computes the three scenarios, collecting failures per row.
+    pub fn try_rows() -> super::Computed<Vec<Row>> {
         let results = crate::engine::global().run_all(&scenarios());
-        LABELS
-            .iter()
-            .zip(results)
-            .map(|(label, res)| Row {
-                label,
-                breakdown: PhaseBreakdown::from_timeline(&res.expect_run().timeline),
-            })
-            .collect()
+        let mut data = Vec::new();
+        let mut failures = Vec::new();
+        for (label, res) in LABELS.iter().zip(results) {
+            match res.run() {
+                Ok(r) => data.push(Row {
+                    label,
+                    breakdown: PhaseBreakdown::from_timeline(&r.timeline),
+                }),
+                Err(f) => failures.push(f),
+            }
+        }
+        super::Computed { data, failures }
+    }
+
+    /// Computes the three scenarios on a gemm-class app, rendering any
+    /// failures as per-row lines.
+    pub fn rows() -> Vec<Row> {
+        crate::report::surface(try_rows())
     }
 }
 
@@ -109,8 +167,8 @@ pub mod fig03 {
         out
     }
 
-    /// Fits the model to every standard app in both modes.
-    pub fn rows() -> Vec<Row> {
+    /// Fits the model per app/mode, collecting failures per row.
+    pub fn try_rows() -> super::Computed<Vec<Row>> {
         let mut keys = Vec::new();
         for spec in suites::all() {
             for cc in CcMode::ALL {
@@ -118,19 +176,30 @@ pub mod fig03 {
             }
         }
         let results = crate::engine::global().run_all(&scenarios());
-        keys.into_iter()
-            .zip(results)
-            .map(|((app, cc), res)| {
-                let fitted = PerfModel::fit(&res.expect_run().timeline);
-                Row {
-                    app,
-                    cc,
-                    alpha: fitted.model.alpha,
-                    beta: fitted.model.beta,
-                    error: fitted.error(),
+        let mut data = Vec::new();
+        let mut failures = Vec::new();
+        for ((app, cc), res) in keys.into_iter().zip(results) {
+            match res.run() {
+                Ok(r) => {
+                    let fitted = PerfModel::fit(&r.timeline);
+                    data.push(Row {
+                        app,
+                        cc,
+                        alpha: fitted.model.alpha,
+                        beta: fitted.model.beta,
+                        error: fitted.error(),
+                    });
                 }
-            })
-            .collect()
+                Err(f) => failures.push(f),
+            }
+        }
+        super::Computed { data, failures }
+    }
+
+    /// Fits the model to every standard app in both modes, rendering any
+    /// failures as per-row lines.
+    pub fn rows() -> Vec<Row> {
+        crate::report::surface(try_rows())
     }
 }
 
@@ -199,27 +268,37 @@ pub mod fig04a {
             .collect()
     }
 
-    /// Measures H2D bandwidth across the sweep.
-    pub fn series() -> Vec<Point> {
+    /// Measures H2D bandwidth across the sweep, collecting failures per
+    /// point.
+    pub fn try_series() -> super::Computed<Vec<Point>> {
         let results = crate::engine::global().run_all(&scenarios());
-        sweep()
-            .into_iter()
-            .zip(results)
-            .map(|((cc, mem, size), res)| {
-                let copy: SimDuration = res
-                    .expect_run()
-                    .timeline
-                    .events()
-                    .iter()
-                    .filter(|e| matches!(e.kind, EventKind::Memcpy { .. }))
-                    .map(|e| e.duration())
-                    .sum();
-                let gbs = Bandwidth::observed(size, copy)
-                    .map(|b| b.as_gb_per_s())
-                    .unwrap_or(0.0);
-                Point { size, mem, cc, gbs }
-            })
-            .collect()
+        let mut data = Vec::new();
+        let mut failures = Vec::new();
+        for ((cc, mem, size), res) in sweep().into_iter().zip(results) {
+            match res.run() {
+                Ok(r) => {
+                    let copy: SimDuration = r
+                        .timeline
+                        .events()
+                        .iter()
+                        .filter(|e| matches!(e.kind, EventKind::Memcpy { .. }))
+                        .map(|e| e.duration())
+                        .sum();
+                    let gbs = Bandwidth::observed(size, copy)
+                        .map(|b| b.as_gb_per_s())
+                        .unwrap_or(0.0);
+                    data.push(Point { size, mem, cc, gbs });
+                }
+                Err(f) => failures.push(f),
+            }
+        }
+        super::Computed { data, failures }
+    }
+
+    /// Measures H2D bandwidth across the sweep, rendering any failures
+    /// as per-row lines.
+    pub fn series() -> Vec<Point> {
+        crate::report::surface(try_series())
     }
 
     /// Peak bandwidth for a (mode, kind) pair from a measured series.
@@ -317,18 +396,29 @@ pub mod fig05 {
         out
     }
 
-    /// Runs every standard app with explicit copies in both modes.
-    pub fn rows() -> Vec<Row> {
+    /// Runs every copy-carrying app in both modes, collecting failures
+    /// per row (a row needs both of its modes to land).
+    pub fn try_rows() -> super::Computed<Vec<Row>> {
         let results = crate::engine::global().run_all(&scenarios());
-        population()
-            .into_iter()
-            .zip(results.chunks_exact(2))
-            .map(|(app, pair)| Row {
-                app,
-                base: pair[0].expect_run().timeline.mem_metrics(),
-                cc: pair[1].expect_run().timeline.mem_metrics(),
-            })
-            .collect()
+        let mut data = Vec::new();
+        let mut failures = Vec::new();
+        for (app, pair) in population().into_iter().zip(results.chunks_exact(2)) {
+            match (pair[0].run(), pair[1].run()) {
+                (Ok(base), Ok(cc)) => data.push(Row {
+                    app,
+                    base: base.timeline.mem_metrics(),
+                    cc: cc.timeline.mem_metrics(),
+                }),
+                (base, cc) => failures.extend(base.err().into_iter().chain(cc.err())),
+            }
+        }
+        super::Computed { data, failures }
+    }
+
+    /// Runs every standard app with explicit copies in both modes,
+    /// rendering any failures as per-row lines.
+    pub fn rows() -> Vec<Row> {
+        crate::report::surface(try_rows())
     }
 
     /// Mean/max/min slowdown over rows (Observation 3's statistics).
@@ -425,24 +515,51 @@ pub mod fig06 {
         t
     }
 
+    /// Measures `iters` alloc/free cycles of `size` in one mode,
+    /// reporting the failing scenario instead of panicking (a failed
+    /// mode contributes zeroed times).
+    pub fn try_measure(cc: CcMode, size: ByteSize, iters: u32) -> super::Computed<Times> {
+        let res = crate::engine::global().run(&super::adhoc_scenario(cycle_spec(size, iters), cc));
+        match res.run() {
+            Ok(r) => super::Computed {
+                data: times_from(r),
+                failures: Vec::new(),
+            },
+            Err(f) => super::Computed {
+                data: Times::default(),
+                failures: vec![f],
+            },
+        }
+    }
+
     /// Measures `iters` alloc/free cycles of `size` in one mode.
     pub fn measure(cc: CcMode, size: ByteSize, iters: u32) -> Times {
-        let res = crate::engine::global().run(&super::adhoc_scenario(cycle_spec(size, iters), cc));
-        times_from(res.expect_run())
+        crate::report::surface(try_measure(cc, size, iters))
+    }
+
+    /// The five CC/base ratios, collecting failures from either mode.
+    pub fn try_ratios(size: ByteSize, iters: u32) -> super::Computed<[f64; 5]> {
+        let base = try_measure(CcMode::Off, size, iters);
+        let cc = try_measure(CcMode::On, size, iters);
+        let mut failures = base.failures;
+        failures.extend(cc.failures);
+        let (base, cc) = (base.data, cc.data);
+        super::Computed {
+            data: [
+                cc.hmalloc / base.hmalloc,
+                cc.dmalloc / base.dmalloc,
+                cc.free / base.free,
+                cc.managed_alloc / base.managed_alloc,
+                cc.managed_free / base.managed_free,
+            ],
+            failures,
+        }
     }
 
     /// The five CC/base ratios (hmalloc, dmalloc, free, managed alloc,
-    /// managed free).
+    /// managed free), rendering any failures as per-row lines.
     pub fn ratios(size: ByteSize, iters: u32) -> [f64; 5] {
-        let base = measure(CcMode::Off, size, iters);
-        let cc = measure(CcMode::On, size, iters);
-        [
-            cc.hmalloc / base.hmalloc,
-            cc.dmalloc / base.dmalloc,
-            cc.free / base.free,
-            cc.managed_alloc / base.managed_alloc,
-            cc.managed_free / base.managed_free,
-        ]
+        crate::report::surface(try_ratios(size, iters))
     }
 }
 
@@ -484,24 +601,35 @@ pub mod fig07 {
         out
     }
 
-    /// Runs every multi-launch app in both modes.
-    pub fn rows() -> Vec<Row> {
+    /// Runs every multi-launch app in both modes, collecting failures
+    /// per row (a row needs both of its modes to land).
+    pub fn try_rows() -> super::Computed<Vec<Row>> {
         let results = crate::engine::global().run_all(&scenarios());
-        population()
-            .into_iter()
-            .zip(results.chunks_exact(2))
-            .map(|((app, launches), pair)| {
-                let b = pair[0].expect_run().timeline.launch_metrics();
-                let c = pair[1].expect_run().timeline.launch_metrics();
-                Row {
-                    app,
-                    launches,
-                    klo: c.total_klo() / b.total_klo(),
-                    lqt: c.total_lqt() / b.total_lqt(),
-                    kqt: c.total_kqt() / b.total_kqt(),
+        let mut data = Vec::new();
+        let mut failures = Vec::new();
+        for ((app, launches), pair) in population().into_iter().zip(results.chunks_exact(2)) {
+            match (pair[0].run(), pair[1].run()) {
+                (Ok(base), Ok(cc)) => {
+                    let b = base.timeline.launch_metrics();
+                    let c = cc.timeline.launch_metrics();
+                    data.push(Row {
+                        app,
+                        launches,
+                        klo: c.total_klo() / b.total_klo(),
+                        lqt: c.total_lqt() / b.total_lqt(),
+                        kqt: c.total_kqt() / b.total_kqt(),
+                    });
                 }
-            })
-            .collect()
+                (base, cc) => failures.extend(base.err().into_iter().chain(cc.err())),
+            }
+        }
+        super::Computed { data, failures }
+    }
+
+    /// Runs every multi-launch app in both modes, rendering any failures
+    /// as per-row lines.
+    pub fn rows() -> Vec<Row> {
+        crate::report::surface(try_rows())
     }
 
     /// Mean (KLO, LQT, KQT) ratios across apps.
@@ -606,26 +734,42 @@ pub mod fig09 {
         out
     }
 
-    /// Runs the Fig. 9 population in all four configurations.
-    pub fn rows() -> Vec<Row> {
+    /// Runs the Fig. 9 population, collecting failures per row (a row
+    /// needs all four of its configurations to land).
+    pub fn try_rows() -> super::Computed<Vec<Row>> {
         let results = crate::engine::global().run_all(&scenarios());
-        let ket = |res: &std::sync::Arc<crate::engine::ScenarioResult>| {
-            res.expect_run().timeline.launch_metrics().total_ket()
-        };
-        suites::UVM_VARIANT_APPS
-            .iter()
-            .zip(results.chunks_exact(4))
-            .map(|(name, quad)| {
-                let explicit = suites::by_name(name).expect("explicit variant");
-                Row {
-                    app: explicit.name,
-                    base: ket(&quad[0]),
-                    cc: ket(&quad[1]),
-                    base_uvm: ket(&quad[2]),
-                    cc_uvm: ket(&quad[3]),
+        let mut data = Vec::new();
+        let mut failures = Vec::new();
+        for (name, quad) in suites::UVM_VARIANT_APPS.iter().zip(results.chunks_exact(4)) {
+            let mut kets = [SimDuration::ZERO; 4];
+            let mut ok = true;
+            for (slot, res) in kets.iter_mut().zip(quad) {
+                match res.run() {
+                    Ok(r) => *slot = r.timeline.launch_metrics().total_ket(),
+                    Err(f) => {
+                        failures.push(f);
+                        ok = false;
+                    }
                 }
-            })
-            .collect()
+            }
+            if ok {
+                let explicit = suites::by_name(name).expect("explicit variant");
+                data.push(Row {
+                    app: explicit.name,
+                    base: kets[0],
+                    cc: kets[1],
+                    base_uvm: kets[2],
+                    cc_uvm: kets[3],
+                });
+            }
+        }
+        super::Computed { data, failures }
+    }
+
+    /// Runs the Fig. 9 population in all four configurations, rendering
+    /// any failures as per-row lines.
+    pub fn rows() -> Vec<Row> {
+        crate::report::surface(try_rows())
     }
 }
 
@@ -653,8 +797,8 @@ pub mod fig10 {
     pub const APPS: [&str; 4] = ["hotspot", "srad", "sc", "3dconv"];
 
     /// Event scatter for one app in both modes, longest event dropped
-    /// per the figure's note.
-    pub fn scatter(app: &str) -> Vec<Point> {
+    /// per the figure's note. Failed modes are skipped and reported.
+    pub fn try_scatter(app: &str) -> super::Computed<Vec<Point>> {
         let spec = suites::by_name(app).expect("known app");
         let requests: Vec<_> = CcMode::ALL
             .into_iter()
@@ -662,9 +806,16 @@ pub mod fig10 {
             .collect();
         let results = crate::engine::global().run_all(&requests);
         let mut out = Vec::new();
+        let mut failures = Vec::new();
         for (cc, res) in CcMode::ALL.into_iter().zip(results) {
-            let mut pts: Vec<Point> = res
-                .expect_run()
+            let run = match res.run() {
+                Ok(r) => r,
+                Err(f) => {
+                    failures.push(f);
+                    continue;
+                }
+            };
+            let mut pts: Vec<Point> = run
                 .timeline
                 .events()
                 .iter()
@@ -695,7 +846,16 @@ pub mod fig10 {
             }
             out.extend(pts);
         }
-        out
+        super::Computed {
+            data: out,
+            failures,
+        }
+    }
+
+    /// Event scatter for one app in both modes, rendering any failures
+    /// as per-row lines.
+    pub fn scatter(app: &str) -> Vec<Point> {
+        crate::report::surface(try_scatter(app))
     }
 }
 
@@ -728,14 +888,23 @@ pub mod fig11 {
         out
     }
 
-    /// Pools every non-UVM app's launches/kernels and builds the CDFs.
-    pub fn klo_and_ket() -> (CdfPair, CdfPair) {
+    /// Pools every non-UVM app's launches/kernels and builds the CDFs,
+    /// skipping (and reporting) failed runs.
+    pub fn try_klo_and_ket() -> super::Computed<(CdfPair, CdfPair)> {
         let requests = scenarios();
         let results = crate::engine::global().run_all(&requests);
         let mut klo = (Vec::new(), Vec::new());
         let mut ket = (Vec::new(), Vec::new());
+        let mut failures = Vec::new();
         for (scn, res) in requests.iter().zip(results) {
-            let lm = res.expect_run().timeline.launch_metrics();
+            let run = match res.run() {
+                Ok(r) => r,
+                Err(f) => {
+                    failures.push(f);
+                    continue;
+                }
+            };
+            let lm = run.timeline.launch_metrics();
             match scn.cc() {
                 CcMode::Off => {
                     klo.0.extend(lm.klos());
@@ -747,16 +916,25 @@ pub mod fig11 {
                 }
             }
         }
-        (
-            CdfPair {
-                base: Cdf::from_durations(klo.0),
-                cc: Cdf::from_durations(klo.1),
-            },
-            CdfPair {
-                base: Cdf::from_durations(ket.0),
-                cc: Cdf::from_durations(ket.1),
-            },
-        )
+        super::Computed {
+            data: (
+                CdfPair {
+                    base: Cdf::from_durations(klo.0),
+                    cc: Cdf::from_durations(klo.1),
+                },
+                CdfPair {
+                    base: Cdf::from_durations(ket.0),
+                    cc: Cdf::from_durations(ket.1),
+                },
+            ),
+            failures,
+        }
+    }
+
+    /// Pools every non-UVM app's launches/kernels and builds the CDFs,
+    /// rendering any failures as per-row lines.
+    pub fn klo_and_ket() -> (CdfPair, CdfPair) {
+        crate::report::surface(try_klo_and_ket())
     }
 }
 

@@ -29,6 +29,38 @@ pub fn ratio(v: f64) -> String {
     }
 }
 
+/// Prints each failure as a `!! label: error` line, keeping the figure
+/// partially rendered instead of aborting it. Deterministic: failures
+/// arrive in request order, so stdout stays thread-count invariant.
+pub fn failure_lines(failures: &[crate::engine::ScenarioFailure]) {
+    for f in failures {
+        println!("!! {f}");
+    }
+}
+
+/// Renders a [`Computed`](crate::figures::Computed) figure's failure
+/// lines and returns the surviving rows — the module-level `rows()`
+/// wrappers route through here.
+pub fn surface<T>(computed: crate::figures::Computed<T>) -> T {
+    failure_lines(&computed.failures);
+    computed.data
+}
+
+/// The tail call of every figure binary: when any scenario failed, print
+/// a count on stderr and exit nonzero so CI catches partial reports. The
+/// per-row `!! label: error` lines are expected to have been rendered
+/// already (via [`failure_lines`] / [`surface`]).
+pub fn exit_on_failures(failures: &[crate::engine::ScenarioFailure]) {
+    if failures.is_empty() {
+        return;
+    }
+    eprintln!("{} scenario(s) failed:", failures.len());
+    for f in failures {
+        eprintln!("  {f}");
+    }
+    std::process::exit(1);
+}
+
 /// Serializes any [`ToJson`](hcc_types::json::ToJson) rows as a JSON
 /// lines block when the
 /// `HCC_JSON` environment variable is set (for downstream plotting).

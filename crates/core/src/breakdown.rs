@@ -16,6 +16,9 @@ pub struct PhaseBreakdown {
     pub kernel: SimDuration,
     /// Management + sync (`T_other`).
     pub other: SimDuration,
+    /// Fault-recovery attribution (`T_fault`) — an overlay on the four
+    /// phases, not a fifth serial term. Zero when the fault plan is empty.
+    pub fault: SimDuration,
     /// Observed end-to-end span.
     pub span: SimDuration,
 }
@@ -29,6 +32,7 @@ impl PhaseBreakdown {
             launch: p.t_launch,
             kernel: p.t_kernel,
             other: p.t_other,
+            fault: p.t_fault,
             span: p.span,
         }
     }
@@ -70,7 +74,13 @@ impl std::fmt::Display for PhaseBreakdown {
             f,
             "mem={} launch={} kernel={} other={} span={}",
             self.mem, self.launch, self.kernel, self.other, self.span
-        )
+        )?;
+        // Only surface the overlay when faults were actually recovered, so
+        // no-fault renderings stay unchanged.
+        if !self.fault.is_zero() {
+            write!(f, " fault={}", self.fault)?;
+        }
+        Ok(())
     }
 }
 
@@ -113,6 +123,7 @@ hcc_types::impl_to_json!(PhaseBreakdown {
     launch,
     kernel,
     other,
+    fault,
     span
 });
 hcc_types::impl_to_json!(ModeComparison { base, cc });

@@ -163,6 +163,7 @@ mod tests {
             t_launch: us(10),
             t_kernel: us(100),
             t_other: us(20),
+            t_fault: SimDuration::ZERO,
             span: us(160),
         };
         let m = PerfModel::serial(phases);
@@ -177,6 +178,7 @@ mod tests {
             t_launch: us(10),
             t_kernel: us(100),
             t_other: us(0),
+            t_fault: SimDuration::ZERO,
             span: us(120),
         };
         let mut m = PerfModel::serial(phases);

@@ -2,7 +2,9 @@
 //! compute engine, HBM, and GMMU (paper Fig. 2's GPU half).
 
 use hcc_types::calib::{dispatch_latency, GpuCalib};
-use hcc_types::{ByteSize, CcMode, CopyKind, SimDuration, SimTime};
+use hcc_types::{
+    ByteSize, CcMode, CopyKind, FaultInjector, FaultSite, Recovery, SimDuration, SimTime,
+};
 
 use crate::cp::{CommandProcessor, Submission};
 use crate::engine::{MultiSlot, Resource, Slot};
@@ -130,6 +132,32 @@ impl GpuDevice {
         let ready = (submission.service_end + self.dispatch).max(earliest_exec);
         let exec = self.compute.schedule(ready, ket);
         KernelSchedule { submission, exec }
+    }
+
+    /// Like [`GpuDevice::submit_kernel`], but consults the fault injector
+    /// for a [`FaultSite::RingDoorbell`] drop first. A retried drop stalls
+    /// the submission by the recovery backoff (the host re-rings after
+    /// each wait) and reports the stall as extra `ring_wait`, so it
+    /// surfaces as LQT; an aborted recovery returns `None` without
+    /// touching ring state, and the caller raises its typed error.
+    pub fn submit_kernel_with_faults(
+        &mut self,
+        want: SimTime,
+        doorbell_offset: SimDuration,
+        earliest_exec: SimTime,
+        ket: SimDuration,
+        faults: &mut FaultInjector,
+    ) -> (Option<KernelSchedule>, Recovery) {
+        let recovery = faults.recover(FaultSite::RingDoorbell);
+        let stall = recovery.stall();
+        if matches!(recovery, Recovery::Aborted { .. }) {
+            return (None, recovery);
+        }
+        let mut submission = self.cp.submit_after(want + stall, doorbell_offset);
+        submission.ring_wait += stall;
+        let ready = (submission.service_end + self.dispatch).max(earliest_exec);
+        let exec = self.compute.schedule(ready, ket);
+        (Some(KernelSchedule { submission, exec }), recovery)
     }
 
     /// Submits a copy command of `duration` on the engine for `kind`: ring
@@ -345,5 +373,61 @@ mod tests {
         assert_eq!(g.hbm().used(), ByteSize::mib(1));
         g.hbm_mut().free(ptr).unwrap();
         assert_eq!(g.gmmu().fault_count(), 0);
+    }
+
+    #[test]
+    fn faulty_submit_matches_clean_submit_under_empty_plan() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let mut inj = FaultInjector::new(FaultPlan::none(), RecoveryPolicy::default(), 1);
+        let mut a = gpu(CcMode::On);
+        let mut b = gpu(CcMode::On);
+        let clean = a.submit_kernel(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimDuration::micros(100),
+        );
+        let (faulty, rec) = b.submit_kernel_with_faults(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimDuration::micros(100),
+            &mut inj,
+        );
+        assert!(rec.is_clean());
+        assert_eq!(clean, faulty.unwrap());
+    }
+
+    #[test]
+    fn doorbell_drop_stalls_or_aborts() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let plan = FaultPlan::none().with_rate(FaultSite::RingDoorbell, 1.0);
+        let mut abort = FaultInjector::new(plan.clone(), RecoveryPolicy::Abort, 1);
+        let mut g = gpu(CcMode::On);
+        let (sched, rec) = g.submit_kernel_with_faults(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimDuration::micros(100),
+            &mut abort,
+        );
+        assert!(sched.is_none());
+        assert!(matches!(rec, Recovery::Aborted { .. }));
+
+        // Rate 1.0 with a one-fault cap: the first retry succeeds, and the
+        // backoff surfaces as ring wait.
+        let capped = plan.with_max_per_site(1);
+        let mut inj = FaultInjector::new(capped, RecoveryPolicy::default(), 1);
+        let (sched, rec) = g.submit_kernel_with_faults(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimDuration::micros(100),
+            &mut inj,
+        );
+        let sched = sched.unwrap();
+        assert!(matches!(rec, Recovery::Retried { .. }));
+        assert_eq!(sched.submission.ring_wait, rec.stall());
+        assert!(!rec.stall().is_zero());
     }
 }

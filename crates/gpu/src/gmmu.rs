@@ -153,6 +153,32 @@ impl Gmmu {
             .ok_or(GmmuError::UnknownRange(id))
     }
 
+    /// Counts how many pages of `[first, first+count)` would far-fault,
+    /// without recording anything — a read-only preview for callers that
+    /// must decide (e.g. fault injection) before committing to a scan.
+    ///
+    /// # Errors
+    /// Returns [`GmmuError`] for unknown ranges or out-of-range pages.
+    pub fn peek_fault_count(
+        &self,
+        id: ManagedId,
+        first: u64,
+        count: u64,
+    ) -> Result<u64, GmmuError> {
+        let table = self.ranges.get(&id).ok_or(GmmuError::UnknownRange(id))?;
+        let total = table.residency.len() as u64;
+        if first.checked_add(count).is_none_or(|end| end > total) {
+            return Err(GmmuError::PageOutOfRange {
+                id,
+                page: first + count,
+                pages: total,
+            });
+        }
+        Ok((first..first + count)
+            .filter(|p| table.residency[*p as usize] == Residency::Host)
+            .count() as u64)
+    }
+
     /// Scans a GPU access to pages `[first, first+count)` and returns the
     /// indices that far-fault (host-resident). Each faulting page is
     /// counted.

@@ -1,7 +1,7 @@
 //! Simulation configuration for a [`crate::CudaContext`].
 
 use hcc_types::calib::Calibration;
-use hcc_types::{ByteSize, CcMode, CpuModel};
+use hcc_types::{ByteSize, CcMode, CpuModel, FaultPlan, RecoveryPolicy};
 
 /// Configuration of one simulated guest + GPU pairing.
 ///
@@ -35,6 +35,11 @@ pub struct SimConfig {
     /// creation. Off by default: the paper's steady-state figures exclude
     /// session establishment; enable it to study cold starts.
     pub attest_at_creation: bool,
+    /// Deterministic fault-injection plan. Empty by default: no faults,
+    /// no RNG draws, no behaviour change on the happy path.
+    pub fault: FaultPlan,
+    /// How the runtime answers injected faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl SimConfig {
@@ -49,7 +54,23 @@ impl SimConfig {
             crypto_workers: 1,
             hbm: ByteSize::gib(94),
             attest_at_creation: false,
+            fault: FaultPlan::none(),
+            recovery: RecoveryPolicy::default_retry(),
         }
+    }
+
+    /// Installs a fault-injection plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Sets the recovery policy answering injected faults.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// Replaces the calibration bundle.
@@ -111,6 +132,8 @@ impl SimConfig {
         h.write_u64(self.hbm.as_u64());
         h.write_bool(self.attest_at_creation);
         h.write_u64(self.calib.fingerprint());
+        h.write_u64(self.fault.fingerprint());
+        h.write_u64(self.recovery.fingerprint());
         h.finish()
     }
 }
@@ -155,6 +178,12 @@ mod tests {
                 .with_seed(7)
                 .with_cpu(CpuModel::Grace),
             SimConfig::new(CcMode::On).with_seed(7).with_attestation(),
+            SimConfig::new(CcMode::On)
+                .with_seed(7)
+                .with_fault_plan(FaultPlan::uniform(3, 0.25)),
+            SimConfig::new(CcMode::On)
+                .with_seed(7)
+                .with_recovery(RecoveryPolicy::Abort),
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base.content_hash(), v.content_hash(), "variant {i}");
@@ -168,5 +197,12 @@ mod tests {
         calib.tdx.hypercall_mult = 2.0;
         let recal = SimConfig::new(CcMode::On).with_seed(7).with_calib(calib);
         assert_ne!(base.content_hash(), recal.content_hash());
+
+        // Spelling out the defaults explicitly must not change the hash.
+        let explicit = SimConfig::new(CcMode::On)
+            .with_seed(7)
+            .with_fault_plan(FaultPlan::none())
+            .with_recovery(RecoveryPolicy::default_retry());
+        assert_eq!(base.content_hash(), explicit.content_hash());
     }
 }

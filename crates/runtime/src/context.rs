@@ -10,7 +10,8 @@ use hcc_tee::{BounceBufferPool, BounceError, TdContext, TdCounters};
 use hcc_trace::{EventKind, StreamId, Timeline, TraceEvent};
 use hcc_types::rng::Xoshiro256;
 use hcc_types::{
-    Bandwidth, ByteSize, CcMode, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime,
+    Bandwidth, ByteSize, CcMode, CopyKind, FaultCounts, FaultInjector, FaultSite, HostMemKind,
+    MemSpace, Recovery, SimDuration, SimTime,
 };
 use hcc_uvm::{UvmDriver, UvmError, UvmStats};
 
@@ -44,6 +45,14 @@ pub enum RuntimeError {
     Integrity,
     /// Timing-event handle not recorded by this context.
     UnknownEvent(u64),
+    /// An injected fault exhausted its recovery budget at a site with no
+    /// typed error of its own (e.g. the channel-ring doorbell).
+    Unrecoverable {
+        /// Site whose recovery gave up.
+        site: FaultSite,
+        /// Failed attempts, counting the initial one.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -63,6 +72,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Bounce(e) => write!(f, "bounce: {e}"),
             RuntimeError::Integrity => f.write_str("integrity check failed in transit"),
             RuntimeError::UnknownEvent(id) => write!(f, "unknown timing event ev{id}"),
+            RuntimeError::Unrecoverable { site, attempts } => {
+                write!(f, "unrecoverable {site} fault after {attempts} attempts")
+            }
         }
     }
 }
@@ -116,6 +128,9 @@ struct CopyPlan {
     dma: SimDuration,
     /// How Nsight would label the transfer.
     label: CopyKind,
+    /// The true direction (the label may lie under CC pinned demotion) —
+    /// selects which GCM fault site guards the transfer.
+    dir: CopyKind,
     /// Whether Nsight would tag it "Managed" (CC pinned demotion).
     managed: bool,
     /// Hypercalls charged (CC DMA mapping).
@@ -163,6 +178,7 @@ pub struct CudaContext {
     dma_mapped: HashSet<HostPtr>,
     events: crate::events::EventRegistry,
     gcm: AesGcm,
+    faults: FaultInjector,
 }
 
 impl CudaContext {
@@ -184,6 +200,9 @@ impl CudaContext {
             attest_time = session.total_time;
         }
         let gcm = AesGcm::new(&[0x42; 16]).expect("16-byte key is valid");
+        // The injector draws from its own stream, so an empty plan leaves
+        // every jitter draw — and thus every figure — bit-identical.
+        let faults = FaultInjector::new(cfg.fault.clone(), cfg.recovery.clone(), cfg.seed);
         // Different modes are different physical runs: decorrelate their
         // jitter streams so per-app ratios fluctuate like real pairs of
         // measurements (visible in Fig. 7b's sub-1.0 LQT entries).
@@ -216,6 +235,7 @@ impl CudaContext {
             clock: SimTime::ZERO + attest_time,
             cfg,
             gcm,
+            faults,
         }
     }
 
@@ -252,6 +272,12 @@ impl CudaContext {
     /// UVM driver statistics.
     pub fn uvm_stats(&self) -> UvmStats {
         self.uvm.stats()
+    }
+
+    /// Running totals of fault-injector decisions (injections, retries,
+    /// recoveries) for this context.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.counts()
     }
 
     /// Read access to the simulated GPU.
@@ -597,6 +623,7 @@ impl CudaContext {
                 crypto: SimDuration::ZERO,
                 dma: p.d2d.time_for(bytes),
                 label: CopyKind::D2D,
+                dir: CopyKind::D2D,
                 managed: false,
                 hypercalls: 0,
             },
@@ -617,6 +644,7 @@ impl CudaContext {
                     crypto: SimDuration::ZERO,
                     dma,
                     label: dir,
+                    dir,
                     managed: false,
                     hypercalls: 0,
                 }
@@ -645,6 +673,7 @@ impl CudaContext {
                     crypto,
                     dma,
                     label,
+                    dir,
                     managed,
                     // DMA mappings persist per buffer; only the first
                     // copy through a buffer pays the map hypercalls.
@@ -654,7 +683,51 @@ impl CudaContext {
         }
     }
 
-    fn execute_blocking_copy(&mut self, bytes: ByteSize, plan: CopyPlan) -> Result<SimDuration> {
+    /// Records a retried recovery at `site`: a zero-width `FaultInjected`
+    /// marker at the detection point, then one `Retry` span per backoff
+    /// covering the stall plus the re-done work (`rework` each).
+    fn charge_retries(&mut self, site: FaultSite, backoffs: &[SimDuration], rework: SimDuration) {
+        self.record(
+            EventKind::FaultInjected {
+                site,
+                attempts: backoffs.len() as u32,
+            },
+            self.clock,
+            self.clock,
+        );
+        for (i, b) in backoffs.iter().enumerate() {
+            let retry_start = self.clock;
+            self.advance(*b + rework);
+            self.record(
+                EventKind::Retry {
+                    site,
+                    attempt: i as u32 + 1,
+                },
+                retry_start,
+                self.clock,
+            );
+        }
+    }
+
+    /// Charges the extra per-chunk setup a degraded (halved) staging
+    /// granularity costs and records the `Degraded` span.
+    fn charge_degrade(&mut self, site: FaultSite, factor: u32) {
+        let deg_start = self.clock;
+        let extra = self
+            .cfg
+            .calib
+            .pcie
+            .cc_transfer_setup
+            .scale(factor.saturating_sub(1) as f64);
+        self.advance(extra);
+        self.record(EventKind::Degraded { site }, deg_start, self.clock);
+    }
+
+    fn execute_blocking_copy(
+        &mut self,
+        bytes: ByteSize,
+        plan: CopyPlan,
+    ) -> Result<(SimDuration, Recovery)> {
         let start = self.clock;
         // Hypercalls for DMA mapping (CC only).
         for _ in 0..plan.hypercalls {
@@ -672,12 +745,28 @@ impl CudaContext {
             let chunk = self.cfg.calib.pcie.bounce_chunk.min(self.bounce.capacity());
             let stage = bytes.min(chunk);
             if !stage.is_zero() {
-                let r = self.bounce.reserve(&mut self.td, stage)?;
+                let (r, rec) =
+                    self.bounce
+                        .reserve_with_faults(&mut self.td, stage, &mut self.faults)?;
+                match &rec {
+                    Recovery::Retried { backoffs } => {
+                        self.charge_retries(
+                            FaultSite::BounceExhausted,
+                            backoffs,
+                            SimDuration::ZERO,
+                        );
+                    }
+                    Recovery::Degraded { factor } => {
+                        self.charge_degrade(FaultSite::BounceExhausted, *factor);
+                    }
+                    Recovery::Clean | Recovery::Aborted { .. } => {}
+                }
                 self.advance(r.cost);
-                self.bounce.release(stage);
+                self.bounce.release(r.size);
             }
         }
         // CPU crypto (serialized on the crypto engine; the host blocks).
+        let mut gcm_recovery = Recovery::Clean;
         if !plan.crypto.is_zero() {
             let slot = self.crypto_engine.schedule(self.clock, plan.crypto);
             self.record(
@@ -689,6 +778,35 @@ impl CudaContext {
                 slot.end,
             );
             self.clock = slot.end;
+            // GCM tag verification on the staged chunk. A failed check is
+            // detected here: the retry re-encrypts and re-stages one
+            // chunk, degrade halves the staging granularity, abort never
+            // lands the data.
+            let site = match plan.dir {
+                CopyKind::H2D => Some(FaultSite::GcmTagH2D),
+                CopyKind::D2H => Some(FaultSite::GcmTagD2H),
+                CopyKind::D2D => None,
+            };
+            if let Some(site) = site {
+                match self.faults.recover(site) {
+                    Recovery::Clean => {}
+                    Recovery::Retried { backoffs } => {
+                        let chunk = bytes.min(self.cfg.calib.pcie.bounce_chunk);
+                        let rework = self.crypto.time_for_parallel(
+                            CryptoAlgorithm::AesGcm128,
+                            chunk,
+                            self.cfg.crypto_workers,
+                        ) + self.cfg.calib.pcie.bounce_copy.time_for(chunk);
+                        self.charge_retries(site, &backoffs, rework);
+                        gcm_recovery = Recovery::Retried { backoffs };
+                    }
+                    Recovery::Degraded { factor } => {
+                        self.charge_degrade(site, factor);
+                        gcm_recovery = Recovery::Degraded { factor };
+                    }
+                    Recovery::Aborted { .. } => return Err(RuntimeError::Integrity),
+                }
+            }
         }
         // Host-side pre-work (staging copies, setup).
         self.advance(plan.pre);
@@ -716,7 +834,7 @@ impl CudaContext {
             start,
             self.clock,
         );
-        Ok(total)
+        Ok((total, gcm_recovery))
     }
 
     fn check_copy(&self, bytes: ByteSize, host: HostPtr, dev: DevicePtr) -> Result<HostMemKind> {
@@ -753,7 +871,7 @@ impl CudaContext {
         let kind = self.check_copy(bytes, src, dst)?;
         let first_map = self.dma_mapped.insert(src);
         let plan = self.plan_copy_mapped(bytes, kind, CopyKind::H2D, first_map);
-        self.execute_blocking_copy(bytes, plan)
+        self.execute_blocking_copy(bytes, plan).map(|(d, _)| d)
     }
 
     /// Blocking `cudaMemcpy` device→host.
@@ -769,7 +887,7 @@ impl CudaContext {
         let kind = self.check_copy(bytes, dst, src)?;
         let first_map = self.dma_mapped.insert(dst);
         let plan = self.plan_copy_mapped(bytes, kind, CopyKind::D2H, first_map);
-        self.execute_blocking_copy(bytes, plan)
+        self.execute_blocking_copy(bytes, plan).map(|(d, _)| d)
     }
 
     /// Blocking `cudaMemcpy` device→device.
@@ -792,7 +910,7 @@ impl CudaContext {
             }
         }
         let plan = self.plan_copy(bytes, HostMemKind::Pageable, CopyKind::D2D);
-        self.execute_blocking_copy(bytes, plan)
+        self.execute_blocking_copy(bytes, plan).map(|(d, _)| d)
     }
 
     /// Asynchronous `cudaMemcpyAsync` on a stream (H2D or D2H). The host
@@ -988,6 +1106,9 @@ impl CudaContext {
         let mut fault_time = SimDuration::ZERO;
         let mut fault_pages = 0u64;
         let mut fault_bytes = ByteSize::ZERO;
+        // Injected-migration retries: per access, the lost time of each
+        // failed attempt (backoff plus one re-issued fault trip).
+        let mut uvm_penalties: Vec<Vec<SimDuration>> = Vec::new();
         for access in &desc.managed {
             let size = self
                 .managed_allocs
@@ -1002,23 +1123,83 @@ impl CudaContext {
             } else {
                 access.pages.min(total_pages - first_page)
             };
-            let service = self.uvm.service_access(
+            let (service, rec) = self.uvm.service_access_with_faults(
                 self.gpu.gmmu_mut(),
                 &mut self.td,
                 id,
                 first_page,
                 count,
+                &mut self.faults,
             )?;
             fault_time += service.total_time;
             fault_pages += service.pages;
             fault_bytes += service.bytes;
+            if let Recovery::Retried { backoffs } = rec {
+                uvm_penalties.push(
+                    backoffs
+                        .iter()
+                        .map(|b| *b + self.cfg.calib.uvm.fault_latency)
+                        .collect(),
+                );
+            }
         }
+        let uvm_lost = uvm_penalties
+            .iter()
+            .flatten()
+            .fold(SimDuration::ZERO, |acc, p| acc + *p);
 
         // --- Submit through the device. ---
-        let exec_cost = ket + fault_time;
-        let sched = self
-            .gpu
-            .submit_kernel(self.clock, klo, stream_ready, exec_cost);
+        let exec_cost = ket + fault_time + uvm_lost;
+        let submit_at = self.clock;
+        let (sched, ring_rec) = self.gpu.submit_kernel_with_faults(
+            self.clock,
+            klo,
+            stream_ready,
+            exec_cost,
+            &mut self.faults,
+        );
+        let Some(sched) = sched else {
+            let attempts = match ring_rec {
+                Recovery::Aborted { attempts } => attempts,
+                _ => 0,
+            };
+            return Err(RuntimeError::Unrecoverable {
+                site: FaultSite::RingDoorbell,
+                attempts,
+            });
+        };
+        // A dropped doorbell surfaces as extra ring wait: record the
+        // retries inside the stall window that submit already charged.
+        if let Recovery::Retried { backoffs } = &ring_rec {
+            self.timeline.push(
+                TraceEvent::new(
+                    EventKind::FaultInjected {
+                        site: FaultSite::RingDoorbell,
+                        attempts: backoffs.len() as u32,
+                    },
+                    submit_at,
+                    submit_at,
+                )
+                .on_stream(stream)
+                .with_correlation(corr),
+            );
+            let mut cursor = submit_at;
+            for (i, b) in backoffs.iter().enumerate() {
+                self.timeline.push(
+                    TraceEvent::new(
+                        EventKind::Retry {
+                            site: FaultSite::RingDoorbell,
+                            attempt: i as u32 + 1,
+                        },
+                        cursor,
+                        cursor + *b,
+                    )
+                    .on_stream(stream)
+                    .with_correlation(corr),
+                );
+                cursor += *b;
+            }
+        }
         let lqt = gap + sched.submission.ring_wait;
         let launch_start = sched.submission.admitted;
         let launch_end = launch_start + klo;
@@ -1062,6 +1243,38 @@ impl CudaContext {
                 .with_correlation(corr),
             );
         }
+        // Injected migration retries extend the kernel's exec window;
+        // they sit right after the regular fault-service span.
+        let mut uvm_cursor = sched.exec.start + fault_time;
+        for penalties in &uvm_penalties {
+            self.timeline.push(
+                TraceEvent::new(
+                    EventKind::FaultInjected {
+                        site: FaultSite::UvmMigration,
+                        attempts: penalties.len() as u32,
+                    },
+                    uvm_cursor,
+                    uvm_cursor,
+                )
+                .on_stream(stream)
+                .with_correlation(corr),
+            );
+            for (i, p) in penalties.iter().enumerate() {
+                self.timeline.push(
+                    TraceEvent::new(
+                        EventKind::Retry {
+                            site: FaultSite::UvmMigration,
+                            attempt: i as u32 + 1,
+                        },
+                        uvm_cursor,
+                        uvm_cursor + *p,
+                    )
+                    .on_stream(stream)
+                    .with_correlation(corr),
+                );
+                uvm_cursor += *p;
+            }
+        }
         self.timeline.push(
             TraceEvent::new(
                 EventKind::Kernel {
@@ -1100,7 +1313,7 @@ impl CudaContext {
                 available: dsize,
             });
         }
-        let elapsed = {
+        let (elapsed, recovery) = {
             let plan = self.plan_copy(bytes, HostMemKind::Pageable, CopyKind::H2D);
             self.execute_blocking_copy(bytes, plan)?
         };
@@ -1112,6 +1325,21 @@ impl CudaContext {
                 let nonce = [0x07u8; 12];
                 let tag = self.gcm.encrypt(&nonce, &[], &mut staged);
                 debug_assert_ne!(staged, data, "ciphertext must differ for non-empty data");
+                if !recovery.is_clean() {
+                    // The injected fault corrupted the tag in transit:
+                    // verification must reject it before the retry
+                    // re-sends the chunk with the genuine tag.
+                    let mut bad_tag = tag;
+                    bad_tag[0] ^= 0x01;
+                    let mut first_attempt = staged.clone();
+                    if self
+                        .gcm
+                        .decrypt(&nonce, &[], &mut first_attempt, &bad_tag)
+                        .is_ok()
+                    {
+                        return Err(RuntimeError::Integrity);
+                    }
+                }
                 self.gcm
                     .decrypt(&nonce, &[], &mut staged, &tag)
                     .map_err(|_| RuntimeError::Integrity)?;
@@ -1130,12 +1358,26 @@ impl CudaContext {
     pub fn download_bytes(&mut self, src: DevicePtr, len: u64) -> Result<Vec<u8>> {
         let bytes = ByteSize::bytes(len);
         let plan = self.plan_copy(bytes, HostMemKind::Pageable, CopyKind::D2H);
-        self.execute_blocking_copy(bytes, plan)?;
+        let (_, recovery) = self.execute_blocking_copy(bytes, plan)?;
         let mut data = self.gpu.hbm().read(src, 0, len)?;
         if self.cfg.cc.is_on() {
             // Round-trip through the encrypted channel.
             let nonce = [0x09u8; 12];
             let tag = self.gcm.encrypt(&nonce, &[], &mut data);
+            if !recovery.is_clean() {
+                // Injected tag corruption: the first verification fails,
+                // the retry delivers the genuine tag.
+                let mut bad_tag = tag;
+                bad_tag[0] ^= 0x01;
+                let mut first_attempt = data.clone();
+                if self
+                    .gcm
+                    .decrypt(&nonce, &[], &mut first_attempt, &bad_tag)
+                    .is_ok()
+                {
+                    return Err(RuntimeError::Integrity);
+                }
+            }
             self.gcm
                 .decrypt(&nonce, &[], &mut data, &tag)
                 .map_err(|_| RuntimeError::Integrity)?;

@@ -355,6 +355,113 @@ mod tests {
     }
 
     #[test]
+    fn seeded_fault_plan_attributes_t_fault() {
+        use hcc_types::{FaultPlan, FaultSite};
+        let plan = FaultPlan::uniform(7, 1.0).with_max_per_site(2);
+        let mut c = CudaContext::new(
+            SimConfig::new(CcMode::On)
+                .with_seed(3)
+                .with_fault_plan(plan),
+        );
+        let h = c
+            .malloc_host(ByteSize::mib(8), HostMemKind::Pageable)
+            .unwrap();
+        let d = c.malloc_device(ByteSize::mib(8)).unwrap();
+        c.memcpy_h2d(d, h, ByteSize::mib(8)).unwrap();
+        c.synchronize();
+        let mm = c.timeline().mem_metrics();
+        assert!(mm.faults_injected > 0, "no faults injected");
+        assert!(mm.fault_retries > 0, "no retries recorded");
+        assert!(!mm.fault_time.is_zero(), "T_fault must be nonzero");
+        let totals = c.timeline().phase_totals();
+        assert_eq!(totals.t_fault, mm.fault_time);
+        let counts = c.fault_counts();
+        assert!(counts.injected > 0 && counts.recovered > 0);
+        // The GCM site fired, so the functional round-trip must still
+        // deliver the bytes (recovery never loses data).
+        let plan2 = FaultPlan::none().with_rate(FaultSite::GcmTagH2D, 1.0);
+        let mut c2 = CudaContext::new(
+            SimConfig::new(CcMode::On).with_fault_plan(plan2.with_max_per_site(1)),
+        );
+        let dev = c2.malloc_device(ByteSize::kib(4)).unwrap();
+        let payload: Vec<u8> = (0..4096).map(|x| (x % 251) as u8).collect();
+        c2.upload_bytes(dev, &payload).unwrap();
+        assert_eq!(c2.download_bytes(dev, 4096).unwrap(), payload);
+    }
+
+    #[test]
+    fn abort_policy_surfaces_typed_errors() {
+        use hcc_types::{FaultPlan, FaultSite, RecoveryPolicy};
+        let mk = |site: FaultSite| {
+            SimConfig::new(CcMode::On)
+                .with_fault_plan(FaultPlan::none().with_rate(site, 1.0))
+                .with_recovery(RecoveryPolicy::Abort)
+        };
+        let mut c = CudaContext::new(mk(FaultSite::GcmTagH2D));
+        let h = c
+            .malloc_host(ByteSize::mib(1), HostMemKind::Pageable)
+            .unwrap();
+        let d = c.malloc_device(ByteSize::mib(1)).unwrap();
+        assert!(matches!(
+            c.memcpy_h2d(d, h, ByteSize::mib(1)),
+            Err(RuntimeError::Integrity)
+        ));
+        let mut c = CudaContext::new(mk(FaultSite::BounceExhausted));
+        let h = c
+            .malloc_host(ByteSize::mib(1), HostMemKind::Pageable)
+            .unwrap();
+        let d = c.malloc_device(ByteSize::mib(1)).unwrap();
+        assert!(matches!(
+            c.memcpy_h2d(d, h, ByteSize::mib(1)),
+            Err(RuntimeError::Bounce(_))
+        ));
+        let mut c = CudaContext::new(mk(FaultSite::RingDoorbell));
+        let desc = KernelDesc::new(KernelId(0), SimDuration::micros(50));
+        assert!(matches!(
+            c.launch_kernel(&desc, c.default_stream()),
+            Err(RuntimeError::Unrecoverable {
+                site: FaultSite::RingDoorbell,
+                ..
+            })
+        ));
+        let mut c = CudaContext::new(mk(FaultSite::UvmMigration));
+        let m = c.malloc_managed(ByteSize::mib(1)).unwrap();
+        let desc = KernelDesc::new(KernelId(1), SimDuration::micros(50))
+            .with_managed(ManagedAccess::all(m));
+        assert!(matches!(
+            c.launch_kernel(&desc, c.default_stream()),
+            Err(RuntimeError::Uvm(_))
+        ));
+    }
+
+    #[test]
+    fn fault_runs_replay_deterministically() {
+        use hcc_types::FaultPlan;
+        let run = || {
+            let plan = FaultPlan::uniform(11, 0.5).with_max_per_site(4);
+            let mut c = CudaContext::new(
+                SimConfig::new(CcMode::On)
+                    .with_seed(9)
+                    .with_fault_plan(plan),
+            );
+            let h = c
+                .malloc_host(ByteSize::mib(4), HostMemKind::Pageable)
+                .unwrap();
+            let d = c.malloc_device(ByteSize::mib(4)).unwrap();
+            c.memcpy_h2d(d, h, ByteSize::mib(4)).unwrap();
+            let m = c.malloc_managed(ByteSize::mib(4)).unwrap();
+            let desc = KernelDesc::new(KernelId(0), SimDuration::micros(200))
+                .with_managed(ManagedAccess::all(m));
+            for _ in 0..10 {
+                c.launch_kernel(&desc, c.default_stream()).unwrap();
+            }
+            c.synchronize();
+            c.into_timeline()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn crypto_workers_speed_up_cc_transfers() {
         let size = ByteSize::mib(256);
         let run = |workers: u32| {

@@ -2,7 +2,7 @@
 //! every CC DMA transfer must ride through (paper Sec. II-A / VI-A).
 
 use hcc_types::calib::TdxCalib;
-use hcc_types::{ByteSize, CcMode, SimDuration};
+use hcc_types::{ByteSize, CcMode, FaultInjector, FaultSite, Recovery, SimDuration};
 
 use crate::td::TdContext;
 
@@ -189,6 +189,50 @@ impl BounceBufferPool {
         })
     }
 
+    /// Like [`BounceBufferPool::reserve`], but consults the fault injector
+    /// first: an injected [`FaultSite::BounceExhausted`] models transient
+    /// pool contention (other devices' DMA holding swiotlb slabs).
+    ///
+    /// The returned [`Recovery`] tells the caller what the injector
+    /// decided, so the runtime can charge backoff waits and emit fault
+    /// events — this layer only shapes the reservation:
+    /// `Recovery::Retried` reserves normally (the contention was waited
+    /// out), `Recovery::Degraded` reserves a chunk shrunk by the degrade
+    /// factor (floored at one conversion page), and `Recovery::Aborted`
+    /// surfaces as [`BounceError::Exhausted`].
+    ///
+    /// In `CcMode::Off` contexts no fault is drawn: there is no bounce
+    /// pool to exhaust.
+    ///
+    /// # Errors
+    /// As [`BounceBufferPool::reserve`], plus the injected exhaustion.
+    pub fn reserve_with_faults(
+        &mut self,
+        td: &mut TdContext,
+        size: ByteSize,
+        faults: &mut FaultInjector,
+    ) -> Result<(BounceReservation, Recovery), BounceError> {
+        if td.cc_mode() == CcMode::Off {
+            return self.reserve(td, size).map(|r| (r, Recovery::Clean));
+        }
+        let recovery = faults.recover(FaultSite::BounceExhausted);
+        match &recovery {
+            Recovery::Aborted { .. } => Err(BounceError::Exhausted {
+                requested: size,
+                available: self.capacity.saturating_sub(self.in_use),
+            }),
+            Recovery::Degraded { factor } => {
+                let shrunk = ByteSize::bytes(size.as_u64() / u64::from(*factor).max(1))
+                    .max(CONVERT_PAGE)
+                    .min(size);
+                self.reserve(td, shrunk).map(|r| (r, recovery))
+            }
+            Recovery::Clean | Recovery::Retried { .. } => {
+                self.reserve(td, size).map(|r| (r, recovery))
+            }
+        }
+    }
+
     /// Releases `size` bytes back to the pool.
     ///
     /// # Panics
@@ -269,5 +313,44 @@ mod tests {
     fn over_release_panics() {
         let mut pool = BounceBufferPool::new(ByteSize::mib(4));
         pool.release(ByteSize::mib(1));
+    }
+
+    #[test]
+    fn faulty_reserve_matches_clean_reserve_under_empty_plan() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let mut inj = FaultInjector::new(FaultPlan::none(), RecoveryPolicy::default(), 1);
+        let mut td = td_on();
+        let mut pool = BounceBufferPool::new(ByteSize::mib(8));
+        let (r, rec) = pool
+            .reserve_with_faults(&mut td, ByteSize::mib(4), &mut inj)
+            .unwrap();
+        assert!(rec.is_clean());
+        let mut td2 = td_on();
+        let mut pool2 = BounceBufferPool::new(ByteSize::mib(8));
+        assert_eq!(r, pool2.reserve(&mut td2, ByteSize::mib(4)).unwrap());
+    }
+
+    #[test]
+    fn injected_exhaustion_aborts_or_degrades_by_policy() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let plan = FaultPlan::none().with_rate(FaultSite::BounceExhausted, 1.0);
+        let mut td = td_on();
+        let mut pool = BounceBufferPool::new(ByteSize::mib(8));
+
+        let mut abort = FaultInjector::new(plan.clone(), RecoveryPolicy::Abort, 1);
+        assert!(matches!(
+            pool.reserve_with_faults(&mut td, ByteSize::mib(4), &mut abort),
+            Err(BounceError::Exhausted { .. })
+        ));
+
+        let degrade = RecoveryPolicy::Degrade {
+            min_chunk: ByteSize::kib(64),
+        };
+        let mut inj = FaultInjector::new(plan, degrade, 1);
+        let (r, rec) = pool
+            .reserve_with_faults(&mut td, ByteSize::mib(4), &mut inj)
+            .unwrap();
+        assert!(matches!(rec, Recovery::Degraded { factor: 2 }));
+        assert_eq!(r.size, ByteSize::mib(2));
     }
 }

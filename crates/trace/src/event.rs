@@ -1,7 +1,7 @@
 //! Trace events — the simulator's equivalent of an Nsight Systems export.
 
 use hcc_types::json::{Json, ToJson};
-use hcc_types::{ByteSize, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime};
+use hcc_types::{ByteSize, CopyKind, FaultSite, HostMemKind, MemSpace, SimDuration, SimTime};
 
 /// Identifies a kernel *function* (not an individual launch), so repeated
 /// launches of the same kernel can be grouped (Fig. 10/12a).
@@ -97,6 +97,29 @@ pub enum EventKind {
         /// Bytes migrated.
         bytes: ByteSize,
     },
+    /// An injected fault struck a guarded operation. The span covers the
+    /// detection instant (often zero-width); `attempts` counts the failed
+    /// attempts the recovery absorbed for this operation.
+    FaultInjected {
+        /// Where the fault struck.
+        site: FaultSite,
+        /// Failed attempts, counting the initial one.
+        attempts: u32,
+    },
+    /// One recovery retry: the span covers the backoff wait plus the
+    /// re-done work, and sums into `T_fault`.
+    Retry {
+        /// Site being recovered.
+        site: FaultSite,
+        /// 1-based retry number.
+        attempt: u32,
+    },
+    /// Recovery degraded staging to smaller chunks; the span is the extra
+    /// per-chunk setup charged, and sums into `T_fault`.
+    Degraded {
+        /// Site that degraded.
+        site: FaultSite,
+    },
 }
 
 impl EventKind {
@@ -112,6 +135,9 @@ impl EventKind {
             EventKind::Crypto { .. } => "crypto",
             EventKind::Hypercall { .. } => "hypercall",
             EventKind::UvmFault { .. } => "uvm_fault",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Degraded { .. } => "degraded",
         }
     }
 }
@@ -230,6 +256,17 @@ impl ToJson for EventKind {
                 put("pages", Json::U64(*pages));
                 put("bytes", bytes.to_json());
             }
+            EventKind::FaultInjected { site, attempts } => {
+                put("site", Json::Str(site.name().to_string()));
+                put("attempts", Json::U64(u64::from(*attempts)));
+            }
+            EventKind::Retry { site, attempt } => {
+                put("site", Json::Str(site.name().to_string()));
+                put("attempt", Json::U64(u64::from(*attempt)));
+            }
+            EventKind::Degraded { site } => {
+                put("site", Json::Str(site.name().to_string()));
+            }
         }
         Json::Obj(fields)
     }
@@ -315,9 +352,23 @@ mod tests {
                 pages: 1,
                 bytes: ByteSize::kib(64),
             },
+            EventKind::FaultInjected {
+                site: FaultSite::GcmTagH2D,
+                attempts: 1,
+            },
+            EventKind::Retry {
+                site: FaultSite::BounceExhausted,
+                attempt: 1,
+            },
+            EventKind::Degraded {
+                site: FaultSite::GcmTagD2H,
+            },
         ];
         let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
-        assert_eq!(tags.len(), 9);
+        assert_eq!(tags.len(), 12);
         assert!(tags.contains(&"uvm_fault"));
+        assert!(tags.contains(&"fault"));
+        assert!(tags.contains(&"retry"));
+        assert!(tags.contains(&"degraded"));
     }
 }

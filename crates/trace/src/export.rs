@@ -18,6 +18,10 @@ fn track_of(event: &TraceEvent) -> (&'static str, u32) {
         | EventKind::Free { .. }
         | EventKind::Sync => ("host", 0),
         EventKind::Crypto { .. } | EventKind::Hypercall { .. } => ("host", 1),
+        // Fault recovery is host-runtime work; give it its own row.
+        EventKind::FaultInjected { .. } | EventKind::Retry { .. } | EventKind::Degraded { .. } => {
+            ("host", 2)
+        }
         EventKind::Kernel { .. } | EventKind::UvmFault { .. } => ("gpu", 10),
         EventKind::Memcpy { kind, .. } => match kind {
             CopyKind::H2D => ("gpu", 11),
@@ -71,6 +75,11 @@ fn name_of(event: &TraceEvent) -> String {
         }
         EventKind::Hypercall { reason } => format!("tdx_hypercall({reason})"),
         EventKind::UvmFault { pages, .. } => format!("uvm fault service ({pages} pages)"),
+        EventKind::FaultInjected { site, attempts } => {
+            format!("fault injected [{site}] x{attempts}")
+        }
+        EventKind::Retry { site, attempt } => format!("retry [{site}] #{attempt}"),
+        EventKind::Degraded { site } => format!("degraded staging [{site}]"),
     }
 }
 

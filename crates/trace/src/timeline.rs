@@ -151,6 +151,18 @@ impl Timeline {
                     m.uvm_pages += pages;
                     m.uvm_bytes += *bytes;
                 }
+                EventKind::FaultInjected { attempts, .. } => {
+                    m.faults_injected += u64::from(*attempts);
+                    m.fault_time += e.duration();
+                }
+                EventKind::Retry { .. } => {
+                    m.fault_retries += 1;
+                    m.fault_time += e.duration();
+                }
+                EventKind::Degraded { .. } => {
+                    m.fault_degrades += 1;
+                    m.fault_time += e.duration();
+                }
                 EventKind::Launch { .. } | EventKind::Kernel { .. } => {}
             }
         }
@@ -172,6 +184,7 @@ impl Timeline {
             t_launch: lm.total_klo() + lm.total_lqt(),
             t_kernel: lm.total_ket() + lm.total_kqt(),
             t_other: mm.management_total() + exposed_sync,
+            t_fault: mm.fault_time,
             span: self.span(),
         }
     }
@@ -379,6 +392,16 @@ pub struct MemMetrics {
     pub uvm_pages: u64,
     /// UVM bytes migrated.
     pub uvm_bytes: ByteSize,
+    /// Injected fault attempts (initial failures plus failed retries).
+    pub faults_injected: u64,
+    /// Recovery retries taken.
+    pub fault_retries: u64,
+    /// Degrade-to-smaller-chunks recoveries taken.
+    pub fault_degrades: u64,
+    /// Total recovery time (`T_fault`): the summed spans of
+    /// `FaultInjected`, `Retry`, and `Degraded` events. Zero when the
+    /// fault plan is empty.
+    pub fault_time: SimDuration,
 }
 
 impl MemMetrics {
@@ -404,13 +427,21 @@ pub struct PhaseTotals {
     pub t_kernel: SimDuration,
     /// Part D: alloc/free/sync (`T_other`).
     pub t_other: SimDuration,
+    /// Fault-recovery attribution (`T_fault`): time spent in injected-fault
+    /// recovery (backoffs, re-done staging/crypto, degraded setup). This is
+    /// an *overlay*, not a fifth serial phase — recovery happens inside the
+    /// host spans it interrupts (a retried staging chunk lengthens the
+    /// `Memcpy` span that contains it), mirroring how exposed sync overlaps
+    /// kernel execution. Zero whenever the fault plan is empty.
+    pub t_fault: SimDuration,
     /// Observed end-to-end span `P`.
     pub span: SimDuration,
 }
 
 impl PhaseTotals {
     /// Serial (no-overlap) sum of the four phases — the model's `P` when
-    /// `α = β = 0`.
+    /// `α = β = 0`. `T_fault` is excluded: it is attribution *within* the
+    /// four phases, not additional serial time.
     pub fn serial_sum(&self) -> SimDuration {
         self.t_mem + self.t_launch + self.t_kernel + self.t_other
     }

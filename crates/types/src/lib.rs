@@ -22,6 +22,7 @@
 //! ```
 
 pub mod calib;
+pub mod fault;
 pub mod hash;
 pub mod json;
 pub mod mode;
@@ -29,6 +30,7 @@ pub mod rng;
 mod size;
 mod time;
 
+pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultSite, Recovery, RecoveryPolicy};
 pub use mode::{CcMode, CopyKind, CpuModel, HostMemKind, MemSpace};
 pub use size::{Bandwidth, ByteSize};
 pub use time::{SimDuration, SimTime};

@@ -3,7 +3,7 @@
 use hcc_gpu::{Gmmu, GmmuError, ManagedId};
 use hcc_tee::TdContext;
 use hcc_types::calib::UvmCalib;
-use hcc_types::{ByteSize, CcMode, SimDuration};
+use hcc_types::{ByteSize, CcMode, FaultInjector, FaultSite, Recovery, SimDuration};
 
 /// Errors from UVM driver operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,12 +11,20 @@ use hcc_types::{ByteSize, CcMode, SimDuration};
 pub enum UvmError {
     /// Underlying GMMU rejected the access.
     Gmmu(GmmuError),
+    /// An injected migration fault exhausted its recovery budget.
+    Migration {
+        /// Failed attempts, counting the initial one.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for UvmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UvmError::Gmmu(e) => write!(f, "gmmu: {e}"),
+            UvmError::Migration { attempts } => {
+                write!(f, "uvm migration failed after {attempts} attempts")
+            }
         }
     }
 }
@@ -25,6 +33,7 @@ impl std::error::Error for UvmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             UvmError::Gmmu(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -207,6 +216,40 @@ impl UvmDriver {
         })
     }
 
+    /// Like [`UvmDriver::service_access`], but consults the fault injector
+    /// for a [`FaultSite::UvmMigration`] failure before migrating. The
+    /// draw happens only when the access actually has faulting pages, so a
+    /// resident re-touch costs no randomness.
+    ///
+    /// A retried failure means the migration's fault round trip was wasted
+    /// and re-issued after backoff; the caller charges that lost time (one
+    /// [`UvmCalib::fault_latency`] per retry plus the backoffs carried in
+    /// the returned [`Recovery`]) and emits the trace events. An aborted
+    /// recovery returns [`UvmError::Migration`] with the pages still
+    /// host-resident — nothing was migrated.
+    ///
+    /// # Errors
+    /// As [`UvmDriver::service_access`], plus the injected abort.
+    pub fn service_access_with_faults(
+        &mut self,
+        gmmu: &mut Gmmu,
+        td: &mut TdContext,
+        id: ManagedId,
+        first: u64,
+        count: u64,
+        faults: &mut FaultInjector,
+    ) -> Result<(FaultService, Recovery), UvmError> {
+        if gmmu.peek_fault_count(id, first, count)? == 0 {
+            return Ok((FaultService::empty(), Recovery::Clean));
+        }
+        let recovery = faults.recover(FaultSite::UvmMigration);
+        if let Recovery::Aborted { attempts } = recovery {
+            return Err(UvmError::Migration { attempts });
+        }
+        let service = self.service_access(gmmu, td, id, first, count)?;
+        Ok((service, recovery))
+    }
+
     fn service_batch(
         &self,
         td: &mut TdContext,
@@ -379,6 +422,53 @@ mod tests {
             drv.evict(&mut gmmu, &mut td, id, &[]).unwrap(),
             SimDuration::ZERO
         );
+    }
+
+    #[test]
+    fn faulty_service_matches_clean_service_under_empty_plan() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let mut inj = FaultInjector::new(FaultPlan::none(), RecoveryPolicy::default(), 1);
+        let (mut a, mut gmmu_a, mut td_a, id) = setup(CcMode::On);
+        let (mut b, mut gmmu_b, mut td_b, _) = setup(CcMode::On);
+        let clean = a.service_access(&mut gmmu_a, &mut td_a, id, 0, 64).unwrap();
+        let (faulty, rec) = b
+            .service_access_with_faults(&mut gmmu_b, &mut td_b, id, 0, 64, &mut inj)
+            .unwrap();
+        assert!(rec.is_clean());
+        assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn injected_migration_failure_aborts_without_migrating() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let plan = FaultPlan::none().with_rate(FaultSite::UvmMigration, 1.0);
+        let mut inj = FaultInjector::new(plan, RecoveryPolicy::Abort, 1);
+        let (mut drv, mut gmmu, mut td, id) = setup(CcMode::On);
+        let err = drv
+            .service_access_with_faults(&mut gmmu, &mut td, id, 0, 64, &mut inj)
+            .unwrap_err();
+        assert!(matches!(err, UvmError::Migration { attempts: 1 }));
+        assert_eq!(drv.stats().pages_migrated, 0);
+        // Pages are still host-resident: a clean retry services them all.
+        let again = drv.service_access(&mut gmmu, &mut td, id, 0, 64).unwrap();
+        assert_eq!(again.pages, 64);
+    }
+
+    #[test]
+    fn resident_retouch_draws_no_fault() {
+        use hcc_types::{FaultPlan, RecoveryPolicy};
+        let plan = FaultPlan::none().with_rate(FaultSite::UvmMigration, 1.0);
+        let mut inj = FaultInjector::new(plan, RecoveryPolicy::Abort, 1);
+        let (mut drv, mut gmmu, mut td, id) = setup(CcMode::On);
+        drv.service_access(&mut gmmu, &mut td, id, 0, 32).unwrap();
+        // All pages resident: no migration, so no fault drawn even at
+        // rate 1.0.
+        let (s, rec) = drv
+            .service_access_with_faults(&mut gmmu, &mut td, id, 0, 32, &mut inj)
+            .unwrap();
+        assert_eq!(s.pages, 0);
+        assert!(rec.is_clean());
+        assert_eq!(inj.counts().injected, 0);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum RunError {
     },
     /// Runtime call failed.
     Runtime(RuntimeError),
+    /// The scenario panicked; the engine caught the unwind and converted
+    /// it into this structured failure instead of taking down the batch.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -46,6 +52,7 @@ impl std::fmt::Display for RunError {
                 write!(f, "unknown {table} {name:?}")
             }
             RunError::Runtime(e) => write!(f, "runtime: {e}"),
+            RunError::Panicked { message } => write!(f, "panicked: {message}"),
         }
     }
 }
@@ -201,6 +208,7 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
                 })?;
                 ctx.free_managed(m)?;
             }
+            Op::Crash { message } => panic!("{message}"),
         }
     }
     ctx.synchronize();

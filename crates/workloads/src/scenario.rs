@@ -193,6 +193,10 @@ fn mix_op(h: &mut Fnv64, op: &Op) {
             h.write_u8(10);
             h.write_u64(*slot as u64);
         }
+        Op::Crash { message } => {
+            h.write_u8(11);
+            h.write_str(message);
+        }
     }
 }
 

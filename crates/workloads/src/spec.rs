@@ -118,6 +118,12 @@ pub enum Op {
         /// Slot to free.
         slot: usize,
     },
+    /// Deliberately panic (chaos op for exercising batch isolation: the
+    /// experiment engine must contain this to one scenario).
+    Crash {
+        /// Panic payload.
+        message: &'static str,
+    },
 }
 
 /// A complete benchmark specification.

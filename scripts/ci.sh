@@ -53,3 +53,29 @@ fi
 
 grep -A 6 "== experiment engine ==" "$t2_dir/parallel.stats" || true
 echo "tier-2: OK (stdout identical, $hits cache hits)"
+
+# Tier-2 fault smoke: a fixed seeded fault plan must replay byte-for-byte
+# across worker counts and attribute nonzero recovery time (T_fault).
+echo "==> tier-2: fault sweep determinism under a seeded plan"
+plan="seed=7,gcm=0.35,bounce=0.3,ring=0.3,uvm=0.35,max=6"
+HCC_ENGINE_THREADS=1 ./target/release/fault_sweep --plan "$plan" \
+    >"$t2_dir/fault1.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/fault_sweep --plan "$plan" \
+    >"$t2_dir/fault4.out" 2>/dev/null
+
+if ! diff -u "$t2_dir/fault1.out" "$t2_dir/fault4.out"; then
+    echo "tier-2: FAIL — fault_sweep stdout differs between 1 and 4 threads" >&2
+    exit 1
+fi
+
+if grep -q "^total T_fault across suite: 0ns$" "$t2_dir/fault1.out"; then
+    echo "tier-2: FAIL — seeded fault plan attributed zero T_fault" >&2
+    exit 1
+fi
+
+# A deliberately panicking scenario must become a structured failure
+# while the rest of its batch completes (exit 0 = contained).
+echo "==> tier-2: panic containment in the experiment engine"
+./target/release/fault_sweep --panic-smoke
+
+echo "tier-2: OK (fault sweep deterministic, panic contained)"
