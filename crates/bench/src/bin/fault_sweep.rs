@@ -103,7 +103,7 @@ fn sweep(plan: FaultPlan) {
 
     // Wall-clock engine statistics (cache hits, fault counters) go to
     // stderr so stdout stays thread-count invariant.
-    eprint!("\n{}", engine::global().stats().render());
+    engine::emit_stats();
     report::exit_on_failures(&failures);
 }
 

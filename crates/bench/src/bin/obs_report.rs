@@ -1,0 +1,200 @@
+//! Observability report: per-scenario queue depths from the virtual-time
+//! metrics plane, with the saturated resource flagged per row.
+//!
+//! Runs every standard app in both modes with metrics forced on (the
+//! simulated traces are identical to the obs-off runs — the plane only
+//! observes), prints peak and time-weighted mean depth for the principal
+//! queues, and names the queue whose integrated waiting time dominates.
+//!
+//! Every snapshot is round-tripped through the in-repo JSON parser as a
+//! self-check; `--json <path>` / `--prom <path>` additionally write the
+//! machine-readable exports (all snapshots as JSON; the worst scenario's
+//! Prometheus text page).
+
+use hcc_bench::{engine, figures, report};
+use hcc_trace::metrics::{to_prometheus, MetricsSet};
+use hcc_types::json::{Json, ToJson};
+use hcc_types::{CcMode, SimDuration};
+use hcc_workloads::{suites, Scenario};
+
+/// Queue-style gauges (unit: items waiting) ranked when flagging the
+/// saturated resource. Occupancy gauges in other units (bounce bytes)
+/// are reported but never ranked against these.
+const QUEUES: [&str; 7] = [
+    "gpu.cp.queue",
+    "gpu.compute.queue",
+    "gpu.copy-h2d.queue",
+    "gpu.copy-d2h.queue",
+    "gpu.copy-d2d.queue",
+    "tee.crypto.queue",
+    "uvm.migration_backlog",
+];
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for spec in suites::all() {
+        for cc in CcMode::ALL {
+            out.push(Scenario::standard(
+                spec.name,
+                figures::cfg(cc).with_metrics(true),
+            ));
+        }
+    }
+    out
+}
+
+/// The queue with the largest integrated waiting time, with that
+/// integral — `None` when every queue stayed empty.
+fn saturated(set: &MetricsSet) -> Option<(&'static str, SimDuration)> {
+    QUEUES
+        .iter()
+        .filter_map(|&name| Some((name, set.gauge_integral(name)?)))
+        .filter(|(_, wait)| !wait.is_zero())
+        .max_by_key(|&(_, wait)| wait)
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            "--prom" => prom_path = args.next(),
+            other => {
+                eprintln!("unknown argument {other:?} (expected --json <path> | --prom <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    report::section("observability — queue depth & saturation per scenario");
+    println!(
+        "{:<16} {:>4} {:>7} {:>9} {:>7} {:>9} {:>7} {:>9}  {}",
+        "app",
+        "mode",
+        "ring.pk",
+        "ring.mean",
+        "cmp.pk",
+        "cmp.mean",
+        "uvm.pk",
+        "uvm.mean",
+        "saturated"
+    );
+
+    let batch = scenarios();
+    let results = engine::global().run_all(&batch);
+
+    let mut total_samples = 0usize;
+    let mut flagged = 0usize;
+    let mut json_rows: Vec<Json> = Vec::new();
+    // The scenario whose saturated queue waited longest overall — its
+    // Prometheus page is the most interesting one to export.
+    let mut worst: Option<(String, SimDuration, MetricsSet)> = None;
+
+    for (scenario, result) in batch.iter().zip(&results) {
+        let run = match result.run() {
+            Ok(run) => run,
+            Err(f) => {
+                println!("!! {f}");
+                continue;
+            }
+        };
+        let set = run
+            .metrics
+            .as_ref()
+            .expect("metrics-enabled scenario carries a snapshot");
+
+        // Self-check: the snapshot must survive the in-repo JSON parser.
+        let reparsed = Json::parse(&set.to_json_string()).expect("snapshot JSON parses");
+        assert!(
+            reparsed.get("gauges").is_some(),
+            "snapshot JSON lost its gauges"
+        );
+
+        let span = run.timeline.span();
+        let depth = |name: &str| {
+            set.gauge_series(name)
+                .map(|s| (s.peak(), s.mean_over(span)))
+                .unwrap_or((0, 0.0))
+        };
+        let (ring_pk, ring_mean) = depth("gpu.ring.occupancy");
+        let (cmp_pk, cmp_mean) = depth("gpu.compute.queue");
+        let (uvm_pk, uvm_mean) = depth("uvm.outstanding_faults");
+
+        let hot = saturated(set);
+        let hot_label = match hot {
+            Some((name, wait)) => {
+                flagged += 1;
+                format!("{name} (waited {wait})")
+            }
+            None => "-".to_string(),
+        };
+        total_samples += set.total_samples();
+
+        println!(
+            "{:<16} {:>4} {:>7} {:>9.3} {:>7} {:>9.3} {:>7} {:>9.3}  {}",
+            scenario.app_name(),
+            scenario.cc().to_string(),
+            ring_pk,
+            ring_mean,
+            cmp_pk,
+            cmp_mean,
+            uvm_pk,
+            uvm_mean,
+            hot_label
+        );
+
+        if let Some((_, wait)) = hot {
+            let replace = worst.as_ref().is_none_or(|(_, w, _)| wait > *w);
+            if replace {
+                worst = Some((result.label.clone(), wait, set.clone()));
+            }
+        }
+        json_rows.push(Json::Obj(vec![
+            (
+                "app".to_string(),
+                Json::Str(scenario.app_name().to_string()),
+            ),
+            ("cc".to_string(), Json::Str(scenario.cc().to_string())),
+            (
+                "saturated".to_string(),
+                match hot {
+                    Some((name, _)) => Json::Str(name.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("metrics".to_string(), set.to_json()),
+        ]));
+    }
+
+    println!(
+        "\nsnapshots: {} scenarios, {} samples, {} saturated (json round-trip OK)",
+        results.len(),
+        total_samples,
+        flagged
+    );
+    if let Some((label, wait, _)) = &worst {
+        println!("hottest scenario: {label} (saturated queue waited {wait})");
+    }
+
+    if let Some(path) = json_path {
+        let doc = Json::Arr(json_rows);
+        if let Err(e) = std::fs::write(&path, doc.to_string()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = prom_path {
+        let page = match &worst {
+            Some((_, _, set)) => to_prometheus(set),
+            None => String::new(),
+        };
+        if let Err(e) = std::fs::write(&path, page) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    engine::emit_stats();
+}

@@ -149,5 +149,5 @@ fn main() {
 
     // Wall-clock engine statistics go to stderr, keeping stdout
     // deterministic across thread counts.
-    eprint!("\n{}", engine::global().stats().render());
+    engine::emit_stats();
 }

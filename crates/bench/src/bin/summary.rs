@@ -218,7 +218,7 @@ fn main() {
     // Engine statistics carry wall-clock times, so they go to stderr:
     // stdout stays byte-identical across HCC_ENGINE_THREADS settings
     // (the tier-2 CI smoke diffs it).
-    eprint!("\n{}", engine::global().stats().render());
+    engine::emit_stats();
 
     report::exit_on_failures(&failures);
 }

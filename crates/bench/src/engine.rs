@@ -28,10 +28,14 @@
 //! ```
 
 use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
+use hcc_trace::{Histogram, MetricsSet};
+use hcc_types::json::ToJson;
+use hcc_types::SimDuration;
 use hcc_workloads::{runner, RunError, RunResult, Scenario};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked —
@@ -46,6 +50,10 @@ fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Environment variable selecting the worker-pool width of the process
 /// global engine (`HCC_ENGINE_THREADS=1` forces serial execution).
 pub const THREADS_ENV: &str = "HCC_ENGINE_THREADS";
+
+/// Environment variable naming a file that [`emit_stats`] fills with the
+/// end-of-run [`EngineStats`] as machine-readable JSON.
+pub const STATS_JSON_ENV: &str = "HCC_ENGINE_STATS_JSON";
 
 /// The memoized outcome of one scenario simulation.
 #[derive(Debug)]
@@ -126,6 +134,12 @@ pub struct EngineStats {
     pub recoveries: u64,
     /// Scenarios that ended in an error or a caught panic.
     pub failed_scenarios: u64,
+    /// Time spent in the memo-cache lookup section — the latency a
+    /// cache hit actually pays before its memoized result comes back.
+    pub cache_service: Duration,
+    /// Pool idle time: `batch_elapsed x workers - busy` summed over the
+    /// parallel batches, i.e. capacity the queue tail left unused.
+    pub worker_idle: Duration,
 }
 
 impl EngineStats {
@@ -170,6 +184,12 @@ impl EngineStats {
             "worker utilization:    {:.0}%\n",
             self.utilization() * 100.0
         ));
+        if !self.worker_idle.is_zero() {
+            out.push_str(&format!(
+                "worker idle:           {:.3} s\n",
+                self.worker_idle.as_secs_f64()
+            ));
+        }
         if self.faults_injected > 0 {
             out.push_str(&format!(
                 "faults injected:       {} ({} retries, {} recovered)\n",
@@ -192,6 +212,69 @@ impl EngineStats {
             ));
         }
         out
+    }
+
+    /// The engine's self-profile through the same registry the simulator
+    /// uses: counters for run/hit/fault totals, nanosecond counters for
+    /// the wall-clock accounts (serial-equivalent sim time, batch
+    /// elapsed, worker idle, cache service), and a log2 histogram of
+    /// per-scenario wall times. Wall-clock values live only here — never
+    /// on the simulation path — so figure stdout stays deterministic.
+    pub fn to_metrics(&self) -> MetricsSet {
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let mut set = MetricsSet::new();
+        set.push_counter("engine.threads", self.threads as u64);
+        set.push_counter("engine.scenarios_run", self.scenarios_run);
+        set.push_counter("engine.cache_hits", self.cache_hits);
+        set.push_counter("engine.failed_scenarios", self.failed_scenarios);
+        set.push_counter("engine.faults_injected", self.faults_injected);
+        set.push_counter("engine.fault_retries", self.fault_retries);
+        set.push_counter("engine.recoveries", self.recoveries);
+        set.push_counter("engine.sim_wall_ns", ns(self.sim_wall));
+        set.push_counter("engine.elapsed_ns", ns(self.elapsed));
+        set.push_counter("engine.worker_idle_ns", ns(self.worker_idle));
+        set.push_counter("engine.cache_service_ns", ns(self.cache_service));
+        let mut wall = Histogram::new();
+        for (_, w) in &self.per_scenario {
+            wall.record(SimDuration::from_nanos(ns(*w)));
+        }
+        set.push_hist("engine.scenario_wall", wall);
+        set
+    }
+}
+
+impl ToJson for EngineStats {
+    fn to_json(&self) -> hcc_types::json::Json {
+        use hcc_types::json::Json;
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let field = |k: &str, v: Json| (k.to_string(), v);
+        Json::Obj(vec![
+            field("threads", Json::U64(self.threads as u64)),
+            field("scenarios_run", Json::U64(self.scenarios_run)),
+            field("cache_hits", Json::U64(self.cache_hits)),
+            field("failed_scenarios", Json::U64(self.failed_scenarios)),
+            field("faults_injected", Json::U64(self.faults_injected)),
+            field("fault_retries", Json::U64(self.fault_retries)),
+            field("recoveries", Json::U64(self.recoveries)),
+            field("sim_wall_ns", Json::U64(ns(self.sim_wall))),
+            field("elapsed_ns", Json::U64(ns(self.elapsed))),
+            field("worker_idle_ns", Json::U64(ns(self.worker_idle))),
+            field("cache_service_ns", Json::U64(ns(self.cache_service))),
+            field(
+                "per_scenario",
+                Json::Arr(
+                    self.per_scenario
+                        .iter()
+                        .map(|(label, w)| {
+                            Json::Obj(vec![
+                                field("label", Json::Str(label.clone())),
+                                field("wall_ns", Json::U64(ns(*w))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -256,6 +339,7 @@ impl ExperimentEngine {
 
         // Collect the distinct cache misses, preserving first-seen order so
         // the work queue (and thus the stats listing) is deterministic.
+        let lookup_start = Instant::now();
         let mut pending: Vec<(u64, &Scenario)> = Vec::new();
         {
             let cache = relock(&self.cache);
@@ -266,8 +350,11 @@ impl ExperimentEngine {
                 }
             }
         }
+        let lookup = lookup_start.elapsed();
 
+        let exec_start = Instant::now();
         let fresh = self.execute(&pending);
+        let exec_elapsed = exec_start.elapsed();
 
         {
             let mut cache = relock(&self.cache);
@@ -280,6 +367,14 @@ impl ExperimentEngine {
             stats.scenarios_run += fresh.len() as u64;
             stats.cache_hits += (scenarios.len() - fresh.len()) as u64;
             stats.elapsed += batch_start.elapsed();
+            stats.cache_service += lookup;
+            // Idle capacity: the pool's tail latency. Only meaningful
+            // when work actually fanned out.
+            let workers = self.threads.min(fresh.len());
+            if workers > 1 {
+                let busy: Duration = fresh.iter().map(|e| e.wall).sum();
+                stats.worker_idle += (exec_elapsed * workers as u32).saturating_sub(busy);
+            }
             for entry in &fresh {
                 stats.sim_wall += entry.wall;
                 stats.per_scenario.push((entry.label.clone(), entry.wall));
@@ -380,6 +475,30 @@ impl ExperimentEngine {
 pub fn global() -> &'static ExperimentEngine {
     static GLOBAL: OnceLock<ExperimentEngine> = OnceLock::new();
     GLOBAL.get_or_init(ExperimentEngine::from_env)
+}
+
+/// The single end-of-run stats emission point for harness binaries.
+///
+/// Renders the global engine's stats block with **one** locked write to
+/// stderr — under `HCC_ENGINE_THREADS>1` the old per-bin `eprint!` calls
+/// could interleave with worker diagnostics mid-block — and, when
+/// [`STATS_JSON_ENV`] names a file, writes the same stats there as JSON.
+/// Call it once, after the last engine batch.
+pub fn emit_stats() {
+    let stats = global().stats();
+    let block = format!("\n{}", stats.render());
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = lock.write_all(block.as_bytes());
+    let _ = lock.flush();
+    drop(lock);
+    if let Ok(path) = std::env::var(STATS_JSON_ENV) {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, stats.to_json_string()) {
+                eprintln!("cannot write {STATS_JSON_ENV}={path}: {e}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -560,5 +679,43 @@ mod tests {
         let block = engine.stats().render();
         assert!(block.contains("cache hits: 1"));
         assert!(block.contains("worker threads:        2"));
+    }
+
+    #[test]
+    fn stats_json_round_trips_through_the_parser() {
+        use hcc_types::json::Json;
+        let engine = ExperimentEngine::new(2);
+        let _ = engine.run(&toy(1));
+        let _ = engine.run(&toy(1));
+        let stats = engine.stats();
+        let doc = Json::parse(&stats.to_json_string()).expect("stats JSON parses");
+        assert_eq!(doc.get("scenarios_run").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(2));
+        assert!(doc.get("sim_wall_ns").and_then(Json::as_u64).is_some());
+        let Some(Json::Arr(rows)) = doc.get("per_scenario") else {
+            panic!("per_scenario missing");
+        };
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].get("label").is_some() && rows[0].get("wall_ns").is_some());
+    }
+
+    #[test]
+    fn self_profile_flows_through_the_metrics_registry() {
+        let engine = ExperimentEngine::new(2);
+        let batch: Vec<Scenario> = (0..4).map(toy).collect();
+        let _ = engine.run_all(&batch);
+        let set = engine.stats().to_metrics();
+        assert_eq!(set.counter_total("engine.scenarios_run"), Some(4));
+        assert_eq!(set.counter_total("engine.threads"), Some(2));
+        assert!(set.counter_total("engine.sim_wall_ns").unwrap() > 0);
+        // Every scenario wall time landed in the histogram.
+        let hist = set
+            .hists
+            .iter()
+            .find(|(name, _)| name == "engine.scenario_wall")
+            .map(|(_, h)| h)
+            .expect("scenario_wall histogram");
+        assert_eq!(hist.count(), 4);
     }
 }

@@ -21,6 +21,13 @@ use crate::engine::ScenarioFailure;
 /// the fault-sweep knob of EXPERIMENTS.md.
 pub const FAULT_PLAN_ENV: &str = "HCC_FAULT_PLAN";
 
+/// Environment variable switching the virtual-time metrics plane on for
+/// every figure config (`HCC_METRICS=1`). Metrics only observe — figure
+/// stdout is byte-identical either way (tier-2 asserts this) — but
+/// obs-enabled runs additionally carry queue/occupancy snapshots that
+/// `obs_report` and the Perfetto export surface.
+pub const METRICS_ENV: &str = "HCC_METRICS";
+
 /// A figure computation plus the scenarios that failed to contribute.
 /// Figure tables render `data` and surface `failures` as per-row lines
 /// instead of aborting the whole report.
@@ -57,10 +64,24 @@ fn fault_plan_from_env() -> Option<FaultPlan> {
     .clone()
 }
 
+/// Whether [`METRICS_ENV`] enables the metrics plane, read once per
+/// process. Any non-empty value other than `0` counts as on.
+fn metrics_from_env() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var(METRICS_ENV)
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
 /// Fresh config for a mode with the standard experiment seed (and the
-/// process-wide fault plan, when [`FAULT_PLAN_ENV`] selects one).
+/// process-wide fault plan / metrics switch, when [`FAULT_PLAN_ENV`] or
+/// [`METRICS_ENV`] select them).
 pub fn cfg(cc: CcMode) -> SimConfig {
-    let cfg = SimConfig::new(cc).with_seed(0xFA11_2025);
+    let cfg = SimConfig::new(cc)
+        .with_seed(0xFA11_2025)
+        .with_metrics(metrics_from_env());
     match fault_plan_from_env() {
         Some(plan) => cfg.with_fault_plan(plan),
         None => cfg,

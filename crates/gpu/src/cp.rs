@@ -5,6 +5,7 @@
 
 use std::collections::VecDeque;
 
+use hcc_trace::metrics::{Counter, Gauge, MetricsSet};
 use hcc_types::calib::{cp_service, GpuCalib};
 use hcc_types::{CcMode, SimDuration, SimTime};
 
@@ -47,6 +48,8 @@ pub struct CommandProcessor {
     service_time: SimDuration,
     total_ring_wait: SimDuration,
     submissions: u64,
+    ring_occupancy: Gauge,
+    full_stalls: Counter,
 }
 
 impl CommandProcessor {
@@ -59,7 +62,28 @@ impl CommandProcessor {
             service_time: cp_service(calib, cc),
             total_ring_wait: SimDuration::ZERO,
             submissions: 0,
+            ring_occupancy: Gauge::new(),
+            full_stalls: Counter::new(),
         }
+    }
+
+    /// Enables the ring-occupancy gauge, ring-full stall counter, and the
+    /// service resource's queue/busy gauges.
+    pub fn enable_metrics(&mut self) {
+        self.ring_occupancy.enable();
+        self.full_stalls.enable();
+        self.service.enable_metrics();
+    }
+
+    /// Snapshots command-processor instruments under `gpu.ring` /
+    /// `gpu.cp` (no-op while metrics are disabled).
+    pub fn export_metrics(&self, set: &mut MetricsSet) {
+        set.gauge("gpu.ring.occupancy", &self.ring_occupancy);
+        set.counter("gpu.ring.full_stalls", &self.full_stalls);
+        if self.ring_occupancy.is_enabled() {
+            set.push_counter("gpu.ring.submissions", self.submissions);
+        }
+        self.service.export_metrics("gpu.cp", set);
     }
 
     /// Ring depth in entries.
@@ -117,6 +141,12 @@ impl CommandProcessor {
         let slot = self.service.schedule(doorbell, self.service_time);
         self.ring.push_back(slot.end);
         let ring_wait = admitted.saturating_since(want);
+        // The entry holds a ring slot from admission until the command
+        // processor retires it at service end.
+        self.ring_occupancy.occupy(admitted, slot.end);
+        if !ring_wait.is_zero() {
+            self.full_stalls.inc();
+        }
         self.total_ring_wait += ring_wait;
         self.submissions += 1;
         Submission {
@@ -205,5 +235,32 @@ mod tests {
         }
         assert_eq!(cp.submission_count(), 5);
         assert_eq!(cp.ring_depth(), 8);
+    }
+
+    #[test]
+    fn metrics_track_ring_occupancy_and_stalls() {
+        let mut cp = cp_with_depth(2, CcMode::Off);
+        cp.enable_metrics();
+        cp.submit(SimTime::ZERO);
+        cp.submit(SimTime::ZERO);
+        cp.submit(SimTime::ZERO); // blocks on the full ring
+
+        let mut set = MetricsSet::new();
+        cp.export_metrics(&mut set);
+        let ring = set.gauge_series("gpu.ring.occupancy").unwrap();
+        assert_eq!(ring.peak(), 2, "ring never exceeds its depth");
+        assert_eq!(ring.final_value(), 0);
+        assert_eq!(set.counter_total("gpu.ring.full_stalls"), Some(1));
+        assert_eq!(set.counter_total("gpu.ring.submissions"), Some(3));
+        assert!(set.gauge_series("gpu.cp.busy").is_some());
+    }
+
+    #[test]
+    fn disabled_metrics_export_nothing() {
+        let mut cp = cp_with_depth(2, CcMode::Off);
+        cp.submit(SimTime::ZERO);
+        let mut set = MetricsSet::new();
+        cp.export_metrics(&mut set);
+        assert!(set.counters.is_empty() && set.gauges.is_empty());
     }
 }

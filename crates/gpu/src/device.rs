@@ -1,6 +1,7 @@
 //! The assembled GPU device: command processor front door, copy engines,
 //! compute engine, HBM, and GMMU (paper Fig. 2's GPU half).
 
+use hcc_trace::metrics::{Counter, MetricsSet};
 use hcc_types::calib::{dispatch_latency, GpuCalib};
 use hcc_types::{
     ByteSize, CcMode, CopyKind, FaultInjector, FaultSite, Recovery, SimDuration, SimTime,
@@ -64,6 +65,7 @@ pub struct GpuDevice {
     gmmu: Gmmu,
     dispatch: SimDuration,
     cc: CcMode,
+    copied_bytes: [Counter; 3],
 }
 
 impl GpuDevice {
@@ -79,7 +81,53 @@ impl GpuDevice {
             gmmu: Gmmu::new(),
             dispatch: dispatch_latency(calib, cc),
             cc,
+            copied_bytes: Default::default(),
         }
+    }
+
+    /// Enables metrics recording on every engine: ring occupancy and CP
+    /// service gauges, per-direction copy-engine queue/busy gauges, the
+    /// compute engine's queue/busy gauges, and per-direction byte
+    /// counters (for achieved-vs-ceiling bandwidth).
+    pub fn enable_metrics(&mut self) {
+        self.cp.enable_metrics();
+        self.compute.enable_metrics();
+        self.ce_h2d.enable_metrics();
+        self.ce_d2h.enable_metrics();
+        self.ce_d2d.enable_metrics();
+        for c in &mut self.copied_bytes {
+            c.enable();
+        }
+    }
+
+    /// Records `bytes` moved by a copy in direction `kind` — the caller
+    /// (which knows payload sizes the device model does not) reports them
+    /// so achieved copy-engine bandwidth can be compared to the PCIe /
+    /// NVLink ceiling.
+    pub fn note_copy_bytes(&mut self, kind: CopyKind, bytes: ByteSize) {
+        self.copied_bytes[kind as usize].add(bytes.as_u64());
+    }
+
+    /// Snapshots every device-side instrument under the `gpu.` prefix
+    /// (no-op while metrics are disabled).
+    pub fn export_metrics(&self, set: &mut MetricsSet) {
+        self.cp.export_metrics(set);
+        self.compute.export_metrics("gpu.compute", set);
+        self.ce_h2d.export_metrics("gpu.copy-h2d", set);
+        self.ce_d2h.export_metrics("gpu.copy-d2h", set);
+        self.ce_d2d.export_metrics("gpu.copy-d2d", set);
+        set.counter(
+            "gpu.copy-h2d.bytes",
+            &self.copied_bytes[CopyKind::H2D as usize],
+        );
+        set.counter(
+            "gpu.copy-d2h.bytes",
+            &self.copied_bytes[CopyKind::D2H as usize],
+        );
+        set.counter(
+            "gpu.copy-d2d.bytes",
+            &self.copied_bytes[CopyKind::D2D as usize],
+        );
     }
 
     /// The CC mode the device was bound in.
@@ -364,6 +412,48 @@ mod tests {
         let util = r.compute_utilization(SimDuration::millis(4), 16);
         assert!((util - 1.0 / 16.0).abs() < 1e-9, "util {util}");
         assert_eq!(r.compute_utilization(SimDuration::ZERO, 16), 0.0);
+    }
+
+    #[test]
+    fn metrics_cover_every_engine() {
+        let mut g = gpu(CcMode::On);
+        g.enable_metrics();
+        g.submit_copy(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            CopyKind::H2D,
+            SimDuration::millis(2),
+        );
+        g.note_copy_bytes(CopyKind::H2D, ByteSize::mib(64));
+        g.submit_kernel(
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimDuration::millis(4),
+        );
+
+        let mut set = MetricsSet::new();
+        g.export_metrics(&mut set);
+        for track in [
+            "gpu.ring.occupancy",
+            "gpu.cp.busy",
+            "gpu.compute.queue",
+            "gpu.compute.busy",
+            "gpu.copy-h2d.busy",
+            "gpu.copy-d2h.queue",
+        ] {
+            assert!(set.gauge_series(track).is_some(), "missing {track}");
+        }
+        assert_eq!(
+            set.gauge_integral("gpu.compute.busy"),
+            Some(SimDuration::millis(4))
+        );
+        assert_eq!(
+            set.counter_total("gpu.copy-h2d.bytes"),
+            Some(ByteSize::mib(64).as_u64())
+        );
+        assert!(set.total_samples() > 0);
     }
 
     #[test]

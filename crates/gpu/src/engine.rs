@@ -2,7 +2,38 @@
 //! (copy engines, the command processor's service loop) and multi-slot
 //! resources (the compute engine's concurrent kernel slots).
 
+use hcc_trace::metrics::{Gauge, MetricsSet};
 use hcc_types::{SimDuration, SimTime};
+
+/// Queue-depth and busy-occupancy gauges for a scheduled engine,
+/// sampled in virtual time at every [`Resource::schedule`] /
+/// [`MultiSlot::schedule`] call. Disabled (and free) by default.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Operations waiting for the engine (`ready` → `start`).
+    pub queue: Gauge,
+    /// Operations occupying the engine (`start` → `end`).
+    pub busy: Gauge,
+}
+
+impl EngineMetrics {
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.queue.enable();
+        self.busy.enable();
+    }
+
+    fn record(&mut self, ready: SimTime, slot: &Slot) {
+        self.queue.occupy(ready, slot.start);
+        self.busy.occupy(slot.start, slot.end);
+    }
+
+    /// Snapshots both gauges as `{prefix}.queue` / `{prefix}.busy`.
+    pub fn export(&self, prefix: &str, set: &mut MetricsSet) {
+        set.gauge(&format!("{prefix}.queue"), &self.queue);
+        set.gauge(&format!("{prefix}.busy"), &self.busy);
+    }
+}
 
 /// A serially-occupied resource with an availability horizon.
 ///
@@ -24,6 +55,7 @@ pub struct Resource {
     next_free: SimTime,
     busy: SimDuration,
     ops: u64,
+    metrics: EngineMetrics,
 }
 
 /// A scheduled occupancy interval on a resource.
@@ -45,7 +77,19 @@ impl Resource {
             next_free: SimTime::ZERO,
             busy: SimDuration::ZERO,
             ops: 0,
+            metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Enables queue/busy gauge recording on this resource.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
+    }
+
+    /// Snapshots the gauges as `{prefix}.queue` / `{prefix}.busy` (no-op
+    /// while metrics are disabled).
+    pub fn export_metrics(&self, prefix: &str, set: &mut MetricsSet) {
+        self.metrics.export(prefix, set);
     }
 
     /// Resource label (for reports).
@@ -76,11 +120,13 @@ impl Resource {
         self.next_free = end;
         self.busy += service;
         self.ops += 1;
-        Slot {
+        let slot = Slot {
             start,
             end,
             wait: start.saturating_since(ready),
-        }
+        };
+        self.metrics.record(ready, &slot);
+        slot
     }
 
     /// Utilization over `[SimTime::ZERO, horizon]`, in `[0, 1]`.
@@ -100,6 +146,7 @@ pub struct MultiSlot {
     slots: Vec<SimTime>,
     busy: SimDuration,
     ops: u64,
+    metrics: EngineMetrics,
 }
 
 impl MultiSlot {
@@ -114,7 +161,19 @@ impl MultiSlot {
             slots: vec![SimTime::ZERO; slots],
             busy: SimDuration::ZERO,
             ops: 0,
+            metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Enables queue/busy gauge recording on this resource.
+    pub fn enable_metrics(&mut self) {
+        self.metrics.enable();
+    }
+
+    /// Snapshots the gauges as `{prefix}.queue` / `{prefix}.busy` (no-op
+    /// while metrics are disabled).
+    pub fn export_metrics(&self, prefix: &str, set: &mut MetricsSet) {
+        self.metrics.export(prefix, set);
     }
 
     /// Resource label.
@@ -150,11 +209,13 @@ impl MultiSlot {
         self.slots[idx] = end;
         self.busy += service;
         self.ops += 1;
-        Slot {
+        let slot = Slot {
             start,
             end,
             wait: start.saturating_since(ready),
-        }
+        };
+        self.metrics.record(ready, &slot);
+        slot
     }
 }
 
@@ -222,5 +283,36 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = MultiSlot::new("bad", 0);
+    }
+
+    #[test]
+    fn metrics_capture_queue_and_busy_windows() {
+        let mut r = Resource::new("ce");
+        r.enable_metrics();
+        r.schedule(at(0), us(10));
+        r.schedule(at(2), us(5)); // waits 8us behind the first op
+
+        let mut set = MetricsSet::new();
+        r.export_metrics("gpu.copy-h2d", &mut set);
+        let queue = set.gauge_series("gpu.copy-h2d.queue").unwrap();
+        assert_eq!(queue.peak(), 1);
+        assert_eq!(queue.integral(), us(8));
+        let busy = set.gauge_series("gpu.copy-h2d.busy").unwrap();
+        assert_eq!(busy.integral(), us(15));
+        assert_eq!(busy.final_value(), 0);
+    }
+
+    #[test]
+    fn disabled_metrics_export_nothing() {
+        let mut r = Resource::new("ce");
+        r.schedule(at(0), us(10));
+        let mut set = MetricsSet::new();
+        r.export_metrics("x", &mut set);
+        assert!(set.gauges.is_empty());
+
+        let mut m = MultiSlot::new("compute", 2);
+        m.schedule(at(0), us(10));
+        m.export_metrics("y", &mut set);
+        assert!(set.gauges.is_empty());
     }
 }

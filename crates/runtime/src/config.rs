@@ -40,6 +40,11 @@ pub struct SimConfig {
     pub fault: FaultPlan,
     /// How the runtime answers injected faults.
     pub recovery: RecoveryPolicy,
+    /// Enables the virtual-time metrics plane (queue/occupancy gauges
+    /// across GPU, TEE, UVM and runtime). Off by default: instruments
+    /// record nothing and the simulated trace is bit-identical either
+    /// way — metrics only observe, they never draw RNG or shift a clock.
+    pub metrics: bool,
 }
 
 impl SimConfig {
@@ -56,7 +61,15 @@ impl SimConfig {
             attest_at_creation: false,
             fault: FaultPlan::none(),
             recovery: RecoveryPolicy::default_retry(),
+            metrics: false,
         }
+    }
+
+    /// Enables (or disables) the virtual-time metrics plane.
+    #[must_use]
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
     }
 
     /// Installs a fault-injection plan.
@@ -134,6 +147,10 @@ impl SimConfig {
         h.write_u64(self.calib.fingerprint());
         h.write_u64(self.fault.fingerprint());
         h.write_u64(self.recovery.fingerprint());
+        // The metrics flag cannot change the simulated trace, but it does
+        // change what a cached result carries (the snapshot), so obs-on
+        // and obs-off runs must not share a memoization entry.
+        h.write_bool(self.metrics);
         h.finish()
     }
 }
@@ -184,6 +201,7 @@ mod tests {
             SimConfig::new(CcMode::On)
                 .with_seed(7)
                 .with_recovery(RecoveryPolicy::Abort),
+            SimConfig::new(CcMode::On).with_seed(7).with_metrics(true),
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base.content_hash(), v.content_hash(), "variant {i}");

@@ -7,7 +7,8 @@ use hcc_crypto::gcm::AesGcm;
 use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
 use hcc_gpu::{DeviceMemError, DevicePtr, GpuDevice, ManagedId, Resource, Slot};
 use hcc_tee::{BounceBufferPool, BounceError, TdContext, TdCounters};
-use hcc_trace::{EventKind, StreamId, Timeline, TraceEvent};
+use hcc_trace::metrics::overlap_time;
+use hcc_trace::{EventKind, Gauge, MetricsSet, StreamId, Timeline, TraceEvent};
 use hcc_types::rng::Xoshiro256;
 use hcc_types::{
     Bandwidth, ByteSize, CcMode, CopyKind, FaultCounts, FaultInjector, FaultSite, HostMemKind,
@@ -184,10 +185,17 @@ pub struct CudaContext {
 impl CudaContext {
     /// Creates a context (binds the GPU in the configured mode).
     pub fn new(cfg: SimConfig) -> Self {
-        let gpu = GpuDevice::new(&cfg.calib.gpu, cfg.cc, cfg.hbm);
+        let mut gpu = GpuDevice::new(&cfg.calib.gpu, cfg.cc, cfg.hbm);
         let td = TdContext::new(cfg.cc, cfg.calib.tdx.clone());
-        let bounce = BounceBufferPool::new(cfg.calib.tdx.bounce_pool);
-        let uvm = UvmDriver::new(cfg.calib.uvm.clone(), cfg.cc);
+        let mut bounce = BounceBufferPool::new(cfg.calib.tdx.bounce_pool);
+        let mut uvm = UvmDriver::new(cfg.calib.uvm.clone(), cfg.cc);
+        let mut crypto_engine = Resource::new("cpu-crypto");
+        if cfg.metrics {
+            gpu.enable_metrics();
+            bounce.enable_metrics();
+            uvm.enable_metrics();
+            crypto_engine.enable_metrics();
+        }
         let crypto = SoftCryptoModel::new(cfg.cpu);
         let mut streams = HashMap::new();
         streams.insert(StreamId(0), SimTime::ZERO);
@@ -220,7 +228,7 @@ impl CudaContext {
             bounce,
             uvm,
             crypto,
-            crypto_engine: Resource::new("cpu-crypto"),
+            crypto_engine,
             timeline: Timeline::new(),
             next_correlation: 1,
             seen_kernels: HashSet::new(),
@@ -285,6 +293,80 @@ impl CudaContext {
         &self.gpu
     }
 
+    /// Assembles the virtual-time metrics snapshot for this run, or
+    /// `None` when the metrics plane is disabled.
+    ///
+    /// Component-owned instruments (engine FIFOs, CP ring occupancy,
+    /// bounce pool, UVM driver, CPU crypto engine) export what they
+    /// recorded while scheduling. Runtime-level activity gauges — launch
+    /// and kernel queues, in-flight launches, copy/kernel/crypto
+    /// activity — are *derived from the timeline at snapshot time*, so
+    /// they cost nothing on the hot path and their integrals agree
+    /// exactly with [`hcc_trace::Timeline::phase_totals`]: the
+    /// attribution audit (Σ queue-time ≈ LQT + KQT) relies on this.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSet> {
+        if !self.cfg.metrics {
+            return None;
+        }
+        let mut set = MetricsSet::new();
+        self.gpu.export_metrics(&mut set);
+        self.bounce.export_metrics(&mut set);
+        self.uvm.export_metrics(&mut set);
+        self.crypto_engine.export_metrics("tee.crypto", &mut set);
+
+        let lm = self.timeline.launch_metrics();
+        let mut launch_queue = Gauge::enabled();
+        let mut launch_active = Gauge::enabled();
+        let mut inflight = Gauge::enabled();
+        let mut launch_window: HashMap<u64, SimTime> = HashMap::new();
+        for l in &lm.launches {
+            launch_queue.occupy(l.start - l.lqt, l.start);
+            launch_active.occupy(l.start, l.start + l.klo);
+            launch_window.insert(l.correlation, l.start - l.lqt);
+        }
+        let mut kernel_queue = Gauge::enabled();
+        let mut kernel_active = Gauge::enabled();
+        for k in &lm.kernels {
+            kernel_queue.occupy(k.start - k.kqt, k.start);
+            kernel_active.occupy(k.start, k.start + k.ket);
+            if let Some(&from) = launch_window.get(&k.correlation) {
+                // A launch is "in flight" from the moment the host starts
+                // queuing it until its kernel retires.
+                inflight.occupy(from, k.start + k.ket);
+            }
+        }
+        let mut copy_active = Gauge::enabled();
+        let mut crypto_active = Gauge::enabled();
+        for e in self.timeline.events() {
+            match e.kind {
+                EventKind::Memcpy { .. } => copy_active.occupy(e.start, e.end),
+                EventKind::Crypto { .. } => crypto_active.occupy(e.start, e.end),
+                _ => {}
+            }
+        }
+        let copy_s = copy_active.series("runtime.copy_active");
+        let kernel_s = kernel_active.series("runtime.kernel_active");
+        let crypto_s = crypto_active.series("runtime.crypto_active");
+        // The Fig. 3 α/β overlap terms: time transfers (and their CPU
+        // crypto) spend hidden underneath kernel execution.
+        set.push_counter(
+            "runtime.overlap.copy_kernel_ns",
+            overlap_time(&copy_s, &kernel_s).as_nanos(),
+        );
+        set.push_counter(
+            "runtime.overlap.crypto_kernel_ns",
+            overlap_time(&crypto_s, &kernel_s).as_nanos(),
+        );
+        set.push_series(launch_queue.series("runtime.launch_queue"));
+        set.push_series(launch_active.series("runtime.launch_active"));
+        set.push_series(kernel_queue.series("runtime.kernel_queue"));
+        set.push_series(kernel_s);
+        set.push_series(copy_s);
+        set.push_series(crypto_s);
+        set.push_series(inflight.series("runtime.inflight"));
+        Some(set)
+    }
+
     fn advance(&mut self, d: SimDuration) {
         self.clock += d;
     }
@@ -342,6 +424,12 @@ impl CudaContext {
             .gpu
             .submit_copy(self.clock, SimDuration::ZERO, data_ready, kind, dur);
         sched.xfer.end
+    }
+
+    /// Credits transferred bytes to the per-direction copy counters (for
+    /// sibling modules that submit copies directly).
+    pub(crate) fn note_copy_bytes_public(&mut self, kind: CopyKind, bytes: ByteSize) {
+        self.gpu.note_copy_bytes(kind, bytes);
     }
 
     /// Advances the host clock to `t` (monotone).
@@ -761,7 +849,13 @@ impl CudaContext {
                     }
                     Recovery::Clean | Recovery::Aborted { .. } => {}
                 }
+                let reserved_at = self.clock;
                 self.advance(r.cost);
+                // The pool has no clock of its own: the runtime reports
+                // the virtual-time window over which the staging chunk
+                // was held.
+                self.bounce
+                    .record_occupancy(reserved_at, self.clock, r.size);
                 self.bounce.release(r.size);
             }
         }
@@ -818,6 +912,7 @@ impl CudaContext {
             plan.label,
             plan.dma,
         );
+        self.gpu.note_copy_bytes(plan.label, bytes);
         self.clock = self.clock.max(sched.xfer.end);
         let total = self.clock - start;
         self.record(
@@ -961,6 +1056,7 @@ impl CudaContext {
             plan.label,
             plan.dma,
         );
+        self.gpu.note_copy_bytes(plan.label, bytes);
         self.timeline.push(
             TraceEvent::new(
                 EventKind::Memcpy {
@@ -1109,6 +1205,7 @@ impl CudaContext {
         // Injected-migration retries: per access, the lost time of each
         // failed attempt (backoff plus one re-issued fault trip).
         let mut uvm_penalties: Vec<Vec<SimDuration>> = Vec::new();
+        let mut services: Vec<hcc_uvm::FaultService> = Vec::new();
         for access in &desc.managed {
             let size = self
                 .managed_allocs
@@ -1134,6 +1231,9 @@ impl CudaContext {
             fault_time += service.total_time;
             fault_pages += service.pages;
             fault_bytes += service.bytes;
+            if self.cfg.metrics {
+                services.push(service);
+            }
             if let Recovery::Retried { backoffs } = rec {
                 uvm_penalties.push(
                     backoffs
@@ -1228,6 +1328,14 @@ impl CudaContext {
             .on_stream(stream)
             .with_correlation(corr),
         );
+        // The driver has no clock: report where the fault servicing landed
+        // in virtual time (back-to-back from the kernel's exec start) so
+        // its outstanding-fault / backlog gauges line up with the trace.
+        let mut svc_at = sched.exec.start;
+        for service in &services {
+            self.uvm.record_service(svc_at, service);
+            svc_at += service.total_time;
+        }
         if fault_pages > 0 {
             self.timeline.push(
                 TraceEvent::new(

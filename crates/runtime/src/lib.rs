@@ -462,6 +462,64 @@ mod tests {
     }
 
     #[test]
+    fn metrics_plane_observes_without_perturbing() {
+        let size = ByteSize::mib(16);
+        let run = |metrics: bool| {
+            let mut c = CudaContext::new(
+                SimConfig::new(CcMode::On)
+                    .with_seed(42)
+                    .with_metrics(metrics),
+            );
+            let h = c.malloc_host(size, HostMemKind::Pageable).unwrap();
+            let d = c.malloc_device(size).unwrap();
+            c.memcpy_h2d(d, h, size).unwrap();
+            let m = c.malloc_managed(ByteSize::mib(4)).unwrap();
+            let desc = KernelDesc::new(KernelId(0), SimDuration::micros(300))
+                .with_managed(ManagedAccess::all(m));
+            for _ in 0..8 {
+                c.launch_kernel(&desc, c.default_stream()).unwrap();
+            }
+            c.synchronize();
+            let snap = c.metrics_snapshot();
+            (c.into_timeline(), snap)
+        };
+        let (trace_off, snap_off) = run(false);
+        let (trace_on, snap_on) = run(true);
+        // Observation must never shift the simulation.
+        assert_eq!(trace_off, trace_on);
+        assert!(snap_off.is_none());
+        let set = snap_on.expect("metrics enabled");
+        // Every layer shows up in the snapshot.
+        for name in [
+            "gpu.compute.queue",
+            "gpu.copy-d2d.queue",
+            "gpu.ring.occupancy",
+            "tee.bounce.occupancy",
+            "tee.crypto.queue",
+            "uvm.outstanding_faults",
+            "runtime.launch_queue",
+            "runtime.kernel_queue",
+        ] {
+            assert!(set.gauge_series(name).is_some(), "missing gauge {name}");
+        }
+        // Derived queue gauges integrate to the paper's phase totals.
+        let lm = trace_on.launch_metrics();
+        assert_eq!(
+            set.gauge_integral("runtime.launch_queue").unwrap(),
+            lm.total_lqt()
+        );
+        assert_eq!(
+            set.gauge_integral("runtime.kernel_queue").unwrap(),
+            lm.total_kqt()
+        );
+        assert_eq!(
+            set.gauge_integral("runtime.kernel_active").unwrap(),
+            lm.total_ket()
+        );
+        assert!(set.counter_total("gpu.copy-h2d.bytes").unwrap_or(0) > 0);
+    }
+
+    #[test]
     fn crypto_workers_speed_up_cc_transfers() {
         let size = ByteSize::mib(256);
         let run = |workers: u32| {

@@ -91,6 +91,7 @@ impl CudaContext {
             let staged = crypto_slot.end + p.bounce_copy.time_for(this);
             let dma_time = p.pinned_h2d.time_for(this) + p.gpu_crypto.time_for(this);
             let sched = self.submit_copy_public(staged, CopyKind::H2D, dma_time);
+            self.note_copy_bytes_public(CopyKind::H2D, this);
             dma_busy += dma_time;
             last_dma_end = sched;
             remaining = remaining.saturating_sub(this);

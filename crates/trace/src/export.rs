@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 use hcc_types::{CopyKind, MemSpace};
 
 use crate::event::{EventKind, TraceEvent};
+use crate::metrics::MetricsSet;
 use crate::timeline::Timeline;
 
 /// Track (Chrome "tid") assignment mirroring how Nsight lays out rows.
@@ -87,15 +88,26 @@ fn name_of(event: &TraceEvent) -> String {
 /// ("X" complete events, microsecond timestamps). Load the output in
 /// `chrome://tracing` or <https://ui.perfetto.dev>.
 pub fn to_chrome_trace(timeline: &Timeline) -> String {
+    to_chrome_trace_with_metrics(timeline, None)
+}
+
+/// Like [`to_chrome_trace`], but additionally emits every gauge in
+/// `metrics` as a Perfetto counter track ("C" events under the
+/// `metrics` process), so spans and queue depths line up on one
+/// timeline. Each gauge change-point becomes one counter sample; empty
+/// gauges still get a zero sample so their track exists.
+pub fn to_chrome_trace_with_metrics(timeline: &Timeline, metrics: Option<&MetricsSet>) -> String {
     let mut out = String::from("[\n");
-    for (i, event) in timeline.events().iter().enumerate() {
+    let mut first = true;
+    for event in timeline.events() {
         let (process, tid) = track_of(event);
         let name = name_of(event).replace('"', "'");
         let ts = event.start.as_micros_f64();
         let dur = event.duration().as_micros_f64();
-        if i > 0 {
+        if !first {
             out.push_str(",\n");
         }
+        first = false;
         let _ = write!(
             out,
             "  {{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \
@@ -104,6 +116,35 @@ pub fn to_chrome_trace(timeline: &Timeline) -> String {
             cat = event.kind.tag(),
             corr = event.correlation,
         );
+    }
+    if let Some(set) = metrics {
+        for series in &set.gauges {
+            let name = series.name.replace('"', "'");
+            let mut write_sample = |ts: f64, value: i64| {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{name}\", \"cat\": \"metric\", \"ph\": \"C\", \
+                     \"ts\": {ts:.3}, \"pid\": \"metrics\", \"tid\": 0, \
+                     \"args\": {{\"value\": {value}}}}}",
+                );
+            };
+            if series.samples.is_empty() {
+                write_sample(0.0, 0);
+            } else {
+                // An explicit leading zero keeps Perfetto's step
+                // rendering from back-extrapolating the first value.
+                if series.samples[0].0.as_nanos() > 0 {
+                    write_sample(0.0, 0);
+                }
+                for &(t, v) in &series.samples {
+                    write_sample(t.as_micros_f64(), v);
+                }
+            }
+        }
     }
     out.push_str("\n]\n");
     out
@@ -191,5 +232,27 @@ mod tests {
     fn empty_timeline_is_an_empty_array() {
         let json = to_chrome_trace(&Timeline::new());
         assert_eq!(json, "[\n\n]\n");
+    }
+
+    #[test]
+    fn metrics_become_counter_tracks() {
+        use crate::metrics::{Gauge, MetricsSet};
+
+        let mut set = MetricsSet::new();
+        let mut g = Gauge::enabled();
+        g.occupy(t(10), t(20));
+        set.gauge("gpu.ring.occupancy", &g);
+        set.gauge("tee.bounce.occupancy", &Gauge::enabled()); // empty
+
+        let json = to_chrome_trace_with_metrics(&sample(), Some(&set));
+        // Spans are still present alongside the counters.
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        // Leading zero + two change-points for the ring gauge, one zero
+        // sample for the empty bounce gauge.
+        assert_eq!(json.matches("\"ph\": \"C\"").count(), 4);
+        assert!(json.contains("\"name\": \"gpu.ring.occupancy\""));
+        assert!(json.contains("\"name\": \"tee.bounce.occupancy\""));
+        assert!(json.contains("\"pid\": \"metrics\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -35,13 +35,15 @@ mod callstack;
 mod event;
 pub mod export;
 mod histogram;
+pub mod metrics;
 mod stats;
 mod timeline;
 
 pub use callstack::CallFrame;
 pub use event::{EventKind, KernelId, StreamId, TraceEvent};
-pub use export::to_chrome_trace;
+pub use export::{to_chrome_trace, to_chrome_trace_with_metrics};
 pub use histogram::Histogram;
+pub use metrics::{Counter, Gauge, MetricsSet, Series};
 pub use stats::{geomean, mean_ratio, Cdf, Summary};
 pub use timeline::{KernelRecord, LaunchMetrics, LaunchRecord, MemMetrics, PhaseTotals, Timeline};
 
@@ -145,6 +147,75 @@ mod proptests {
             ensure_eq!(lm.total_klo(), klo_sum);
             let ket_sum: SimDuration = lm.kernels.iter().map(|k| k.ket).sum();
             ensure_eq!(lm.total_ket(), ket_sum);
+        });
+    }
+
+    /// A counter is monotone under any sequence of increments.
+    #[test]
+    fn counter_monotone() {
+        forall!(Config::new(0x7ACE_0005), incs in vecs(u64s(0..1_000), 0..100) => {
+            let mut c = metrics::Counter::enabled();
+            let mut prev = c.total();
+            for n in incs {
+                c.add(n);
+                ensure!(c.total() >= prev, "counter moved down");
+                prev = c.total();
+            }
+        });
+    }
+
+    /// Gauge conservation: every `occupy` interval contributes +1 then
+    /// −1, so the materialized series ends at zero, never dips negative,
+    /// and its peak is bounded by the number of enqueues. The integral
+    /// equals the summed per-interval length (Σ per-item queue time).
+    #[test]
+    fn gauge_conservation() {
+        forall!(
+            Config::new(0x7ACE_0006),
+            raw in vecs((u64s(0..1_000_000), u64s(0..100_000)), 0..100) =>
+        {
+            let mut g = metrics::Gauge::enabled();
+            let mut expected = SimDuration::ZERO;
+            for &(start, len) in &raw {
+                let s = SimTime::from_nanos(start);
+                let e = s + SimDuration::from_nanos(len);
+                g.occupy(s, e);
+                expected += SimDuration::from_nanos(len);
+            }
+            let series = g.series("q");
+            ensure_eq!(series.final_value(), 0);
+            ensure!(series.peak() <= raw.len() as i64);
+            let mut running = 0i64;
+            for &(_, v) in &series.samples {
+                ensure!(v >= 0, "gauge dipped negative");
+                running = v;
+            }
+            ensure_eq!(running, 0);
+            ensure_eq!(series.integral(), expected);
+        });
+    }
+
+    /// The materialized series is independent of recording order: any
+    /// permutation of the same intervals yields the identical snapshot
+    /// (the property that makes obs-enabled replay thread-count
+    /// invariant).
+    #[test]
+    fn gauge_series_order_independent() {
+        forall!(
+            Config::new(0x7ACE_0007),
+            raw in vecs((u64s(0..1_000_000), u64s(1..100_000)), 1..60) =>
+        {
+            let mut fwd = metrics::Gauge::enabled();
+            for &(start, len) in &raw {
+                let s = SimTime::from_nanos(start);
+                fwd.occupy(s, s + SimDuration::from_nanos(len));
+            }
+            let mut rev = metrics::Gauge::enabled();
+            for &(start, len) in raw.iter().rev() {
+                let s = SimTime::from_nanos(start);
+                rev.occupy(s, s + SimDuration::from_nanos(len));
+            }
+            ensure_eq!(fwd.series("q"), rev.series("q"));
         });
     }
 }

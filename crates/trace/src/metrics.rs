@@ -1,0 +1,615 @@
+//! Virtual-time metrics plane: counters, gauges, and histograms sampled on
+//! the *simulation* clock.
+//!
+//! The span events in [`crate::Timeline`] say what happened; this module
+//! says how deep the queues were while it happened. Components own their
+//! instruments ([`Counter`], [`Gauge`], [`Hist`]) and record change-points
+//! as they schedule work; a run-level [`MetricsSet`] snapshot is assembled
+//! at the end and exported as Perfetto counter tracks
+//! ([`crate::export::to_chrome_trace_with_metrics`]), a Prometheus-style
+//! text page ([`to_prometheus`]), or an [`hcc_types::json`] tree.
+//!
+//! Determinism contract:
+//!
+//! - **Virtual-time sampling rule.** A gauge sample is a change-point
+//!   `(SimTime, delta)` recorded at a scheduling event. There is no
+//!   periodic poller and no wall-clock read anywhere on the simulation
+//!   path, so an obs-enabled run replays bit-for-bit for a given seed at
+//!   any `HCC_ENGINE_THREADS`.
+//! - **Zero-cost when disabled.** Every instrument is a no-op unless
+//!   explicitly enabled; disabled runs take no samples, draw no RNG, and
+//!   produce byte-identical figure output.
+//! - **Order-independence.** Change-points may be recorded out of time
+//!   order (engine completions interleave); [`Gauge::series`] sorts and
+//!   merges them, so the snapshot depends only on the *set* of samples.
+//!
+//! ```
+//! use hcc_trace::metrics::Gauge;
+//! use hcc_types::{SimDuration, SimTime};
+//!
+//! let mut g = Gauge::enabled();
+//! let t = |us| SimTime::ZERO + SimDuration::micros(us);
+//! g.occupy(t(0), t(10)); // one item queued for 10us
+//! g.occupy(t(5), t(10)); // a second overlaps for 5us
+//! let s = g.series("demo");
+//! assert_eq!(s.peak(), 2);
+//! assert_eq!(s.final_value(), 0);
+//! assert_eq!(s.integral(), SimDuration::micros(15));
+//! ```
+
+use std::fmt::Write as _;
+
+use hcc_types::json::{Json, ToJson};
+use hcc_types::{SimDuration, SimTime};
+
+use crate::histogram::Histogram;
+
+/// A monotone event counter. Disabled by default; [`Counter::add`] is a
+/// single branch when disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    enabled: bool,
+    total: u64,
+}
+
+impl Counter {
+    /// A disabled (no-op) counter — the default state.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// An enabled counter starting at zero.
+    pub fn enabled() -> Self {
+        Counter {
+            enabled: true,
+            total: 0,
+        }
+    }
+
+    /// Turns recording on (used when a config enables the metrics plane).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether this counter records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n` events. Counters only ever move up.
+    pub fn add(&mut self, n: u64) {
+        if self.enabled {
+            self.total += n;
+        }
+    }
+
+    /// Adds one event.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// An up/down instrument sampled in virtual time as change-points.
+///
+/// Recording is append-only (`(SimTime, delta)` pairs); the sorted,
+/// merged step series is materialized by [`Gauge::series`]. This keeps
+/// the hot path branch-plus-push and makes the snapshot independent of
+/// recording order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gauge {
+    enabled: bool,
+    deltas: Vec<(SimTime, i64)>,
+}
+
+impl Gauge {
+    /// A disabled (no-op) gauge — the default state.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// An enabled gauge with no samples.
+    pub fn enabled() -> Self {
+        Gauge {
+            enabled: true,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether this gauge records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a signed step at `at`.
+    pub fn add(&mut self, at: SimTime, delta: i64) {
+        if self.enabled && delta != 0 {
+            self.deltas.push((at, delta));
+        }
+    }
+
+    /// Records one unit occupying `[from, to)` — the common
+    /// "item enters queue / item leaves queue" pair.
+    pub fn occupy(&mut self, from: SimTime, to: SimTime) {
+        self.occupy_n(from, to, 1);
+    }
+
+    /// Records `amount` units occupying `[from, to)`. Zero-length
+    /// intervals cancel and leave no sample.
+    pub fn occupy_n(&mut self, from: SimTime, to: SimTime, amount: i64) {
+        if from < to {
+            self.add(from, amount);
+            self.add(to, -amount);
+        }
+    }
+
+    /// Number of raw change-points recorded.
+    pub fn raw_len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Materializes the sorted, merged step series under `name`.
+    pub fn series(&self, name: &str) -> Series {
+        let mut deltas = self.deltas.clone();
+        deltas.sort_by_key(|(t, _)| *t);
+        let mut samples: Vec<(SimTime, i64)> = Vec::with_capacity(deltas.len());
+        let mut value = 0i64;
+        for (t, d) in deltas {
+            value += d;
+            match samples.last_mut() {
+                Some((last_t, last_v)) if *last_t == t => *last_v = value,
+                _ => samples.push((t, value)),
+            }
+        }
+        // Coalesced no-ops (e.g. +1/-1 at the same instant) leave samples
+        // equal to their predecessor; drop them so the series is minimal.
+        let mut prev = 0i64;
+        samples.retain(|&(_, v)| {
+            let keep = v != prev;
+            if keep {
+                prev = v;
+            }
+            keep
+        });
+        Series {
+            name: name.to_string(),
+            samples,
+        }
+    }
+}
+
+/// A materialized gauge series: strictly-increasing change-points of a
+/// step function starting at 0 before the first sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// Metric name (dotted path, e.g. `gpu.ring.occupancy`).
+    pub name: String,
+    /// `(time, value-after-time)` change-points.
+    pub samples: Vec<(SimTime, i64)>,
+}
+
+impl Series {
+    /// Highest value ever held (0 for an empty series).
+    pub fn peak(&self) -> i64 {
+        self.samples.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// Value after the last change-point (0 when balanced).
+    pub fn final_value(&self) -> i64 {
+        self.samples.last().map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// Number of change-points.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series has no change-points.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time-weighted integral `Σ value·dt` between change-points, i.e.
+    /// total unit-seconds of occupancy. For a queue-depth gauge built
+    /// from per-item `occupy` intervals this equals the summed per-item
+    /// waiting time exactly. Negative excursions (which a well-formed
+    /// gauge never has) contribute zero.
+    pub fn integral(&self) -> SimDuration {
+        let mut total: u64 = 0;
+        for w in self.samples.windows(2) {
+            let (t0, v) = w[0];
+            let (t1, _) = w[1];
+            if v > 0 {
+                total += (v as u64).saturating_mul((t1 - t0).as_nanos());
+            }
+        }
+        SimDuration::from_nanos(total)
+    }
+
+    /// Mean value over `[ZERO, span]` (0 for an empty span).
+    pub fn mean_over(&self, span: SimDuration) -> f64 {
+        if span.is_zero() {
+            0.0
+        } else {
+            self.integral().as_nanos() as f64 / span.as_nanos() as f64
+        }
+    }
+}
+
+/// Virtual time during which both step series are simultaneously positive
+/// — the measured overlap between e.g. copy-engine activity and kernel
+/// execution (the α/β accounting of the Fig. 3 model).
+pub fn overlap_time(a: &Series, b: &Series) -> SimDuration {
+    let mut total = SimDuration::ZERO;
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let (mut va, mut vb) = (0i64, 0i64);
+    let mut cursor: Option<SimTime> = None;
+    while ia < a.samples.len() || ib < b.samples.len() {
+        let ta = a.samples.get(ia).map(|&(t, _)| t);
+        let tb = b.samples.get(ib).map(|&(t, _)| t);
+        let t = match (ta, tb) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) => x,
+            (None, Some(y)) => y,
+            (None, None) => break,
+        };
+        if let Some(prev) = cursor {
+            if va > 0 && vb > 0 {
+                total += t - prev;
+            }
+        }
+        if ta == Some(t) {
+            va = a.samples[ia].1;
+            ia += 1;
+        }
+        if tb == Some(t) {
+            vb = b.samples[ib].1;
+            ib += 1;
+        }
+        cursor = Some(t);
+    }
+    total
+}
+
+/// A run-level snapshot of every instrument: the registry the exporters
+/// consume. Entirely `Vec`-backed so iteration order — and therefore
+/// every export — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSet {
+    /// `(name, total)` monotone counters.
+    pub counters: Vec<(String, u64)>,
+    /// Materialized gauge series.
+    pub gauges: Vec<Series>,
+    /// `(name, histogram)` distributions.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+impl MetricsSet {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSet::default()
+    }
+
+    /// Records a counter total under `name`.
+    pub fn push_counter(&mut self, name: &str, total: u64) {
+        self.counters.push((name.to_string(), total));
+    }
+
+    /// Snapshots a live [`Counter`] (skipped while disabled).
+    pub fn counter(&mut self, name: &str, c: &Counter) {
+        if c.is_enabled() {
+            self.push_counter(name, c.total());
+        }
+    }
+
+    /// Snapshots a live [`Gauge`] (skipped while disabled).
+    pub fn gauge(&mut self, name: &str, g: &Gauge) {
+        if g.is_enabled() {
+            self.gauges.push(g.series(name));
+        }
+    }
+
+    /// Records an already-materialized series.
+    pub fn push_series(&mut self, s: Series) {
+        self.gauges.push(s);
+    }
+
+    /// Records a histogram under `name`.
+    pub fn push_hist(&mut self, name: &str, h: Histogram) {
+        self.hists.push((name.to_string(), h));
+    }
+
+    /// Looks up a counter total by name.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge series by name.
+    pub fn gauge_series(&self, name: &str) -> Option<&Series> {
+        self.gauges.iter().find(|s| s.name == name)
+    }
+
+    /// Shorthand: the time-weighted integral of a named gauge.
+    pub fn gauge_integral(&self, name: &str) -> Option<SimDuration> {
+        self.gauge_series(name).map(Series::integral)
+    }
+
+    /// Total change-points across all gauges — the "did we actually
+    /// sample anything" check the CI smoke asserts on.
+    pub fn total_samples(&self) -> usize {
+        self.gauges.iter().map(Series::len).sum()
+    }
+
+    /// Appends every entry of `other`, prefixing names with `prefix.`.
+    pub fn absorb(&mut self, prefix: &str, other: MetricsSet) {
+        for (n, v) in other.counters {
+            self.counters.push((format!("{prefix}.{n}"), v));
+        }
+        for mut s in other.gauges {
+            s.name = format!("{prefix}.{}", s.name);
+            self.gauges.push(s);
+        }
+        for (n, h) in other.hists {
+            self.hists.push((format!("{prefix}.{n}"), h));
+        }
+    }
+}
+
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("peak".to_string(), Json::I64(self.peak())),
+            ("final".to_string(), Json::I64(self.final_value())),
+            (
+                "integral_ns".to_string(),
+                Json::U64(self.integral().as_nanos()),
+            ),
+            (
+                "samples".to_string(),
+                Json::Arr(
+                    self.samples
+                        .iter()
+                        .map(|&(t, v)| Json::Arr(vec![Json::U64(t.as_nanos()), Json::I64(v)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for MetricsSet {
+    fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(n.clone())),
+                    ("total".to_string(), Json::U64(*v)),
+                ])
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(n.clone())),
+                    ("count".to_string(), Json::U64(h.count())),
+                    ("mean_ns".to_string(), Json::U64(h.mean().as_nanos())),
+                    (
+                        "buckets".to_string(),
+                        Json::Arr(
+                            h.buckets()
+                                .iter()
+                                .map(|&(lo, c)| {
+                                    Json::Arr(vec![Json::U64(lo.as_nanos()), Json::U64(c)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Arr(counters)),
+            ("gauges".to_string(), self.gauges.to_json()),
+            ("hists".to_string(), Json::Arr(hists)),
+        ])
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the snapshot as a Prometheus-style text exposition page.
+/// Gauges are summarized (peak / final / integral / sample count) rather
+/// than dumped as raw series; use the JSON export for the full samples.
+pub fn to_prometheus(set: &MetricsSet) -> String {
+    let mut out = String::new();
+    for (name, total) in &set.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE hcc_{n}_total counter");
+        let _ = writeln!(out, "hcc_{n}_total {total}");
+    }
+    for s in &set.gauges {
+        let n = prom_name(&s.name);
+        let _ = writeln!(out, "# TYPE hcc_{n} gauge");
+        let _ = writeln!(out, "hcc_{n}_peak {}", s.peak());
+        let _ = writeln!(out, "hcc_{n}_final {}", s.final_value());
+        let _ = writeln!(out, "hcc_{n}_integral_ns {}", s.integral().as_nanos());
+        let _ = writeln!(out, "hcc_{n}_samples {}", s.len());
+    }
+    for (name, h) in &set.hists {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE hcc_{n} histogram");
+        let mut cumulative = 0u64;
+        for (lo, c) in h.buckets() {
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "hcc_{n}_bucket{{le=\"{}\"}} {cumulative}",
+                lo.as_nanos() * 2
+            );
+        }
+        let _ = writeln!(out, "hcc_{n}_count {}", h.count());
+        let _ = writeln!(out, "hcc_{n}_sum_ns {}", h.mean().as_nanos() * h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::micros(us)
+    }
+
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.total(), 0);
+        let mut g = Gauge::new();
+        g.occupy(t(0), t(10));
+        g.add(t(3), 5);
+        assert_eq!(g.raw_len(), 0);
+        assert!(g.series("x").is_empty());
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::enabled();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn gauge_series_sorts_and_merges() {
+        let mut g = Gauge::enabled();
+        // Recorded out of order, with two deltas at the same instant.
+        g.occupy(t(10), t(20));
+        g.occupy(t(0), t(10));
+        let s = g.series("q");
+        // +1@0, (-1,+1)@10 merge to no change and are dropped, -1@20.
+        assert_eq!(s.samples, vec![(t(0), 1), (t(20), 0)]);
+        assert_eq!(s.peak(), 1);
+        assert_eq!(s.final_value(), 0);
+        assert_eq!(s.integral(), SimDuration::micros(20));
+    }
+
+    #[test]
+    fn zero_length_occupy_leaves_no_sample() {
+        let mut g = Gauge::enabled();
+        g.occupy(t(5), t(5));
+        assert_eq!(g.raw_len(), 0);
+    }
+
+    #[test]
+    fn integral_is_per_item_wait_sum() {
+        let mut g = Gauge::enabled();
+        g.occupy(t(0), t(7));
+        g.occupy(t(2), t(12));
+        g.occupy_n(t(4), t(5), 3);
+        let s = g.series("q");
+        assert_eq!(s.integral(), SimDuration::micros(7 + 10 + 3));
+        assert_eq!(s.peak(), 5);
+    }
+
+    #[test]
+    fn overlap_time_intersects_positive_regions() {
+        let mut a = Gauge::enabled();
+        a.occupy(t(0), t(10));
+        a.occupy(t(20), t(30));
+        let mut b = Gauge::enabled();
+        b.occupy(t(5), t(25));
+        let o = overlap_time(&a.series("a"), &b.series("b"));
+        assert_eq!(o, SimDuration::micros(5 + 5));
+        assert_eq!(
+            overlap_time(
+                &a.series("a"),
+                &Series {
+                    name: "empty".into(),
+                    samples: vec![],
+                }
+            ),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn set_lookup_and_absorb() {
+        let mut inner = MetricsSet::new();
+        inner.push_counter("ops", 3);
+        let mut g = Gauge::enabled();
+        g.occupy(t(0), t(4));
+        inner.gauge("queue", &g);
+        inner.push_hist("lat", Histogram::from_durations([SimDuration::micros(1)]));
+
+        let mut set = MetricsSet::new();
+        set.absorb("gpu", inner);
+        assert_eq!(set.counter_total("gpu.ops"), Some(3));
+        assert_eq!(
+            set.gauge_integral("gpu.queue"),
+            Some(SimDuration::micros(4))
+        );
+        assert_eq!(set.total_samples(), 2);
+        assert_eq!(set.hists[0].0, "gpu.lat");
+    }
+
+    #[test]
+    fn disabled_instruments_are_skipped_by_snapshot() {
+        let mut set = MetricsSet::new();
+        set.counter("off", &Counter::new());
+        set.gauge("off", &Gauge::new());
+        assert!(set.counters.is_empty());
+        assert!(set.gauges.is_empty());
+    }
+
+    #[test]
+    fn json_and_prometheus_exports_cover_all_entries() {
+        let mut set = MetricsSet::new();
+        set.push_counter("gpu.ring.submissions", 7);
+        let mut g = Gauge::enabled();
+        g.occupy(t(1), t(3));
+        set.gauge("gpu.ring.occupancy", &g);
+        set.push_hist(
+            "engine.scenario_wall",
+            Histogram::from_durations([SimDuration::micros(10)]),
+        );
+
+        let json = set.to_json();
+        let parsed = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("counters").unwrap().at(0).unwrap().get("total"),
+            Some(&Json::U64(7))
+        );
+        let gauge = parsed.get("gauges").unwrap().at(0).unwrap();
+        assert_eq!(gauge.get("peak").unwrap().as_u64(), Some(1));
+        assert_eq!(gauge.get("integral_ns").unwrap().as_u64(), Some(2_000));
+
+        let prom = to_prometheus(&set);
+        assert!(prom.contains("hcc_gpu_ring_submissions_total 7"));
+        assert!(prom.contains("hcc_gpu_ring_occupancy_peak 1"));
+        assert!(prom.contains("hcc_engine_scenario_wall_count 1"));
+    }
+}

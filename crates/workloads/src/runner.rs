@@ -7,7 +7,7 @@ use hcc_runtime::{
     CudaContext, DevicePtr, HostPtr, KernelDesc, ManagedAccess, ManagedPtr, RuntimeError, SimConfig,
 };
 use hcc_runtime::{TdCounters, UvmStats};
-use hcc_trace::{KernelId, Timeline};
+use hcc_trace::{KernelId, MetricsSet, Timeline};
 use hcc_types::SimTime;
 
 use crate::scenario::{AppSelector, Scenario};
@@ -83,6 +83,9 @@ pub struct RunResult {
     pub td: TdCounters,
     /// UVM driver statistics.
     pub uvm: UvmStats,
+    /// Virtual-time metrics snapshot (`None` unless the config enabled
+    /// the metrics plane).
+    pub metrics: Option<MetricsSet>,
 }
 
 /// Resolves and runs a [`Scenario`] — the unified entry point the
@@ -215,11 +218,13 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
     let end = ctx.now();
     let td = ctx.td_counters();
     let uvm = ctx.uvm_stats();
+    let metrics = ctx.metrics_snapshot();
     Ok(RunResult {
         timeline: ctx.into_timeline(),
         end,
         td,
         uvm,
+        metrics,
     })
 }
 

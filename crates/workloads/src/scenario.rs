@@ -74,6 +74,14 @@ impl Scenario {
         self.cfg.cc
     }
 
+    /// The bare app name, without mode or variant decoration.
+    pub fn app_name(&self) -> &str {
+        match &self.app {
+            AppSelector::Standard(n) | AppSelector::UvmVariant(n) => n,
+            AppSelector::Adhoc(spec) => spec.name,
+        }
+    }
+
     /// Human-readable label for reports and engine statistics.
     pub fn label(&self) -> String {
         let name = match &self.app {

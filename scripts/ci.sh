@@ -79,3 +79,40 @@ echo "==> tier-2: panic containment in the experiment engine"
 ./target/release/fault_sweep --panic-smoke
 
 echo "tier-2: OK (fault sweep deterministic, panic contained)"
+
+# Tier-2 obs smoke: the metrics plane must observe (nonzero samples, a
+# detected saturated resource, JSON snapshots that survive the in-repo
+# parser) without perturbing anything (figure stdout byte-identical with
+# HCC_METRICS on and off).
+echo "==> tier-2: observability plane smoke"
+./target/release/obs_report --json "$t2_dir/obs.json" \
+    >"$t2_dir/obs.out" 2>/dev/null
+
+trailer=$(sed -n 's/^snapshots: \([0-9][0-9]*\) scenarios, \([0-9][0-9]*\) samples, \([0-9][0-9]*\) saturated (json round-trip OK)$/\1 \2 \3/p' "$t2_dir/obs.out")
+if [ -z "$trailer" ]; then
+    echo "tier-2: FAIL — obs_report trailer missing (round-trip self-check did not run)" >&2
+    exit 1
+fi
+samples=$(echo "$trailer" | cut -d' ' -f2)
+saturated=$(echo "$trailer" | cut -d' ' -f3)
+if [ "$samples" -eq 0 ] || [ "$saturated" -eq 0 ]; then
+    echo "tier-2: FAIL — obs_report saw $samples samples, $saturated saturated scenarios" >&2
+    exit 1
+fi
+if [ ! -s "$t2_dir/obs.json" ]; then
+    echo "tier-2: FAIL — obs_report --json wrote nothing" >&2
+    exit 1
+fi
+
+HCC_METRICS=1 HCC_ENGINE_STATS_JSON="$t2_dir/engine.json" \
+    ./target/release/summary >"$t2_dir/obs_on.out" 2>/dev/null
+if ! diff -u "$t2_dir/serial.out" "$t2_dir/obs_on.out"; then
+    echo "tier-2: FAIL — summary stdout differs with HCC_METRICS=1" >&2
+    exit 1
+fi
+if ! grep -q '"scenarios_run"' "$t2_dir/engine.json"; then
+    echo "tier-2: FAIL — HCC_ENGINE_STATS_JSON dump missing or malformed" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (obs: $samples samples, $saturated saturated, stdout unperturbed)"

@@ -1,0 +1,153 @@
+//! Property tests for the metrics plane over *random* programs: the
+//! contracts in `tests/metrics_plane.rs` hold for the standard suite,
+//! these check they hold for any op mix the runtime accepts.
+
+use hcc::prelude::*;
+use hcc::runtime::{KernelDesc, ManagedAccess};
+use hcc::trace::KernelId;
+use hcc_bench::engine::ExperimentEngine;
+use hcc_check::strategy::{u64s, u8s, vecs};
+use hcc_check::{ensure, ensure_eq, forall, Config};
+use hcc_workloads::spec::{Op, Suite, WorkloadSpec};
+use hcc_workloads::{runner, Scenario};
+
+const CASES: u32 = 16;
+
+/// Drives one random op program through a context; returns it synced.
+fn drive(ops: &[u8], cc: CcMode, seed: u64, metrics: bool) -> CudaContext {
+    let mut ctx = CudaContext::new(SimConfig::new(cc).with_seed(seed).with_metrics(metrics));
+    let size = ByteSize::mib(2);
+    let h = ctx.malloc_host(size, HostMemKind::Pinned).unwrap();
+    let d = ctx.malloc_device(size).unwrap();
+    let m = ctx.malloc_managed(size).unwrap();
+    for (i, op) in ops.iter().enumerate() {
+        match op % 5 {
+            0 => {
+                ctx.memcpy_h2d(d, h, size).unwrap();
+            }
+            1 => {
+                ctx.memcpy_d2h(h, d, size).unwrap();
+            }
+            2 => {
+                ctx.launch_kernel(
+                    &KernelDesc::new(KernelId(i as u32), SimDuration::micros(40)),
+                    ctx.default_stream(),
+                )
+                .unwrap();
+            }
+            3 => {
+                ctx.launch_kernel(
+                    &KernelDesc::new(KernelId(i as u32), SimDuration::micros(80))
+                        .with_managed(ManagedAccess::all(m)),
+                    ctx.default_stream(),
+                )
+                .unwrap();
+            }
+            _ => {
+                ctx.synchronize();
+            }
+        }
+    }
+    ctx.synchronize();
+    ctx
+}
+
+/// Observation is free for arbitrary programs: same seed, same ops,
+/// metrics on vs off -> bit-identical trace and clock.
+#[test]
+fn metrics_never_perturb_any_program() {
+    forall!(
+        Config::new(0x0B5_0001).with_cases(CASES),
+        (ops, seed, cc) in (vecs(u8s(0..5), 1..24), u64s(0..u64::MAX), u8s(0..2)) => {
+            let cc = if cc == 0 { CcMode::Off } else { CcMode::On };
+            let off = drive(&ops, cc, seed, false);
+            let on = drive(&ops, cc, seed, true);
+            ensure_eq!(off.timeline(), on.timeline());
+            ensure_eq!(off.now(), on.now());
+            ensure!(off.metrics_snapshot().is_none());
+            ensure!(on.metrics_snapshot().is_some());
+        }
+    );
+}
+
+/// Conservation: after a fully-synchronized program, every gauge drains
+/// back to zero (nothing stays queued, resident, or in flight), and the
+/// runtime queue integrals reproduce the trace's phase totals exactly.
+#[test]
+fn gauges_conserve_and_integrals_attribute() {
+    forall!(
+        Config::new(0x0B5_0002).with_cases(CASES),
+        (ops, seed) in (vecs(u8s(0..5), 1..24), u64s(0..u64::MAX)) => {
+            let ctx = drive(&ops, CcMode::On, seed, true);
+            let set = ctx.metrics_snapshot().unwrap();
+            for series in &set.gauges {
+                ensure!(
+                    series.final_value() == 0,
+                    "{} did not drain (final {})",
+                    series.name,
+                    series.final_value()
+                );
+            }
+            let lm = ctx.timeline().launch_metrics();
+            ensure_eq!(
+                set.gauge_integral("runtime.launch_queue").unwrap(),
+                lm.total_lqt()
+            );
+            ensure_eq!(
+                set.gauge_integral("runtime.kernel_queue").unwrap(),
+                lm.total_kqt()
+            );
+            ensure_eq!(
+                set.gauge_integral("runtime.kernel_active").unwrap(),
+                lm.total_ket()
+            );
+        }
+    );
+}
+
+/// Seeded replay is deterministic at any worker count: random ad-hoc
+/// scenarios produce identical snapshots from a serial engine and a
+/// parallel one.
+#[test]
+fn obs_replay_is_worker_count_invariant() {
+    forall!(
+        Config::new(0x0B5_0003).with_cases(8),
+        (kinds, seed) in (vecs(u8s(0..5), 2..12), u64s(0..u64::MAX)) => {
+            let mut ops = vec![
+                Op::MallocHost { slot: 0, size: ByteSize::mib(2), kind: HostMemKind::Pinned },
+                Op::MallocDevice { slot: 1, size: ByteSize::mib(2) },
+                Op::MallocManaged { slot: 2, size: ByteSize::mib(2) },
+            ];
+            for (i, k) in kinds.iter().enumerate() {
+                ops.push(match k % 5 {
+                    0 => Op::H2D { dst: 1, src: 0, bytes: ByteSize::mib(2) },
+                    1 => Op::D2H { dst: 0, src: 1, bytes: ByteSize::mib(2) },
+                    2 => Op::Launch {
+                        kernel: i as u32,
+                        ket: SimDuration::micros(40),
+                        managed: vec![],
+                        repeat: 1,
+                    },
+                    3 => Op::Launch {
+                        kernel: i as u32,
+                        ket: SimDuration::micros(80),
+                        managed: vec![2],
+                        repeat: 2,
+                    },
+                    _ => Op::Sync,
+                });
+            }
+            let spec = WorkloadSpec { name: "obs-prop", suite: Suite::Micro, uvm: false, ops };
+            let cfg = SimConfig::new(CcMode::On).with_seed(seed).with_metrics(true);
+            let batch = vec![Scenario::adhoc(spec.clone(), cfg.clone())];
+            let serial = ExperimentEngine::new(1).run_all(&batch);
+            let parallel = ExperimentEngine::new(3).run_all(&batch);
+            let direct = runner::run(&spec, cfg).unwrap();
+            let s = serial[0].expect_run();
+            let p = parallel[0].expect_run();
+            ensure_eq!(s.timeline, p.timeline);
+            ensure_eq!(s.metrics, p.metrics);
+            ensure_eq!(s.metrics, direct.metrics);
+        }
+    );
+}
