@@ -1,12 +1,46 @@
-//! Fig. 8: the cudaLaunchKernel call stack inside a TD.
+//! Fig. 8: the cudaLaunchKernel call stack inside a TD, with the frames
+//! whose resource class carries critical-path time in a representative
+//! run marked `*`.
 
-use hcc_bench::figures::fig08;
-use hcc_bench::report;
+use hcc_bench::figures::{self, fig08};
+use hcc_bench::{engine, report};
+use hcc_trace::critpath;
 use hcc_types::CcMode;
+use hcc_workloads::Scenario;
+
+/// The launch-heavy dense app whose critical path anchors the marks.
+const APP: &str = "gemm";
 
 fn main() {
-    for cc in CcMode::ALL {
+    let batch: Vec<Scenario> = CcMode::ALL
+        .iter()
+        .map(|&cc| Scenario::standard(APP, figures::cfg(cc).with_causal(true)))
+        .collect();
+    let results = engine::global().run_all(&batch);
+
+    let mut failures = Vec::new();
+    for (&cc, result) in CcMode::ALL.iter().zip(&results) {
         report::section(&format!("Fig. 8 — cudaLaunchKernel call stack [{cc}]"));
-        print!("{}", fig08::callstack(cc).render());
+        let mut stack = fig08::callstack(cc);
+        match result.run() {
+            Ok(run) => {
+                let path = critpath::extract(&run.timeline, &run.causal);
+                let attr = path.attribution();
+                fig08::mark_critical_frames(&mut stack, &attr);
+                print!("{}", stack.render());
+                println!(
+                    "* = frame's resource class holds critical-path time in {APP} \
+                     ({} frames marked)",
+                    stack.critical_frames().len()
+                );
+            }
+            Err(f) => {
+                print!("{}", stack.render());
+                failures.push(f);
+            }
+        }
     }
+
+    report::exit_on_failures(&failures);
+    engine::emit_stats();
 }

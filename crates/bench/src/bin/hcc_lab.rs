@@ -132,8 +132,14 @@ fn cmd_trace(args: &[String]) {
 fn cmd_chrome(args: &[String]) {
     let Some(name) = args.first() else { usage() };
     let spec = load_spec(name);
-    let r = runner::run(&spec, SimConfig::new(cc_flag(args))).expect("run");
-    print!("{}", hcc_trace::to_chrome_trace(&r.timeline));
+    let cfg = SimConfig::new(cc_flag(args))
+        .with_metrics(true)
+        .with_causal(true);
+    let r = runner::run(&spec, cfg).expect("run");
+    print!(
+        "{}",
+        hcc_trace::to_chrome_trace_full(&r.timeline, r.metrics.as_ref(), Some(&r.causal))
+    );
 }
 
 fn main() {

@@ -7,20 +7,69 @@
 //! ```
 
 use hcc_bench::engine;
-use hcc_bench::figures::{fig04a, fig05, fig06, fig07, fig09, fig12};
+use hcc_bench::figures::{self, fig04a, fig05, fig06, fig07, fig09, fig12};
 use hcc_bench::report;
 use hcc_core::observations as obs;
 use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
 use hcc_ml::cnn::CnnEstimator;
 use hcc_ml::llm::{Backend, LlmConfig, LlmEstimator, LlmPrecision};
 use hcc_trace::geomean;
+use hcc_types::json::{Json, ToJson};
 use hcc_types::{ByteSize, CcMode, CpuModel, HostMemKind, SimDuration};
+use hcc_workloads::{suites, Scenario};
 
 fn line(label: &str, paper: &str, measured: String) {
     println!("{label:<44} {paper:>14} {measured:>14}");
 }
 
+/// The machine-readable benchmark summary: per-app end-to-end `P` and
+/// Fig. 3 phase totals in both modes, plus the engine's self-profile
+/// (wall time, cache hits). Every run resolves from the engine cache when
+/// the figures above already simulated it.
+fn bench_summary(failures: &mut Vec<engine::ScenarioFailure>) -> Json {
+    let mut batch = Vec::new();
+    for spec in suites::all() {
+        for cc in CcMode::ALL {
+            batch.push(Scenario::standard(spec.name, figures::cfg(cc)));
+        }
+    }
+    let results = engine::global().run_all(&batch);
+    let mut apps = Vec::new();
+    for (scenario, result) in batch.iter().zip(&results) {
+        match result.run() {
+            Ok(run) => apps.push(Json::Obj(vec![
+                (
+                    "app".to_string(),
+                    Json::Str(scenario.app_name().to_string()),
+                ),
+                ("cc".to_string(), Json::Str(scenario.cc().to_string())),
+                (
+                    "p_ns".to_string(),
+                    Json::U64(run.timeline.span().as_nanos()),
+                ),
+                ("phases".to_string(), run.timeline.phase_totals().to_json()),
+            ])),
+            Err(f) => failures.push(f),
+        }
+    }
+    Json::Obj(vec![
+        ("apps".to_string(), Json::Arr(apps)),
+        ("engine".to_string(), engine::global().stats().to_json()),
+    ])
+}
+
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next(),
+            other => {
+                eprintln!("unknown argument {other:?} (expected --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
     // Prefetch every simulation-backed figure population in one parallel
     // batch; the per-figure calls below then resolve from the engine's
     // cache (overlapping populations — e.g. Fig. 7 ⊂ Fig. 5's apps plus
@@ -214,6 +263,17 @@ fn main() {
         }
     }
     println!("\n{pass}/{} observation checks pass", checks.len());
+
+    // Machine-readable export (written last so the engine self-profile
+    // covers every batch above). Only wall-clock fields differ between
+    // thread counts; the per-app entries are deterministic.
+    if let Some(path) = json_path {
+        let doc = bench_summary(&mut failures);
+        if let Err(e) = std::fs::write(&path, doc.to_string()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     // Engine statistics carry wall-clock times, so they go to stderr:
     // stdout stays byte-identical across HCC_ENGINE_THREADS settings

@@ -28,6 +28,13 @@ pub const FAULT_PLAN_ENV: &str = "HCC_FAULT_PLAN";
 /// `obs_report` and the Perfetto export surface.
 pub const METRICS_ENV: &str = "HCC_METRICS";
 
+/// Environment variable switching causal-edge collection on for every
+/// figure config (`HCC_CAUSAL=1`). Like metrics, causal collection only
+/// observes — figure stdout is byte-identical either way — but enabled
+/// runs additionally carry the typed dependency DAG that `explain` and
+/// the Perfetto flow arrows consume.
+pub const CAUSAL_ENV: &str = "HCC_CAUSAL";
+
 /// A figure computation plus the scenarios that failed to contribute.
 /// Figure tables render `data` and surface `failures` as per-row lines
 /// instead of aborting the whole report.
@@ -75,13 +82,25 @@ fn metrics_from_env() -> bool {
     })
 }
 
+/// Whether [`CAUSAL_ENV`] enables causal-edge collection, read once per
+/// process. Any non-empty value other than `0` counts as on.
+fn causal_from_env() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var(CAUSAL_ENV)
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
 /// Fresh config for a mode with the standard experiment seed (and the
-/// process-wide fault plan / metrics switch, when [`FAULT_PLAN_ENV`] or
-/// [`METRICS_ENV`] select them).
+/// process-wide fault plan / metrics / causal switches, when
+/// [`FAULT_PLAN_ENV`], [`METRICS_ENV`], or [`CAUSAL_ENV`] select them).
 pub fn cfg(cc: CcMode) -> SimConfig {
     let cfg = SimConfig::new(cc)
         .with_seed(0xFA11_2025)
-        .with_metrics(metrics_from_env());
+        .with_metrics(metrics_from_env())
+        .with_causal(causal_from_env());
     match fault_plan_from_env() {
         Some(plan) => cfg.with_fault_plan(plan),
         None => cfg,
@@ -669,9 +688,37 @@ pub mod fig07 {
 /// Fig. 8: the `cudaLaunchKernel` call stack inside a TD.
 pub mod fig08 {
     use hcc_tee::TdContext;
+    use hcc_trace::critpath::{Attribution, ResourceClass};
     use hcc_trace::CallFrame;
     use hcc_types::calib::Calibration;
     use hcc_types::{CcMode, SimDuration};
+
+    /// The resource class each Fig. 8 frame occupies, keyed by frame
+    /// name: the swiotlb/page-conversion branch draws on the bounce
+    /// pool, the doorbell write rings the CP, everything else is host
+    /// driver time.
+    pub fn frame_resource(name: &str) -> ResourceClass {
+        match name {
+            "dma_direct_alloc" | "swiotlb_alloc" | "set_memory_decrypted" => {
+                ResourceClass::BouncePool
+            }
+            "doorbell_mmio_write" => ResourceClass::RingCp,
+            _ => ResourceClass::HostDriver,
+        }
+    }
+
+    /// Marks every frame whose resource class carries nonzero critical
+    /// time in `attr` — connecting the static Fig. 8 breakdown to a
+    /// run's measured critical path. Marking only annotates; costs and
+    /// structure are untouched.
+    pub fn mark_critical_frames(frame: &mut CallFrame, attr: &Attribution) {
+        if attr.get(frame_resource(frame.name())) > SimDuration::ZERO {
+            frame.mark_critical();
+        }
+        for child in frame.children_mut() {
+            mark_critical_frames(child, attr);
+        }
+    }
 
     /// Builds the simplified Fig. 8 call tree with mode-appropriate costs.
     pub fn callstack(cc: CcMode) -> CallFrame {

@@ -1,6 +1,7 @@
 //! The assembled GPU device: command processor front door, copy engines,
 //! compute engine, HBM, and GMMU (paper Fig. 2's GPU half).
 
+use hcc_trace::causal::{CausalEdge, EdgeKind, EventId};
 use hcc_trace::metrics::{Counter, MetricsSet};
 use hcc_types::calib::{dispatch_latency, GpuCalib};
 use hcc_types::{
@@ -26,6 +27,17 @@ impl KernelSchedule {
     pub fn kqt_since(&self, launch_end: SimTime) -> SimDuration {
         self.exec.start.saturating_since(launch_end)
     }
+
+    /// The causal edge this schedule implies: the launch (ending at
+    /// `launch_end`) gates execution through the ring/CP/dispatch leg,
+    /// and the carried wait is exactly the KQT the device imposed. The
+    /// device — not the trace consumer — types this dependency, so the
+    /// DAG is built from scheduling decisions rather than inferred from
+    /// timestamps.
+    pub fn causal_edge(&self, launch: EventId, kernel: EventId, launch_end: SimTime) -> CausalEdge {
+        CausalEdge::new(launch, kernel, EdgeKind::LaunchToExec)
+            .with_wait(self.kqt_since(launch_end))
+    }
 }
 
 /// Schedule of one copy command through the device.
@@ -35,6 +47,22 @@ pub struct CopySchedule {
     pub submission: Submission,
     /// Copy-engine occupancy (transfer span).
     pub xfer: Slot,
+}
+
+impl CopySchedule {
+    /// The causal edge from the event that produced the copy's data
+    /// (crypto staging, a prior stream operation) to the transfer itself;
+    /// the wait is the engine-side delay past `data_ready`.
+    pub fn causal_edge(
+        &self,
+        producer: EventId,
+        copy: EventId,
+        kind: EdgeKind,
+        data_ready: SimTime,
+    ) -> CausalEdge {
+        CausalEdge::new(producer, copy, kind)
+            .with_wait(self.xfer.start.saturating_since(data_ready))
+    }
 }
 
 /// The simulated GPU.

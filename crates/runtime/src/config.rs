@@ -45,6 +45,11 @@ pub struct SimConfig {
     /// record nothing and the simulated trace is bit-identical either
     /// way — metrics only observe, they never draw RNG or shift a clock.
     pub metrics: bool,
+    /// Enables causal-edge collection: the runtime and the device/TEE/UVM
+    /// layers link the events they emit into a typed dependency DAG. Off
+    /// by default, with the same observe-never-perturb contract as
+    /// `metrics` — the timeline and clocks are bit-identical either way.
+    pub causal: bool,
 }
 
 impl SimConfig {
@@ -62,6 +67,7 @@ impl SimConfig {
             fault: FaultPlan::none(),
             recovery: RecoveryPolicy::default_retry(),
             metrics: false,
+            causal: false,
         }
     }
 
@@ -69,6 +75,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_metrics(mut self, enabled: bool) -> Self {
         self.metrics = enabled;
+        self
+    }
+
+    /// Enables (or disables) causal-edge collection.
+    #[must_use]
+    pub fn with_causal(mut self, enabled: bool) -> Self {
+        self.causal = enabled;
         self
     }
 
@@ -151,6 +164,9 @@ impl SimConfig {
         // change what a cached result carries (the snapshot), so obs-on
         // and obs-off runs must not share a memoization entry.
         h.write_bool(self.metrics);
+        // Same aliasing argument for the causal flag: it never changes the
+        // trace, but it changes whether a cached result carries a graph.
+        h.write_bool(self.causal);
         h.finish()
     }
 }
@@ -202,6 +218,7 @@ mod tests {
                 .with_seed(7)
                 .with_recovery(RecoveryPolicy::Abort),
             SimConfig::new(CcMode::On).with_seed(7).with_metrics(true),
+            SimConfig::new(CcMode::On).with_seed(7).with_causal(true),
         ];
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base.content_hash(), v.content_hash(), "variant {i}");

@@ -8,7 +8,10 @@ use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
 use hcc_gpu::{DeviceMemError, DevicePtr, GpuDevice, ManagedId, Resource, Slot};
 use hcc_tee::{BounceBufferPool, BounceError, TdContext, TdCounters};
 use hcc_trace::metrics::overlap_time;
-use hcc_trace::{EventKind, Gauge, MetricsSet, StreamId, Timeline, TraceEvent};
+use hcc_trace::{
+    CausalEdge, CausalGraph, EdgeKind, EventId, EventKind, Gauge, MetricsSet, StreamId, Timeline,
+    TraceEvent,
+};
 use hcc_types::rng::Xoshiro256;
 use hcc_types::{
     Bandwidth, ByteSize, CcMode, CopyKind, FaultCounts, FaultInjector, FaultSite, HostMemKind,
@@ -180,6 +183,10 @@ pub struct CudaContext {
     events: crate::events::EventRegistry,
     gcm: AesGcm,
     faults: FaultInjector,
+    causal: CausalGraph,
+    /// Latest device-side event queued per stream — the gating
+    /// predecessor for stream-order causal edges and sync releases.
+    last_stream_event: HashMap<StreamId, EventId>,
 }
 
 impl CudaContext {
@@ -241,6 +248,8 @@ impl CudaContext {
             dma_mapped: HashSet::new(),
             events: crate::events::EventRegistry::default(),
             clock: SimTime::ZERO + attest_time,
+            causal: CausalGraph::new(cfg.causal),
+            last_stream_event: HashMap::new(),
             cfg,
             gcm,
             faults,
@@ -270,6 +279,16 @@ impl CudaContext {
     /// Consumes the context, returning its trace.
     pub fn into_timeline(self) -> Timeline {
         self.timeline
+    }
+
+    /// The causal DAG recorded so far (empty unless `cfg.causal`).
+    pub fn causal_graph(&self) -> &CausalGraph {
+        &self.causal
+    }
+
+    /// Consumes the context, returning its trace and causal graph.
+    pub fn into_trace(self) -> (Timeline, CausalGraph) {
+        (self.timeline, self.causal)
     }
 
     /// TD transition counters (hypercalls, conversions).
@@ -463,8 +482,8 @@ impl CudaContext {
         &self.events
     }
 
-    fn record(&mut self, kind: EventKind, start: SimTime, end: SimTime) {
-        self.timeline.push(TraceEvent::new(kind, start, end));
+    fn record(&mut self, kind: EventKind, start: SimTime, end: SimTime) -> EventId {
+        self.timeline.push(TraceEvent::new(kind, start, end))
     }
 
     // ------------------------------------------------------------------
@@ -773,9 +792,17 @@ impl CudaContext {
 
     /// Records a retried recovery at `site`: a zero-width `FaultInjected`
     /// marker at the detection point, then one `Retry` span per backoff
-    /// covering the stall plus the re-done work (`rework` each).
-    fn charge_retries(&mut self, site: FaultSite, backoffs: &[SimDuration], rework: SimDuration) {
-        self.record(
+    /// covering the stall plus the re-done work (`rework` each). Links the
+    /// chain causally (fault → first retry → … → last retry) and returns
+    /// the chain's tail so the caller can point a `RetryToVictim` edge at
+    /// the recovered operation.
+    fn charge_retries(
+        &mut self,
+        site: FaultSite,
+        backoffs: &[SimDuration],
+        rework: SimDuration,
+    ) -> EventId {
+        let fault_id = self.record(
             EventKind::FaultInjected {
                 site,
                 attempts: backoffs.len() as u32,
@@ -783,10 +810,11 @@ impl CudaContext {
             self.clock,
             self.clock,
         );
+        let mut tail = fault_id;
         for (i, b) in backoffs.iter().enumerate() {
             let retry_start = self.clock;
             self.advance(*b + rework);
-            self.record(
+            let retry_id = self.record(
                 EventKind::Retry {
                     site,
                     attempt: i as u32 + 1,
@@ -794,12 +822,22 @@ impl CudaContext {
                 retry_start,
                 self.clock,
             );
+            let kind = if i == 0 {
+                EdgeKind::FaultToRetry
+            } else {
+                EdgeKind::RetryChain
+            };
+            self.causal
+                .push(CausalEdge::new(tail, retry_id, kind).with_wait(*b + rework));
+            tail = retry_id;
         }
+        tail
     }
 
     /// Charges the extra per-chunk setup a degraded (halved) staging
-    /// granularity costs and records the `Degraded` span.
-    fn charge_degrade(&mut self, site: FaultSite, factor: u32) {
+    /// granularity costs and records the `Degraded` span, returning its id
+    /// so the caller can link it to the operation it gates.
+    fn charge_degrade(&mut self, site: FaultSite, factor: u32) -> EventId {
         let deg_start = self.clock;
         let extra = self
             .cfg
@@ -808,7 +846,7 @@ impl CudaContext {
             .cc_transfer_setup
             .scale(factor.saturating_sub(1) as f64);
         self.advance(extra);
-        self.record(EventKind::Degraded { site }, deg_start, self.clock);
+        self.record(EventKind::Degraded { site }, deg_start, self.clock)
     }
 
     fn execute_blocking_copy(
@@ -817,16 +855,23 @@ impl CudaContext {
         plan: CopyPlan,
     ) -> Result<(SimDuration, Recovery)> {
         let start = self.clock;
+        // Events that gate the final transfer; once the umbrella Memcpy
+        // event exists, each becomes a typed causal edge into it.
+        let mut hc_ids: Vec<EventId> = Vec::new();
+        let mut reservation: Option<(hcc_tee::BounceReservation, EventId)> = None;
+        let mut crypto_done: Option<(EventId, SimTime)> = None;
+        let mut recovery_tails: Vec<EventId> = Vec::new();
         // Hypercalls for DMA mapping (CC only).
         for _ in 0..plan.hypercalls {
             let hc_start = self.clock;
             let cost = self.td.hypercall("dma_map");
             self.advance(cost);
-            self.record(
+            let id = self.record(
                 EventKind::Hypercall { reason: "dma_map" },
                 hc_start,
                 self.clock,
             );
+            hc_ids.push(id);
         }
         // Bounce staging reservation (chunked; costs mostly on cold pool).
         if self.cfg.cc.is_on() && plan.label != CopyKind::D2D || plan.managed {
@@ -838,14 +883,15 @@ impl CudaContext {
                         .reserve_with_faults(&mut self.td, stage, &mut self.faults)?;
                 match &rec {
                     Recovery::Retried { backoffs } => {
-                        self.charge_retries(
+                        recovery_tails.push(self.charge_retries(
                             FaultSite::BounceExhausted,
                             backoffs,
                             SimDuration::ZERO,
-                        );
+                        ));
                     }
                     Recovery::Degraded { factor } => {
-                        self.charge_degrade(FaultSite::BounceExhausted, *factor);
+                        recovery_tails
+                            .push(self.charge_degrade(FaultSite::BounceExhausted, *factor));
                     }
                     Recovery::Clean | Recovery::Aborted { .. } => {}
                 }
@@ -857,13 +903,22 @@ impl CudaContext {
                 self.bounce
                     .record_occupancy(reserved_at, self.clock, r.size);
                 self.bounce.release(r.size);
+                let rid = self.record(
+                    EventKind::BounceReserve {
+                        bytes: r.size,
+                        converted: r.converted,
+                    },
+                    reserved_at,
+                    self.clock,
+                );
+                reservation = Some((r, rid));
             }
         }
         // CPU crypto (serialized on the crypto engine; the host blocks).
         let mut gcm_recovery = Recovery::Clean;
         if !plan.crypto.is_zero() {
             let slot = self.crypto_engine.schedule(self.clock, plan.crypto);
-            self.record(
+            let cid = self.record(
                 EventKind::Crypto {
                     bytes,
                     encrypt: true,
@@ -871,6 +926,7 @@ impl CudaContext {
                 slot.start,
                 slot.end,
             );
+            crypto_done = Some((cid, slot.end));
             self.clock = slot.end;
             // GCM tag verification on the staged chunk. A failed check is
             // detected here: the retry re-encrypts and re-stages one
@@ -891,11 +947,11 @@ impl CudaContext {
                             chunk,
                             self.cfg.crypto_workers,
                         ) + self.cfg.calib.pcie.bounce_copy.time_for(chunk);
-                        self.charge_retries(site, &backoffs, rework);
+                        recovery_tails.push(self.charge_retries(site, &backoffs, rework));
                         gcm_recovery = Recovery::Retried { backoffs };
                     }
                     Recovery::Degraded { factor } => {
-                        self.charge_degrade(site, factor);
+                        recovery_tails.push(self.charge_degrade(site, factor));
                         gcm_recovery = Recovery::Degraded { factor };
                     }
                     Recovery::Aborted { .. } => return Err(RuntimeError::Integrity),
@@ -915,7 +971,7 @@ impl CudaContext {
         self.gpu.note_copy_bytes(plan.label, bytes);
         self.clock = self.clock.max(sched.xfer.end);
         let total = self.clock - start;
-        self.record(
+        let copy_id = self.record(
             EventKind::Memcpy {
                 kind: plan.label,
                 bytes,
@@ -929,6 +985,21 @@ impl CudaContext {
             start,
             self.clock,
         );
+        for hc in hc_ids {
+            self.causal
+                .push(CausalEdge::new(hc, copy_id, EdgeKind::HypercallToStaging));
+        }
+        if let Some((r, rid)) = reservation {
+            self.causal.push(r.staging_edge(rid, copy_id));
+        }
+        if let Some((cid, done)) = crypto_done {
+            self.causal
+                .push(sched.causal_edge(cid, copy_id, EdgeKind::CryptoToStaging, done));
+        }
+        for tail in recovery_tails {
+            self.causal
+                .push(CausalEdge::new(tail, copy_id, EdgeKind::RetryToVictim));
+        }
         Ok((total, gcm_recovery))
     }
 
@@ -1036,9 +1107,10 @@ impl CudaContext {
         // Crypto serialized across streams on the CPU crypto engine — the
         // reason overlap is harder under CC (Observation 8).
         let mut data_ready = ready.max(self.clock);
+        let mut crypto_done: Option<(EventId, SimTime)> = None;
         if !plan.crypto.is_zero() {
             let slot = self.crypto_engine.schedule(data_ready, plan.crypto);
-            self.record(
+            let cid = self.record(
                 EventKind::Crypto {
                     bytes,
                     encrypt: dir == CopyKind::H2D,
@@ -1046,6 +1118,7 @@ impl CudaContext {
                 slot.start,
                 slot.end,
             );
+            crypto_done = Some((cid, slot.end));
             data_ready = slot.end;
         }
         data_ready += plan.pre;
@@ -1057,7 +1130,7 @@ impl CudaContext {
             plan.dma,
         );
         self.gpu.note_copy_bytes(plan.label, bytes);
-        self.timeline.push(
+        let copy_id = self.timeline.push(
             TraceEvent::new(
                 EventKind::Memcpy {
                     kind: plan.label,
@@ -1070,6 +1143,15 @@ impl CudaContext {
             )
             .on_stream(stream),
         );
+        if let Some(&prev) = self.last_stream_event.get(&stream) {
+            self.causal
+                .push(sched.causal_edge(prev, copy_id, EdgeKind::StreamOrder, ready));
+        }
+        if let Some((cid, done)) = crypto_done {
+            self.causal
+                .push(sched.causal_edge(cid, copy_id, EdgeKind::CryptoToStaging, done));
+        }
+        self.last_stream_event.insert(stream, copy_id);
         self.streams.insert(stream, sched.xfer.end);
         Ok(())
     }
@@ -1120,7 +1202,24 @@ impl CudaContext {
         if target > self.clock {
             let start = self.clock;
             self.clock = target;
-            self.record(EventKind::Sync, start, target);
+            let sync_id = self.record(EventKind::Sync, start, target);
+            if self.causal.is_enabled() {
+                // The device-side completion that released this wait: the
+                // queued stream event ending exactly at the sync target
+                // (lowest id wins for determinism — HashMap order isn't).
+                let release = self
+                    .last_stream_event
+                    .values()
+                    .copied()
+                    .filter(|&id| self.timeline.get(id).is_some_and(|e| e.end == target))
+                    .min();
+                if let Some(done) = release {
+                    self.causal.push(
+                        CausalEdge::new(done, sync_id, EdgeKind::CompletionToSync)
+                            .with_wait(target - start),
+                    );
+                }
+            }
             target - start
         } else {
             // Tiny no-op sync cost.
@@ -1231,7 +1330,7 @@ impl CudaContext {
             fault_time += service.total_time;
             fault_pages += service.pages;
             fault_bytes += service.bytes;
-            if self.cfg.metrics {
+            if self.cfg.metrics || self.cfg.causal {
                 services.push(service);
             }
             if let Recovery::Retried { backoffs } = rec {
@@ -1270,8 +1369,9 @@ impl CudaContext {
         };
         // A dropped doorbell surfaces as extra ring wait: record the
         // retries inside the stall window that submit already charged.
+        let mut ring_tail: Option<EventId> = None;
         if let Recovery::Retried { backoffs } = &ring_rec {
-            self.timeline.push(
+            let fault_id = self.timeline.push(
                 TraceEvent::new(
                     EventKind::FaultInjected {
                         site: FaultSite::RingDoorbell,
@@ -1284,8 +1384,9 @@ impl CudaContext {
                 .with_correlation(corr),
             );
             let mut cursor = submit_at;
+            let mut tail = fault_id;
             for (i, b) in backoffs.iter().enumerate() {
-                self.timeline.push(
+                let retry_id = self.timeline.push(
                     TraceEvent::new(
                         EventKind::Retry {
                             site: FaultSite::RingDoorbell,
@@ -1297,8 +1398,17 @@ impl CudaContext {
                     .on_stream(stream)
                     .with_correlation(corr),
                 );
+                let kind = if i == 0 {
+                    EdgeKind::FaultToRetry
+                } else {
+                    EdgeKind::RetryChain
+                };
+                self.causal
+                    .push(CausalEdge::new(tail, retry_id, kind).with_wait(*b));
+                tail = retry_id;
                 cursor += *b;
             }
+            ring_tail = Some(tail);
         }
         let lqt = gap + sched.submission.ring_wait;
         let launch_start = sched.submission.admitted;
@@ -1315,7 +1425,7 @@ impl CudaContext {
             ));
             hc_cursor += span;
         }
-        self.timeline.push(
+        let launch_id = self.timeline.push(
             TraceEvent::new(
                 EventKind::Launch {
                     kernel: desc.id,
@@ -1328,6 +1438,10 @@ impl CudaContext {
             .on_stream(stream)
             .with_correlation(corr),
         );
+        if let Some(tail) = ring_tail {
+            self.causal
+                .push(CausalEdge::new(tail, launch_id, EdgeKind::RetryToVictim));
+        }
         // The driver has no clock: report where the fault servicing landed
         // in virtual time (back-to-back from the kernel's exec start) so
         // its outstanding-fault / backlog gauges line up with the trace.
@@ -1336,26 +1450,30 @@ impl CudaContext {
             self.uvm.record_service(svc_at, service);
             svc_at += service.total_time;
         }
+        let mut uvm_fault_id: Option<EventId> = None;
         if fault_pages > 0 {
-            self.timeline.push(
-                TraceEvent::new(
-                    EventKind::UvmFault {
-                        kernel: desc.id,
-                        pages: fault_pages,
-                        bytes: fault_bytes,
-                    },
-                    sched.exec.start,
-                    sched.exec.start + fault_time,
-                )
-                .on_stream(stream)
-                .with_correlation(corr),
+            uvm_fault_id = Some(
+                self.timeline.push(
+                    TraceEvent::new(
+                        EventKind::UvmFault {
+                            kernel: desc.id,
+                            pages: fault_pages,
+                            bytes: fault_bytes,
+                        },
+                        sched.exec.start,
+                        sched.exec.start + fault_time,
+                    )
+                    .on_stream(stream)
+                    .with_correlation(corr),
+                ),
             );
         }
         // Injected migration retries extend the kernel's exec window;
         // they sit right after the regular fault-service span.
         let mut uvm_cursor = sched.exec.start + fault_time;
+        let mut uvm_tails: Vec<EventId> = Vec::new();
         for penalties in &uvm_penalties {
-            self.timeline.push(
+            let fault_id = self.timeline.push(
                 TraceEvent::new(
                     EventKind::FaultInjected {
                         site: FaultSite::UvmMigration,
@@ -1367,8 +1485,9 @@ impl CudaContext {
                 .on_stream(stream)
                 .with_correlation(corr),
             );
+            let mut tail = fault_id;
             for (i, p) in penalties.iter().enumerate() {
-                self.timeline.push(
+                let retry_id = self.timeline.push(
                     TraceEvent::new(
                         EventKind::Retry {
                             site: FaultSite::UvmMigration,
@@ -1380,10 +1499,20 @@ impl CudaContext {
                     .on_stream(stream)
                     .with_correlation(corr),
                 );
+                let kind = if i == 0 {
+                    EdgeKind::FaultToRetry
+                } else {
+                    EdgeKind::RetryChain
+                };
+                self.causal
+                    .push(CausalEdge::new(tail, retry_id, kind).with_wait(*p));
+                tail = retry_id;
                 uvm_cursor += *p;
             }
+            uvm_tails.push(tail);
         }
-        self.timeline.push(
+        let prev_stream_event = self.last_stream_event.get(&stream).copied();
+        let kernel_id = self.timeline.push(
             TraceEvent::new(
                 EventKind::Kernel {
                     kernel: desc.id,
@@ -1395,6 +1524,33 @@ impl CudaContext {
             .on_stream(stream)
             .with_correlation(corr),
         );
+        if self.causal.is_enabled() {
+            // Launch → execution: the device types the KQT leg.
+            self.causal
+                .push(sched.causal_edge(launch_id, kernel_id, launch_end));
+            // Program order on the stream; a feeding copy gets its own kind.
+            if let Some(prev) = prev_stream_event {
+                let kind = match self.timeline.get(prev).map(|e| &e.kind) {
+                    Some(EventKind::Memcpy { .. }) => EdgeKind::CopyToKernel,
+                    _ => EdgeKind::StreamOrder,
+                };
+                self.causal.push(
+                    CausalEdge::new(prev, kernel_id, kind)
+                        .with_wait(sched.exec.start.saturating_since(stream_ready)),
+                );
+            }
+            // UVM migration → resume: the driver types each service leg.
+            if let Some(uvm_id) = uvm_fault_id {
+                for service in &services {
+                    self.causal.push(service.resume_edge(uvm_id, kernel_id));
+                }
+            }
+            for tail in uvm_tails {
+                self.causal
+                    .push(CausalEdge::new(tail, kernel_id, EdgeKind::RetryToVictim));
+            }
+        }
+        self.last_stream_event.insert(stream, kernel_id);
         self.streams.insert(stream, sched.exec.end);
         Ok(corr)
     }

@@ -1,6 +1,7 @@
 //! The swiotlb-style bounce-buffer pool: hypervisor-shared staging memory
 //! every CC DMA transfer must ride through (paper Sec. II-A / VI-A).
 
+use hcc_trace::causal::{CausalEdge, EdgeKind, EventId};
 use hcc_trace::metrics::{Gauge, MetricsSet};
 use hcc_types::calib::TdxCalib;
 use hcc_types::{ByteSize, CcMode, FaultInjector, FaultSite, Recovery, SimDuration, SimTime};
@@ -17,6 +18,17 @@ pub struct BounceReservation {
     pub cost: SimDuration,
     /// Whether this reservation had to convert fresh pages (cold pool).
     pub converted: bool,
+}
+
+impl BounceReservation {
+    /// The causal edge this reservation implies: the staged chunk
+    /// (`copy`) could not start until the pool handed out space, and the
+    /// wait it carried is the reservation cost (bookkeeping plus any
+    /// cold-pool page conversion). Typed here so the TEE layer — the
+    /// component that priced the reservation — owns the dependency.
+    pub fn staging_edge(&self, reservation: EventId, copy: EventId) -> CausalEdge {
+        CausalEdge::new(reservation, copy, EdgeKind::BounceToStaging).with_wait(self.cost)
+    }
 }
 
 /// Errors from bounce-pool operations.

@@ -23,6 +23,7 @@ pub struct CallFrame {
     name: String,
     cost: SimDuration,
     children: Vec<CallFrame>,
+    critical: bool,
 }
 
 impl CallFrame {
@@ -32,6 +33,7 @@ impl CallFrame {
             name: name.into(),
             cost,
             children: Vec::new(),
+            critical: false,
         }
     }
 
@@ -48,6 +50,39 @@ impl CallFrame {
     /// Child frames.
     pub fn children(&self) -> &[CallFrame] {
         &self.children
+    }
+
+    /// Mutable child frames, for post-construction annotation passes.
+    pub fn children_mut(&mut self) -> &mut [CallFrame] {
+        &mut self.children
+    }
+
+    /// Whether this frame has been marked as lying on the critical path.
+    pub fn is_critical(&self) -> bool {
+        self.critical
+    }
+
+    /// Marks this frame as lying on the critical path; [`CallFrame::render`]
+    /// flags marked frames with a trailing `*`.
+    pub fn mark_critical(&mut self) -> &mut Self {
+        self.critical = true;
+        self
+    }
+
+    /// Frames marked critical, including self (depth-first order).
+    pub fn critical_frames(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_critical(&mut out);
+        out
+    }
+
+    fn collect_critical<'a>(&'a self, out: &mut Vec<&'a str>) {
+        if self.critical {
+            out.push(&self.name);
+        }
+        for child in &self.children {
+            child.collect_critical(out);
+        }
     }
 
     /// Adds a child frame.
@@ -94,7 +129,8 @@ impl CallFrame {
     fn render_into(&self, out: &mut String, depth: usize) {
         use std::fmt::Write as _;
         let indent = "  ".repeat(depth);
-        let _ = writeln!(out, "{indent}{} [{}]", self.name, self.total());
+        let mark = if self.critical { " *" } else { "" };
+        let _ = writeln!(out, "{indent}{} [{}]{mark}", self.name, self.total());
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
@@ -147,5 +183,31 @@ mod tests {
         // Deeper frames indent more.
         let depth = |l: &str| l.chars().take_while(|c| *c == ' ').count();
         assert!(depth(lines[3]) > depth(lines[1]));
+    }
+
+    #[test]
+    fn critical_marks_annotate_render_without_perturbing_costs() {
+        let mut root = sample();
+        assert!(root.critical_frames().is_empty());
+        let unmarked = root.render();
+        assert!(!unmarked.contains('*'));
+
+        root.mark_critical();
+        for child in root.children_mut() {
+            if child.name() == "ioctl" {
+                child.mark_critical();
+            }
+        }
+        assert!(root.is_critical());
+        assert_eq!(root.critical_frames(), vec!["cudaLaunchKernel", "ioctl"]);
+        assert_eq!(root.total(), us(16), "marking never changes costs");
+
+        let marked = root.render();
+        let lines: Vec<&str> = marked.lines().collect();
+        assert!(lines[0].ends_with('*'));
+        assert!(lines[1].ends_with('*'));
+        assert!(!lines[2].ends_with('*'));
+        // Stripping the marks recovers the unmarked render exactly.
+        assert_eq!(marked.replace(" *\n", "\n"), unmarked);
     }
 }

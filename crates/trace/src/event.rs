@@ -88,6 +88,15 @@ pub enum EventKind {
         /// Short reason label (e.g. "doorbell", "dma_map").
         reason: &'static str,
     },
+    /// A bounce-pool (swiotlb) staging reservation (CC only). The span is
+    /// the pool bookkeeping plus any first-touch page conversion, nested
+    /// inside the copy it stages for.
+    BounceReserve {
+        /// Bytes reserved.
+        bytes: ByteSize,
+        /// Whether fresh pages had to be converted private→shared.
+        converted: bool,
+    },
     /// UVM far-fault servicing attributable to one kernel.
     UvmFault {
         /// Kernel whose access triggered the fault batch.
@@ -134,6 +143,7 @@ impl EventKind {
             EventKind::Sync => "sync",
             EventKind::Crypto { .. } => "crypto",
             EventKind::Hypercall { .. } => "hypercall",
+            EventKind::BounceReserve { .. } => "bounce_reserve",
             EventKind::UvmFault { .. } => "uvm_fault",
             EventKind::FaultInjected { .. } => "fault",
             EventKind::Retry { .. } => "retry",
@@ -247,6 +257,10 @@ impl ToJson for EventKind {
             EventKind::Hypercall { reason } => {
                 put("reason", Json::Str((*reason).to_string()));
             }
+            EventKind::BounceReserve { bytes, converted } => {
+                put("bytes", bytes.to_json());
+                put("converted", Json::Bool(*converted));
+            }
             EventKind::UvmFault {
                 kernel,
                 pages,
@@ -347,6 +361,10 @@ mod tests {
                 encrypt: true,
             },
             EventKind::Hypercall { reason: "doorbell" },
+            EventKind::BounceReserve {
+                bytes: ByteSize::mib(2),
+                converted: true,
+            },
             EventKind::UvmFault {
                 kernel: KernelId(0),
                 pages: 1,
@@ -365,7 +383,8 @@ mod tests {
             },
         ];
         let tags: Vec<_> = kinds.iter().map(|k| k.tag()).collect();
-        assert_eq!(tags.len(), 12);
+        assert_eq!(tags.len(), 13);
+        assert!(tags.contains(&"bounce_reserve"));
         assert!(tags.contains(&"uvm_fault"));
         assert!(tags.contains(&"fault"));
         assert!(tags.contains(&"retry"));

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use hcc_types::{CopyKind, MemSpace};
 
+use crate::causal::CausalGraph;
 use crate::event::{EventKind, TraceEvent};
 use crate::metrics::MetricsSet;
 use crate::timeline::Timeline;
@@ -18,7 +19,9 @@ fn track_of(event: &TraceEvent) -> (&'static str, u32) {
         | EventKind::Alloc { .. }
         | EventKind::Free { .. }
         | EventKind::Sync => ("host", 0),
-        EventKind::Crypto { .. } | EventKind::Hypercall { .. } => ("host", 1),
+        EventKind::Crypto { .. }
+        | EventKind::Hypercall { .. }
+        | EventKind::BounceReserve { .. } => ("host", 1),
         // Fault recovery is host-runtime work; give it its own row.
         EventKind::FaultInjected { .. } | EventKind::Retry { .. } | EventKind::Degraded { .. } => {
             ("host", 2)
@@ -75,6 +78,13 @@ fn name_of(event: &TraceEvent) -> String {
             }
         }
         EventKind::Hypercall { reason } => format!("tdx_hypercall({reason})"),
+        EventKind::BounceReserve { bytes, converted } => {
+            if *converted {
+                format!("bounce reserve {bytes} [convert]")
+            } else {
+                format!("bounce reserve {bytes}")
+            }
+        }
         EventKind::UvmFault { pages, .. } => format!("uvm fault service ({pages} pages)"),
         EventKind::FaultInjected { site, attempts } => {
             format!("fault injected [{site}] x{attempts}")
@@ -97,6 +107,19 @@ pub fn to_chrome_trace(timeline: &Timeline) -> String {
 /// timeline. Each gauge change-point becomes one counter sample; empty
 /// gauges still get a zero sample so their track exists.
 pub fn to_chrome_trace_with_metrics(timeline: &Timeline, metrics: Option<&MetricsSet>) -> String {
+    to_chrome_trace_full(timeline, metrics, None)
+}
+
+/// The full export: spans, counter tracks, and — when a causal graph is
+/// supplied — flow events (`"ph": "s"`/`"f"`) so the recorded causal
+/// edges render as arrows between their endpoint slices in Perfetto.
+/// Each edge binds at the source event's end and the target event's
+/// start (`"bp": "e"` attaches to the enclosing slice).
+pub fn to_chrome_trace_full(
+    timeline: &Timeline,
+    metrics: Option<&MetricsSet>,
+    causal: Option<&CausalGraph>,
+) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     for event in timeline.events() {
@@ -116,6 +139,28 @@ pub fn to_chrome_trace_with_metrics(timeline: &Timeline, metrics: Option<&Metric
             cat = event.kind.tag(),
             corr = event.correlation,
         );
+    }
+    if let Some(graph) = causal {
+        for (id, edge) in graph.edges().iter().enumerate() {
+            let (Some(from), Some(to)) = (timeline.get(edge.from), timeline.get(edge.to)) else {
+                continue;
+            };
+            let mut write_flow = |ph: &str, event: &TraceEvent, ts: f64, bind: &str| {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let (process, tid) = track_of(event);
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{kind}\", \"cat\": \"causal\", \"ph\": \"{ph}\", \
+                     \"id\": {id}, \"ts\": {ts:.3}, \"pid\": \"{process}\", \"tid\": {tid}{bind}}}",
+                    kind = edge.kind.tag(),
+                );
+            };
+            write_flow("s", from, from.end.as_micros_f64(), "");
+            write_flow("f", to, to.start.as_micros_f64(), ", \"bp\": \"e\"");
+        }
     }
     if let Some(set) = metrics {
         for series in &set.gauges {
@@ -232,6 +277,41 @@ mod tests {
     fn empty_timeline_is_an_empty_array() {
         let json = to_chrome_trace(&Timeline::new());
         assert_eq!(json, "[\n\n]\n");
+    }
+
+    #[test]
+    fn causal_edges_become_flow_events() {
+        use crate::causal::{CausalEdge, EdgeKind, EventId};
+
+        let tl = sample();
+        let mut g = CausalGraph::new(true);
+        g.push(CausalEdge::new(
+            EventId(0),
+            EventId(1),
+            EdgeKind::LaunchToExec,
+        ));
+
+        let json = to_chrome_trace_full(&tl, None, Some(&g));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert_eq!(json.matches("\"ph\": \"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\": \"f\"").count(), 1);
+        assert!(json.contains("\"name\": \"launch_to_exec\""));
+        assert!(json.contains("\"bp\": \"e\""));
+        // The arrow leaves the launch's end and lands at the kernel's start.
+        assert!(json.contains("\"ph\": \"s\", \"id\": 0, \"ts\": 6.000"));
+        assert!(json.contains("\"ph\": \"f\", \"id\": 0, \"ts\": 8.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // Without a graph the output is byte-identical to the old format.
+        assert_eq!(to_chrome_trace_full(&tl, None, None), to_chrome_trace(&tl));
+        // Dangling edges are skipped, not exported.
+        let mut dangling = CausalGraph::new(true);
+        dangling.push(CausalEdge::new(
+            EventId(0),
+            EventId(99),
+            EdgeKind::StreamOrder,
+        ));
+        assert!(!to_chrome_trace_full(&tl, None, Some(&dangling)).contains("\"ph\": \"s\""));
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! ```
 
 mod callstack;
+pub mod causal;
+pub mod critpath;
 mod event;
 pub mod export;
 mod histogram;
@@ -40,8 +42,10 @@ mod stats;
 mod timeline;
 
 pub use callstack::CallFrame;
+pub use causal::{CausalEdge, CausalGraph, EdgeKind, EventId};
+pub use critpath::{Attribution, CritPath, ResourceClass, Segment};
 pub use event::{EventKind, KernelId, StreamId, TraceEvent};
-pub use export::{to_chrome_trace, to_chrome_trace_with_metrics};
+pub use export::{to_chrome_trace, to_chrome_trace_full, to_chrome_trace_with_metrics};
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge, MetricsSet, Series};
 pub use stats::{geomean, mean_ratio, Cdf, Summary};
@@ -192,6 +196,22 @@ mod proptests {
             }
             ensure_eq!(running, 0);
             ensure_eq!(series.integral(), expected);
+        });
+    }
+
+    /// The critical-path identity on arbitrary (overlapping, unordered)
+    /// launch/kernel timelines: segments always partition
+    /// `[first_start, last_end]` exactly and walk time monotonically.
+    #[test]
+    fn critpath_identity_on_random_timelines() {
+        forall!(Config::new(0x7ACE_0008), raw in raw_events() => {
+            let tl: Timeline = events_from(&raw).into_iter().collect();
+            let p = critpath::extract(&tl, &CausalGraph::new(false));
+            ensure!(p.identity_holds(), "identity failed");
+            ensure_eq!(p.attribution().total(), tl.span());
+            for w in p.segments().windows(2) {
+                ensure_eq!(w[0].end, w[1].start);
+            }
         });
     }
 

@@ -3,6 +3,7 @@
 
 use hcc_types::{ByteSize, CopyKind, MemSpace, SimDuration, SimTime};
 
+use crate::causal::EventId;
 use crate::event::{EventKind, KernelId, TraceEvent};
 
 /// An ordered collection of trace events for one application run.
@@ -20,14 +21,20 @@ impl Timeline {
         Timeline::default()
     }
 
-    /// Appends an event.
-    pub fn push(&mut self, event: TraceEvent) {
+    /// Appends an event, returning its id for causal-edge linking.
+    pub fn push(&mut self, event: TraceEvent) -> EventId {
         self.events.push(event);
+        EventId(self.events.len() - 1)
     }
 
     /// All events, in insertion order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// The event behind an id handed out by [`Timeline::push`].
+    pub fn get(&self, id: EventId) -> Option<&TraceEvent> {
+        self.events.get(id.0)
     }
 
     /// Number of events.
@@ -163,6 +170,9 @@ impl Timeline {
                     m.fault_degrades += 1;
                     m.fault_time += e.duration();
                 }
+                // Reservation windows are nested inside their copy's span,
+                // which `copy_total` already counts.
+                EventKind::BounceReserve { .. } => {}
                 EventKind::Launch { .. } | EventKind::Kernel { .. } => {}
             }
         }
@@ -446,6 +456,15 @@ impl PhaseTotals {
         self.t_mem + self.t_launch + self.t_kernel + self.t_other
     }
 }
+
+hcc_types::impl_to_json!(PhaseTotals {
+    t_mem,
+    t_launch,
+    t_kernel,
+    t_other,
+    t_fault,
+    span
+});
 
 #[cfg(test)]
 mod tests {

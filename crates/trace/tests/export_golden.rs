@@ -14,7 +14,8 @@
 use std::collections::HashMap;
 
 use hcc_trace::{
-    to_chrome_trace_with_metrics, EventKind, Gauge, KernelId, MetricsSet, Timeline, TraceEvent,
+    to_chrome_trace_full, to_chrome_trace_with_metrics, CausalEdge, CausalGraph, EdgeKind, EventId,
+    EventKind, Gauge, KernelId, MetricsSet, Timeline, TraceEvent,
 };
 use hcc_types::json::Json;
 use hcc_types::{ByteSize, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime};
@@ -103,8 +104,36 @@ fn fixture() -> (Timeline, MetricsSet) {
     (tl, set)
 }
 
+/// Causal edges over the fixture timeline, indexed by push order:
+/// 0 alloc, 1 launch, 2 crypto, 3 copy, 4 kernel, 5 uvm fault, 6 sync.
+fn causal_fixture() -> CausalGraph {
+    let mut g = CausalGraph::new(true);
+    g.push(
+        CausalEdge::new(EventId(2), EventId(3), EdgeKind::CryptoToStaging)
+            .with_wait(SimDuration::ZERO),
+    );
+    g.push(
+        CausalEdge::new(EventId(1), EventId(4), EdgeKind::LaunchToExec)
+            .with_wait(SimDuration::micros(31)),
+    );
+    g.push(CausalEdge::new(
+        EventId(3),
+        EventId(4),
+        EdgeKind::CopyToKernel,
+    ));
+    g.push(
+        CausalEdge::new(EventId(4), EventId(6), EdgeKind::CompletionToSync)
+            .with_wait(SimDuration::micros(100)),
+    );
+    g
+}
+
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json")
+}
+
+fn full_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace_full.json")
 }
 
 #[test]
@@ -127,6 +156,107 @@ fn export_matches_golden_file_byte_for_byte() {
         out, golden,
         "Chrome export drifted from the golden file; if intentional, re-bless with HCC_BLESS=1"
     );
+}
+
+#[test]
+fn full_export_matches_golden_file_byte_for_byte() {
+    let (tl, set) = fixture();
+    let causal = causal_fixture();
+    let out = to_chrome_trace_full(&tl, Some(&set), Some(&causal));
+    let path = full_golden_path();
+    if std::env::var_os("HCC_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &out).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with HCC_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        out, golden,
+        "full Chrome export (flows + counters) drifted from the golden file; \
+         if intentional, re-bless with HCC_BLESS=1"
+    );
+}
+
+#[test]
+fn full_export_combines_flows_and_counters_coherently() {
+    let (tl, set) = fixture();
+    let causal = causal_fixture();
+    assert!(
+        causal.is_acyclic(),
+        "fixture edges must respect event order"
+    );
+    let out = to_chrome_trace_full(&tl, Some(&set), Some(&causal));
+    let doc = Json::parse(&out).expect("full export is well-formed JSON");
+    let Json::Arr(events) = doc else {
+        panic!("export root is not an array");
+    };
+    // 7 spans + 9 counter samples (as in the metrics-only export) plus a
+    // flow start/finish pair per causal edge.
+    assert_eq!(events.len(), 7 + 9 + 2 * causal.len());
+
+    let mut starts: HashMap<u64, f64> = HashMap::new();
+    let mut finishes: HashMap<u64, f64> = HashMap::new();
+    for ev in &events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let id = ev.get("id").and_then(Json::as_u64).expect("flow id");
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("flow ts");
+        assert_eq!(
+            ev.get("cat").and_then(Json::as_str),
+            Some("causal"),
+            "flow events carry the causal category"
+        );
+        if ph == "s" {
+            starts.insert(id, ts);
+        } else {
+            assert_eq!(
+                ev.get("bp").and_then(Json::as_str),
+                Some("e"),
+                "finish binds to the enclosing slice"
+            );
+            finishes.insert(id, ts);
+        }
+    }
+    assert_eq!(starts.len(), causal.len(), "one start per edge");
+    assert_eq!(finishes.len(), causal.len(), "one finish per edge");
+    for (id, edge) in causal.edges().iter().enumerate() {
+        let from = tl.get(edge.from).expect("edge source exists");
+        let to = tl.get(edge.to).expect("edge target exists");
+        let id = id as u64;
+        assert_eq!(
+            starts[&id],
+            from.end.as_micros_f64(),
+            "arrow leaves source end"
+        );
+        assert_eq!(
+            finishes[&id],
+            to.start.as_micros_f64(),
+            "arrow lands at target start"
+        );
+    }
+    // Counter tracks are unchanged by the causal overlay: stripping the
+    // flow events gives back the metrics-only export exactly.
+    let metrics_only = to_chrome_trace_with_metrics(&tl, Some(&set));
+    let flowless: Vec<&str> = out
+        .lines()
+        .filter(|l| !l.contains("\"cat\": \"causal\""))
+        .collect();
+    let metric_lines: Vec<&str> = metrics_only.lines().collect();
+    assert_eq!(flowless.len(), metric_lines.len());
+    for (a, b) in flowless.iter().zip(&metric_lines) {
+        assert_eq!(
+            a.trim_end_matches(','),
+            b.trim_end_matches(','),
+            "span/counter records differ between the full and metrics-only exports"
+        );
+    }
 }
 
 #[test]

@@ -2,6 +2,7 @@
 
 use hcc_gpu::{Gmmu, GmmuError, ManagedId};
 use hcc_tee::TdContext;
+use hcc_trace::causal::{CausalEdge, EdgeKind, EventId};
 use hcc_trace::metrics::{Gauge, MetricsSet};
 use hcc_types::calib::UvmCalib;
 use hcc_types::{ByteSize, CcMode, FaultInjector, FaultSite, Recovery, SimDuration, SimTime};
@@ -83,6 +84,15 @@ impl FaultService {
             pages: 0,
             bytes: ByteSize::ZERO,
         }
+    }
+
+    /// The causal edge this service implies: the kernel could not resume
+    /// until fault migration finished, and the carried wait is the serial
+    /// service total (the paper's UVM KET amplification). Typed by the
+    /// UVM driver so the migration→resume dependency is recorded where it
+    /// was decided, not inferred from timestamps.
+    pub fn resume_edge(&self, fault: EventId, kernel: EventId) -> CausalEdge {
+        CausalEdge::new(fault, kernel, EdgeKind::MigrationToResume).with_wait(self.total_time)
     }
 }
 

@@ -7,7 +7,7 @@ use hcc_runtime::{
     CudaContext, DevicePtr, HostPtr, KernelDesc, ManagedAccess, ManagedPtr, RuntimeError, SimConfig,
 };
 use hcc_runtime::{TdCounters, UvmStats};
-use hcc_trace::{KernelId, MetricsSet, Timeline};
+use hcc_trace::{CausalGraph, KernelId, MetricsSet, Timeline};
 use hcc_types::SimTime;
 
 use crate::scenario::{AppSelector, Scenario};
@@ -86,6 +86,9 @@ pub struct RunResult {
     /// Virtual-time metrics snapshot (`None` unless the config enabled
     /// the metrics plane).
     pub metrics: Option<MetricsSet>,
+    /// Causal DAG over `timeline` (empty unless the config enabled
+    /// causal collection).
+    pub causal: CausalGraph,
 }
 
 /// Resolves and runs a [`Scenario`] — the unified entry point the
@@ -219,12 +222,14 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
     let td = ctx.td_counters();
     let uvm = ctx.uvm_stats();
     let metrics = ctx.metrics_snapshot();
+    let (timeline, causal) = ctx.into_trace();
     Ok(RunResult {
-        timeline: ctx.into_timeline(),
+        timeline,
         end,
         td,
         uvm,
         metrics,
+        causal,
     })
 }
 

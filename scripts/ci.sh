@@ -116,3 +116,54 @@ if ! grep -q '"scenarios_run"' "$t2_dir/engine.json"; then
 fi
 
 echo "tier-2: OK (obs: $samples samples, $saturated saturated, stdout unperturbed)"
+
+# Tier-2 explain smoke: the causal-graph/critical-path plane must be
+# deterministic (stdout byte-identical across worker counts) and must
+# blame the paper's causes — crypto + bounce-pool exposure on some dense
+# app, UVM exposure on some managed app. Identity (Σ critical segments
+# == P, deltas summing to ΔP) is asserted inside the binary per app.
+echo "==> tier-2: slowdown explainer determinism and blame"
+HCC_ENGINE_THREADS=1 ./target/release/explain --json "$t2_dir/explain.json" \
+    >"$t2_dir/explain1.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/explain \
+    >"$t2_dir/explain4.out" 2>/dev/null
+
+if ! diff -u "$t2_dir/explain1.out" "$t2_dir/explain4.out"; then
+    echo "tier-2: FAIL — explain stdout differs between 1 and 4 threads" >&2
+    exit 1
+fi
+if ! grep -q "crypto+bounce exposed: true" "$t2_dir/explain1.out"; then
+    echo "tier-2: FAIL — no non-UVM app exposed crypto+bounce slowdown" >&2
+    exit 1
+fi
+if ! grep -q "uvm exposed: true" "$t2_dir/explain1.out"; then
+    echo "tier-2: FAIL — no UVM app exposed UVM slowdown" >&2
+    exit 1
+fi
+if ! grep -q '"delta_p_ns"' "$t2_dir/explain.json"; then
+    echo "tier-2: FAIL — explain --json dump missing or malformed" >&2
+    exit 1
+fi
+
+# Like HCC_METRICS, causal collection must not perturb figure stdout.
+HCC_CAUSAL=1 ./target/release/summary >"$t2_dir/causal_on.out" 2>/dev/null
+if ! diff -u "$t2_dir/serial.out" "$t2_dir/causal_on.out"; then
+    echo "tier-2: FAIL — summary stdout differs with HCC_CAUSAL=1" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (explain deterministic, blames crypto/bounce and uvm)"
+
+# Tier-2 machine-readable summary: per-app P + phase totals + engine
+# self-profile, written by the same run that prints the scorecard.
+echo "==> tier-2: BENCH_summary.json export"
+./target/release/summary --json "$t2_dir/BENCH_summary.json" \
+    >/dev/null 2>&1
+if ! grep -q '"apps"' "$t2_dir/BENCH_summary.json" \
+    || ! grep -q '"scenarios_run"' "$t2_dir/BENCH_summary.json" \
+    || ! grep -q '"p_ns"' "$t2_dir/BENCH_summary.json"; then
+    echo "tier-2: FAIL — BENCH_summary.json missing apps/engine fields" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (BENCH_summary.json exported)"
