@@ -22,6 +22,7 @@ pub mod explain;
 pub mod figures;
 pub mod harness;
 pub mod report;
+pub mod serving;
 
 pub use engine::ExperimentEngine;
 pub use figures::cfg;

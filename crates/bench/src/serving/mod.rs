@@ -1,0 +1,348 @@
+//! Multi-tenant confidential serving simulator (DESIGN.md §4, serving
+//! layer).
+//!
+//! The figure harnesses answer "how much slower is one app under CC?";
+//! this module answers the operator's question: *what does that overhead
+//! do to a serving cluster's tail latency?* A seeded open-loop arrival
+//! process ([`arrival`]) drives 10⁵–10⁶ virtual-time requests from
+//! per-tenant app mixes into a pluggable scheduler ([`scheduler`]) over a
+//! cluster of N simulated CC GPUs ([`cluster`]), each with its own
+//! per-tenant TD sessions (`hcc_tee::SessionPool`). The same trace runs
+//! CC-on and CC-off, so the report ([`report`]) shows exactly how the
+//! paper's per-request overheads compound into p99/p999 queueing pain.
+//!
+//! Request *shapes* are memoized: every request of a (tenant, class)
+//! resolves to the same `Scenario`, so the [`ExperimentEngine`] simulates
+//! each distinct shape once and serves the other ~10⁵ requests from its
+//! cache — which is what keeps million-request sweeps tractable (the
+//! engine's cache-hit counters double as the serving bench's hit-rate
+//! metric).
+//!
+//! Everything is virtual-time deterministic: one seed fixes the arrival
+//! trace, the scheduler decisions, and every latency in the report, and
+//! the rendered text is byte-identical across `HCC_ENGINE_THREADS`.
+
+pub mod arrival;
+pub mod cluster;
+pub mod report;
+pub mod scheduler;
+
+use std::collections::BTreeMap;
+
+use hcc_runtime::SimConfig;
+use hcc_types::calib::TdxCalib;
+use hcc_types::{CcMode, FaultPlan, RecoveryPolicy, SimDuration};
+use hcc_workloads::{default_tenants, Scenario, TenantSpec};
+
+use crate::engine::ExperimentEngine;
+
+pub use arrival::{ArrivalKind, ArrivalProcess, Request};
+pub use report::{ModeRun, SchedulerRun, ServingReport, TenantStats};
+pub use scheduler::SchedulerKind;
+
+/// Environment variable overriding the arrival-stream seed.
+pub const SEED_ENV: &str = "HCC_SERVE_SEED";
+
+/// Environment variable overriding the request count.
+pub const REQUESTS_ENV: &str = "HCC_SERVE_REQUESTS";
+
+/// Default arrival seed (distinct from the shape seed so the two streams
+/// never alias).
+pub const DEFAULT_SEED: u64 = 0xCC_5E21;
+
+/// Default seed baked into every shape scenario's `SimConfig`.
+pub const DEFAULT_SHAPE_SEED: u64 = 0x5E21_2026;
+
+/// Engine batch size for the per-request cache stream: bounds peak
+/// scenario memory while still amortizing batch overhead.
+const STREAM_CHUNK: usize = 8192;
+
+/// Full configuration of one serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Arrival-stream seed.
+    pub seed: u64,
+    /// Total requests across all tenants.
+    pub requests: u64,
+    /// Cluster width.
+    pub gpus: usize,
+    /// Tenant population.
+    pub tenants: Vec<TenantSpec>,
+    /// Arrival process.
+    pub arrival: ArrivalKind,
+    /// Schedulers to run (each sees the identical trace).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Offered load as a fraction of CC-off cluster capacity: per-tenant
+    /// rates are sized so the CC-off run sits near this utilization (the
+    /// CC-on run then shows what the overhead does at the *same* load).
+    pub target_util: f64,
+    /// Continuous-batching cap.
+    pub max_batch: usize,
+    /// Seed baked into every shape scenario's config.
+    pub shape_seed: u64,
+    /// Optional fault plan applied to every shape scenario.
+    pub fault: Option<FaultPlan>,
+    /// Recovery policy accompanying `fault`.
+    pub recovery: Option<RecoveryPolicy>,
+    /// TDX calibration for the per-device session pools.
+    pub tdx: TdxCalib,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            seed: DEFAULT_SEED,
+            requests: 10_000,
+            gpus: 4,
+            tenants: default_tenants(2),
+            arrival: ArrivalKind::Poisson,
+            schedulers: SchedulerKind::ALL.to_vec(),
+            target_util: 0.3,
+            max_batch: 8,
+            shape_seed: DEFAULT_SHAPE_SEED,
+            fault: None,
+            recovery: None,
+            tdx: TdxCalib::default(),
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Applies [`SEED_ENV`] and [`REQUESTS_ENV`] overrides.
+    pub fn from_env(mut self) -> Self {
+        if let Some(seed) = env_u64(SEED_ENV) {
+            self.seed = seed;
+        }
+        if let Some(n) = env_u64(REQUESTS_ENV) {
+            self.requests = n.max(1);
+        }
+        self
+    }
+
+    /// The `SimConfig` every shape scenario runs under in `cc` mode.
+    pub fn shape_cfg(&self, cc: CcMode) -> SimConfig {
+        let mut cfg = SimConfig::new(cc).with_seed(self.shape_seed);
+        if let Some(plan) = &self.fault {
+            cfg = cfg.with_fault_plan(plan.clone());
+        }
+        if let Some(policy) = &self.recovery {
+            cfg = cfg.with_recovery(policy.clone());
+        }
+        cfg
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.ok()
+}
+
+/// Runs the full serving experiment: generates the trace, resolves every
+/// request shape through the memoizing engine (both modes), and drains
+/// the identical trace through each configured scheduler CC-off and
+/// CC-on.
+pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
+    assert!(!cfg.tenants.is_empty(), "serving needs at least one tenant");
+    assert!(
+        !cfg.schedulers.is_empty(),
+        "serving needs at least one scheduler"
+    );
+
+    // Distinct shape working set: one scenario per app per mode.
+    let mut app_index: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for tenant in &cfg.tenants {
+        for class in &tenant.mix {
+            let next = app_index.len();
+            app_index.entry(class.app).or_insert(next);
+        }
+    }
+    let apps: Vec<&'static str> = {
+        let mut v = vec![""; app_index.len()];
+        for (app, &i) in &app_index {
+            v[i] = app;
+        }
+        v
+    };
+    let prefetch: Vec<Scenario> = CcMode::ALL
+        .iter()
+        .flat_map(|&cc| {
+            apps.iter()
+                .map(move |&app| Scenario::standard(app, cfg.shape_cfg(cc)))
+        })
+        .collect();
+    // Parallel fan-out: every distinct shape simulates once, up front.
+    let prefetched = engine.run_all(&prefetch);
+    let shape_of = |cc: CcMode, app: &str| -> Result<SimDuration, String> {
+        let mode_base = if cc.is_on() { apps.len() } else { 0 };
+        let entry = &prefetched[mode_base + app_index[app]];
+        match entry.run() {
+            Ok(r) => Ok(SimDuration::from_nanos(r.end.as_nanos())),
+            Err(f) => Err(f.error),
+        }
+    };
+
+    // Offered load: size per-tenant rates off the CC-off mean service so
+    // the baseline cluster sits near `target_util`.
+    let weight_sum: u64 = cfg.tenants.iter().map(|t| u64::from(t.load_weight)).sum();
+    let rates: Vec<f64> = cfg
+        .tenants
+        .iter()
+        .map(|tenant| {
+            let mut weighted_ns = 0.0f64;
+            let mut weight = 0.0f64;
+            for class in &tenant.mix {
+                if let Ok(p) = shape_of(CcMode::Off, class.app) {
+                    weighted_ns += p.as_nanos() as f64 * f64::from(class.weight);
+                    weight += f64::from(class.weight);
+                }
+            }
+            let mean_secs = if weight > 0.0 {
+                weighted_ns / weight / 1e9
+            } else {
+                1e-3 // every shape failed: nominal 1 ms placeholder
+            };
+            let share = f64::from(tenant.load_weight) / weight_sum as f64;
+            cfg.target_util * cfg.gpus as f64 * share / mean_secs
+        })
+        .collect();
+
+    let requests = arrival::generate(&cfg.tenants, &rates, cfg.arrival, cfg.requests, cfg.seed);
+
+    // Resolve every request's shape through the engine cache, chunked so
+    // a 10^6-request stream never materializes all its scenarios at once.
+    // This is the honest accounting of the memoization win: ~2N requests
+    // hit a working set of `apps x modes` simulations.
+    let mut service: [Vec<Result<SimDuration, String>>; 2] = [
+        Vec::with_capacity(requests.len()),
+        Vec::with_capacity(requests.len()),
+    ];
+    for (mi, &cc) in CcMode::ALL.iter().enumerate() {
+        let shape_cfg = cfg.shape_cfg(cc);
+        for chunk in requests.chunks(STREAM_CHUNK) {
+            let scenarios: Vec<Scenario> = chunk
+                .iter()
+                .map(|r| {
+                    let app = cfg.tenants[r.tenant].mix[r.class].app;
+                    Scenario::standard(app, shape_cfg.clone())
+                })
+                .collect();
+            for result in engine.run_all(&scenarios) {
+                service[mi].push(match result.run() {
+                    Ok(r) => Ok(SimDuration::from_nanos(r.end.as_nanos())),
+                    Err(f) => Err(f.error),
+                });
+            }
+        }
+    }
+
+    let runs = cfg
+        .schedulers
+        .iter()
+        .map(|&kind| SchedulerRun {
+            scheduler: kind,
+            modes: [CcMode::Off, CcMode::On].map(|cc| {
+                let mi = usize::from(cc.is_on());
+                let raw = cluster::simulate(
+                    &requests,
+                    &service[mi],
+                    &cfg.tenants,
+                    cc,
+                    cfg.gpus,
+                    kind,
+                    cfg.max_batch,
+                    &cfg.tdx,
+                );
+                report::mode_run(cc, cfg.gpus, &cfg.tenants, &requests, &service[mi], raw)
+            }),
+        })
+        .collect();
+
+    ServingReport {
+        seed: cfg.seed,
+        requests: cfg.requests,
+        gpus: cfg.gpus,
+        arrival: cfg.arrival,
+        tenant_names: cfg.tenants.iter().map(|t| t.name.to_string()).collect(),
+        distinct_shapes: apps.len(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServingConfig {
+        ServingConfig {
+            requests: 200,
+            gpus: 2,
+            ..ServingConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_run_conserves_and_orders_modes() {
+        let engine = ExperimentEngine::new(2);
+        let rep = run(&small(), &engine);
+        assert!(rep.conserved());
+        assert!(rep.slo_holds());
+        assert_eq!(rep.runs.len(), 3);
+        for r in &rep.runs {
+            assert!(r.on().busy > r.off().busy, "{}", r.scheduler);
+            assert!(r.on().cold_starts > 0);
+            assert_eq!(r.off().cold_starts, 0);
+        }
+        let text = rep.render();
+        assert!(text.contains("=== scheduler: fifo ==="));
+        assert!(text.contains("=== scheduler: batching ==="));
+        assert!(text.contains("slo cc-on p99 > cc-off p99"));
+    }
+
+    #[test]
+    fn shapes_ride_the_engine_cache() {
+        let engine = ExperimentEngine::new(2);
+        let rep = run(&small(), &engine);
+        let stats = engine.stats();
+        // 2 modes x distinct apps simulate; the 2N request stream hits.
+        assert_eq!(stats.scenarios_run, 2 * rep.distinct_shapes as u64);
+        assert!(stats.cache_hits >= 2 * 200);
+    }
+
+    #[test]
+    fn reports_are_deterministic_and_thread_invariant() {
+        let a = run(&small(), &ExperimentEngine::new(1));
+        let b = run(&small(), &ExperimentEngine::new(2));
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        use hcc_types::json::{Json, ToJson};
+        let rep = run(&small(), &ExperimentEngine::new(2));
+        let doc = Json::parse(&rep.to_json_string()).expect("report JSON parses");
+        assert_eq!(doc.get("requests").and_then(Json::as_u64), Some(200));
+        assert_eq!(doc.get("conserved"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("slo_holds"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(scheds)) = doc.get("schedulers") else {
+            panic!("schedulers missing");
+        };
+        assert_eq!(scheds.len(), 3);
+    }
+
+    #[test]
+    fn env_overrides_parse_both_radices() {
+        assert_eq!(env_u64("HCC_NO_SUCH_VAR_EVER"), None);
+        std::env::set_var("HCC_SERVE_TEST_DEC", "123");
+        std::env::set_var("HCC_SERVE_TEST_HEX", "0xff");
+        assert_eq!(env_u64("HCC_SERVE_TEST_DEC"), Some(123));
+        assert_eq!(env_u64("HCC_SERVE_TEST_HEX"), Some(255));
+        std::env::remove_var("HCC_SERVE_TEST_DEC");
+        std::env::remove_var("HCC_SERVE_TEST_HEX");
+    }
+}

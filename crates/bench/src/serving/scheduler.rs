@@ -1,0 +1,282 @@
+//! Pluggable request schedulers for the serving cluster.
+//!
+//! Three disciplines cover the space the paper's serving discussion
+//! cares about:
+//!
+//! * [`SchedulerKind::Fifo`] — strict arrival order, one request per
+//!   device dispatch. The baseline every identity test keys off (its
+//!   service time decomposes exactly into shape + admission).
+//! * [`SchedulerKind::Priority`] — lowest tenant priority value first,
+//!   FIFO within a priority level.
+//! * [`SchedulerKind::Batching`] — continuous batching for LLM-shaped
+//!   work: the head of the FIFO queue pulls up to `max_batch - 1` queued
+//!   requests of the *same* (tenant, class) — provided the class is
+//!   marked batchable — into one device batch, amortizing per-launch
+//!   overhead the way vLLM-style servers amortize decode steps.
+//!
+//! All queue state is plain `Vec`/`BTreeMap` ordered by the globally
+//! ranked request sequence, so scheduling decisions are deterministic
+//! and independent of engine thread count by construction.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use hcc_workloads::TenantSpec;
+
+use super::arrival::Request;
+
+/// Which scheduling discipline the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Strict arrival order.
+    Fifo,
+    /// Tenant priority, then arrival order.
+    Priority,
+    /// FIFO with continuous batching of same-shape batchable requests.
+    Batching,
+}
+
+impl SchedulerKind {
+    /// Every discipline, in report order.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Fifo,
+        SchedulerKind::Priority,
+        SchedulerKind::Batching,
+    ];
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedulerKind::Fifo),
+            "priority" | "prio" => Some(SchedulerKind::Priority),
+            "batching" | "batch" | "cb" | "continuous" => Some(SchedulerKind::Batching),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Fifo => f.write_str("fifo"),
+            SchedulerKind::Priority => f.write_str("priority"),
+            SchedulerKind::Batching => f.write_str("batching"),
+        }
+    }
+}
+
+/// The pending-request queue for one cluster run. Requests are referred
+/// to by their index into the run's request slice.
+#[derive(Debug)]
+pub struct SchedQueue {
+    kind: SchedulerKind,
+    max_batch: usize,
+    /// Tenant priorities, indexed by tenant.
+    priorities: Vec<u8>,
+    /// Per-class batchability, indexed by (tenant, class).
+    batchable: Vec<Vec<bool>>,
+    /// FIFO order (also the batching scheduler's primary order).
+    fifo: VecDeque<usize>,
+    /// Priority order: (priority, seq, index).
+    prio: BinaryHeap<std::cmp::Reverse<(u8, u64, usize)>>,
+    /// Batching: per-(tenant, class) FIFO of *batchable* pending requests.
+    shape_queues: BTreeMap<(usize, usize), VecDeque<usize>>,
+    /// Batching: requests already pulled into a batch as followers.
+    claimed: Vec<bool>,
+    pending: usize,
+}
+
+impl SchedQueue {
+    /// An empty queue for `capacity` requests under the given discipline.
+    pub fn new(
+        kind: SchedulerKind,
+        tenants: &[TenantSpec],
+        max_batch: usize,
+        capacity: usize,
+    ) -> Self {
+        SchedQueue {
+            kind,
+            max_batch: max_batch.max(1),
+            priorities: tenants.iter().map(|t| t.priority).collect(),
+            batchable: tenants
+                .iter()
+                .map(|t| t.mix.iter().map(|c| c.batchable).collect())
+                .collect(),
+            fifo: VecDeque::new(),
+            prio: BinaryHeap::new(),
+            shape_queues: BTreeMap::new(),
+            claimed: vec![false; capacity],
+            pending: 0,
+        }
+    }
+
+    /// Number of requests waiting.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Enqueues one request (by index into the run's request slice).
+    pub fn push(&mut self, idx: usize, req: &Request) {
+        self.pending += 1;
+        match self.kind {
+            SchedulerKind::Fifo => self.fifo.push_back(idx),
+            SchedulerKind::Priority => {
+                self.prio.push(std::cmp::Reverse((
+                    self.priorities[req.tenant],
+                    req.seq,
+                    idx,
+                )));
+            }
+            SchedulerKind::Batching => {
+                self.fifo.push_back(idx);
+                if self.batchable[req.tenant][req.class] {
+                    self.shape_queues
+                        .entry((req.tenant, req.class))
+                        .or_default()
+                        .push_back(idx);
+                }
+            }
+        }
+    }
+
+    /// Pops the next device batch: the scheduled head plus (for the
+    /// batching discipline) up to `max_batch - 1` same-shape followers.
+    /// Members come back in arrival order, head first.
+    pub fn next_batch(&mut self, requests: &[Request]) -> Option<Vec<usize>> {
+        let head = match self.kind {
+            SchedulerKind::Fifo => self.fifo.pop_front()?,
+            SchedulerKind::Priority => self.prio.pop()?.0 .2,
+            SchedulerKind::Batching => loop {
+                let idx = self.fifo.pop_front()?;
+                // Skip entries already claimed as batch followers.
+                if !self.claimed[idx] {
+                    break idx;
+                }
+            },
+        };
+        self.pending -= 1;
+        let mut batch = vec![head];
+        if self.kind == SchedulerKind::Batching {
+            let req = &requests[head];
+            if self.batchable[req.tenant][req.class] {
+                let q = self
+                    .shape_queues
+                    .get_mut(&(req.tenant, req.class))
+                    .expect("batchable head has a shape queue");
+                let front = q.pop_front();
+                debug_assert_eq!(front, Some(head), "head leads its shape queue");
+                while batch.len() < self.max_batch {
+                    let Some(follower) = q.pop_front() else { break };
+                    self.claimed[follower] = true;
+                    self.pending -= 1;
+                    batch.push(follower);
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_types::SimTime;
+    use hcc_workloads::default_tenants;
+
+    fn req(seq: u64, tenant: usize, class: usize) -> Request {
+        Request {
+            seq,
+            tenant,
+            class,
+            arrival: SimTime::from_nanos(seq),
+        }
+    }
+
+    fn drain(q: &mut SchedQueue, reqs: &[Request]) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        while let Some(b) = q.next_batch(reqs) {
+            out.push(b);
+        }
+        assert!(q.is_empty());
+        out
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let tenants = default_tenants(2);
+        let reqs: Vec<Request> = (0..4).map(|i| req(i, (i % 2) as usize, 0)).collect();
+        let mut q = SchedQueue::new(SchedulerKind::Fifo, &tenants, 8, reqs.len());
+        for (i, r) in reqs.iter().enumerate() {
+            q.push(i, r);
+        }
+        assert_eq!(
+            drain(&mut q, &reqs),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+    }
+
+    #[test]
+    fn priority_prefers_low_priority_values() {
+        let tenants = default_tenants(2); // chat prio 0, batch prio 1
+        let reqs = [req(0, 1, 0), req(1, 0, 0), req(2, 1, 1), req(3, 0, 1)];
+        let mut q = SchedQueue::new(SchedulerKind::Priority, &tenants, 8, reqs.len());
+        for (i, r) in reqs.iter().enumerate() {
+            q.push(i, r);
+        }
+        // Both chat requests (1, 3) go first, in seq order.
+        assert_eq!(
+            drain(&mut q, &reqs),
+            vec![vec![1], vec![3], vec![0], vec![2]]
+        );
+    }
+
+    #[test]
+    fn batching_coalesces_same_shape_runs() {
+        let tenants = default_tenants(2);
+        // chat class 0 ("prefill", batchable) x3, interleaved with a
+        // non-batchable chat class 2 ("embed").
+        let reqs = [req(0, 0, 0), req(1, 0, 2), req(2, 0, 0), req(3, 0, 0)];
+        let mut q = SchedQueue::new(SchedulerKind::Batching, &tenants, 8, reqs.len());
+        for (i, r) in reqs.iter().enumerate() {
+            q.push(i, r);
+        }
+        // Head 0 pulls the later same-shape 2 and 3 past the embed.
+        assert_eq!(drain(&mut q, &reqs), vec![vec![0, 2, 3], vec![1]]);
+    }
+
+    #[test]
+    fn batching_respects_max_batch_and_tenant_isolation() {
+        let tenants = default_tenants(2);
+        // Same batchable shape for chat (tenant 0 class 0) and batch's
+        // gemm slice (tenant 1 class 3): never co-batched across tenants.
+        let reqs = [
+            req(0, 0, 0),
+            req(1, 1, 3),
+            req(2, 0, 0),
+            req(3, 0, 0),
+            req(4, 0, 0),
+        ];
+        let mut q = SchedQueue::new(SchedulerKind::Batching, &tenants, 3, reqs.len());
+        for (i, r) in reqs.iter().enumerate() {
+            q.push(i, r);
+        }
+        assert_eq!(
+            drain(&mut q, &reqs),
+            vec![vec![0, 2, 3], vec![1], vec![4]],
+            "batch caps at 3 and never mixes tenants"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("cb"), Some(SchedulerKind::Batching));
+        assert_eq!(SchedulerKind::parse("nope"), None);
+    }
+}

@@ -24,11 +24,13 @@
 
 mod bounce;
 mod privmem;
+mod session;
 mod spdm;
 mod td;
 
 pub use bounce::{BounceBufferPool, BounceError, BounceReservation};
 pub use privmem::{PrivMemError, PrivateMemory, TmeMkError, PAGE};
+pub use session::{Admission, SessionPool};
 pub use spdm::{SessionState, SpdmSession, SpdmStep};
 pub use td::{TdContext, TdCounters};
 

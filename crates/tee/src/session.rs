@@ -1,0 +1,174 @@
+//! Per-tenant TD session reuse for the serving layer.
+//!
+//! A multi-tenant CC GPU does not re-attest on every request: the first
+//! request a tenant lands on a device pays the full SPDM handshake
+//! ([`SpdmSession::establish`]) inside that tenant's own [`TdContext`],
+//! and every later request rides the established session, paying only the
+//! guest↔host doorbell transitions of request submission and completion.
+//! [`SessionPool`] owns one `TdContext` per tenant per device and charges
+//! admissions accordingly — the cold-start-vs-steady-state asymmetry a
+//! serverless confidential-inference cluster lives with.
+//!
+//! In `CcMode::Off` there is nothing to attest and transitions are plain
+//! vmexits: admissions cost the (small, nonzero) vmexit pair and no
+//! session is ever established.
+
+use hcc_types::calib::TdxCalib;
+use hcc_types::{CcMode, SimDuration};
+
+use crate::spdm::SpdmSession;
+use crate::td::{TdContext, TdCounters};
+
+/// What one request admission cost on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// One-time session setup charged by this admission (the full SPDM
+    /// handshake when this was the tenant's first request on the device;
+    /// zero afterwards, and always zero in `CcMode::Off`).
+    pub setup: SimDuration,
+    /// Steady-state per-request transition cost: the submit doorbell and
+    /// the completion doorbell.
+    pub transitions: SimDuration,
+    /// Whether this admission established the session (a cold start).
+    pub cold: bool,
+}
+
+impl Admission {
+    /// Total time this admission adds to the request's service.
+    pub fn total(&self) -> SimDuration {
+        self.setup + self.transitions
+    }
+}
+
+/// One device's tenant sessions: a [`TdContext`] per tenant, established
+/// lazily on first admission.
+#[derive(Debug, Clone)]
+pub struct SessionPool {
+    cc: CcMode,
+    calib: TdxCalib,
+    /// `(tenant, context, established)` in first-admission order.
+    slots: Vec<(u64, TdContext, bool)>,
+}
+
+impl SessionPool {
+    /// An empty pool for one device.
+    pub fn new(cc: CcMode, calib: TdxCalib) -> Self {
+        SessionPool {
+            cc,
+            calib,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Admits one request from `tenant`, charging the SPDM handshake on
+    /// the tenant's first admission and the doorbell pair on every one.
+    pub fn admit(&mut self, tenant: u64) -> Admission {
+        let idx = match self.slots.iter().position(|(t, _, _)| *t == tenant) {
+            Some(i) => i,
+            None => {
+                self.slots
+                    .push((tenant, TdContext::new(self.cc, self.calib.clone()), false));
+                self.slots.len() - 1
+            }
+        };
+        let (_, td, established) = &mut self.slots[idx];
+        let mut setup = SimDuration::ZERO;
+        let mut cold = false;
+        if !*established && self.cc == CcMode::On {
+            setup = SpdmSession::establish(td).total_time;
+            *established = true;
+            cold = true;
+        }
+        let transitions = td.hypercall("serve_submit") + td.hypercall("serve_complete");
+        Admission {
+            setup,
+            transitions,
+            cold,
+        }
+    }
+
+    /// Number of tenants holding an established (attested) session.
+    pub fn established(&self) -> usize {
+        self.slots.iter().filter(|(_, _, e)| *e).count()
+    }
+
+    /// Number of tenants that have admitted at least one request.
+    pub fn tenants(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Transition counters summed across every tenant context.
+    pub fn counters(&self) -> TdCounters {
+        let mut sum = TdCounters::default();
+        for (_, td, _) in &self.slots {
+            let c = td.counters();
+            sum.hypercalls += c.hypercalls;
+            sum.seamcalls += c.seamcalls;
+            sum.pages_converted += c.pages_converted;
+            sum.transition_time += c.transition_time;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_admission_pays_the_handshake() {
+        let mut pool = SessionPool::new(CcMode::On, TdxCalib::default());
+        let cold = pool.admit(1);
+        assert!(cold.cold);
+        assert!(cold.setup.as_millis_f64() >= 5.0, "handshake-scale setup");
+        let warm = pool.admit(1);
+        assert!(!warm.cold);
+        assert!(warm.setup.is_zero());
+        assert!(warm.transitions > SimDuration::ZERO);
+        assert!(warm.total() < cold.total() / 10);
+        assert_eq!(pool.established(), 1);
+    }
+
+    #[test]
+    fn tenants_are_isolated_sessions() {
+        let mut pool = SessionPool::new(CcMode::On, TdxCalib::default());
+        assert!(pool.admit(1).cold);
+        assert!(pool.admit(2).cold, "second tenant attests independently");
+        assert!(!pool.admit(1).cold);
+        assert_eq!(pool.tenants(), 2);
+        assert_eq!(pool.established(), 2);
+    }
+
+    #[test]
+    fn cc_off_never_attests_but_still_exits() {
+        let mut pool = SessionPool::new(CcMode::Off, TdxCalib::default());
+        let a = pool.admit(1);
+        assert!(!a.cold);
+        assert!(a.setup.is_zero());
+        // Submission still crosses the guest boundary twice (plain vmexits).
+        assert_eq!(a.transitions, TdxCalib::default().vmexit * 2);
+        assert_eq!(pool.established(), 0);
+        assert_eq!(pool.counters().seamcalls, 0);
+    }
+
+    #[test]
+    fn counters_aggregate_across_tenants() {
+        let mut pool = SessionPool::new(CcMode::On, TdxCalib::default());
+        pool.admit(1);
+        pool.admit(2);
+        pool.admit(1);
+        // Per established tenant: 16 handshake + 2 admission hypercalls,
+        // plus 2 for tenant 1's warm admission.
+        assert_eq!(pool.counters().hypercalls, 18 + 18 + 2);
+        assert!(pool.counters().transition_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn admissions_are_deterministic() {
+        let run = || {
+            let mut pool = SessionPool::new(CcMode::On, TdxCalib::default());
+            (pool.admit(7), pool.admit(7), pool.admit(9))
+        };
+        assert_eq!(run(), run());
+    }
+}

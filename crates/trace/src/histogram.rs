@@ -75,6 +75,27 @@ impl Histogram {
         }
     }
 
+    /// Nearest-rank `p`-quantile (clamped to `[0, 1]`), resolved to the
+    /// lower bound of the bucket holding that rank — the log2 resolution
+    /// is the price of the compact representation. Total on every input:
+    /// an empty histogram yields `SimDuration::ZERO`, and a single-sample
+    /// histogram yields its bucket's lower bound for every `p`.
+    pub fn quantile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(1u64 << i);
+            }
+        }
+        SimDuration::from_nanos(1u64 << (self.buckets.len().max(1) - 1))
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs.
     pub fn buckets(&self) -> Vec<(SimDuration, u64)> {
         self.buckets
@@ -139,6 +160,35 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.mean(), SimDuration::micros(3));
         assert_eq!(Histogram::new().mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(SimDuration::from_nanos(100)); // bucket [64, 128)
+        }
+        h.record(SimDuration::micros(100)); // bucket [65536, 131072)
+        assert_eq!(h.quantile(0.5), SimDuration::from_nanos(64));
+        assert_eq!(h.quantile(0.99), SimDuration::from_nanos(64));
+        assert_eq!(h.quantile(0.999), SimDuration::from_nanos(65_536));
+        assert_eq!(h.quantile(1.0), SimDuration::from_nanos(65_536));
+    }
+
+    #[test]
+    fn quantile_degenerate_inputs_are_defined() {
+        let empty = Histogram::new();
+        for p in [0.0, 0.5, 0.99, 0.999] {
+            assert_eq!(empty.quantile(p), SimDuration::ZERO);
+        }
+        let single = Histogram::from_durations([SimDuration::micros(3)]);
+        for p in [0.0, 0.5, 0.99, 0.999] {
+            // One sample in [2048, 4096): every quantile is its bucket floor.
+            assert_eq!(single.quantile(p), SimDuration::from_nanos(2_048), "p={p}");
+        }
+        // Zero-length samples land in bucket 0 (floor 1ns by convention).
+        let zeros = Histogram::from_durations([SimDuration::ZERO]);
+        assert_eq!(zeros.quantile(0.999), SimDuration::from_nanos(1));
     }
 
     #[test]

@@ -235,6 +235,45 @@ impl Series {
         SimDuration::from_nanos(total)
     }
 
+    /// Time-weighted `p`-quantile of the values the step function held
+    /// over its observed span (`p` clamped to `[0, 1]`): the smallest
+    /// value `v` such that the series spent at least a `p` fraction of the
+    /// time between its first and last change-point at values `≤ v`.
+    ///
+    /// Total on every input — the degenerate cases the serving CDFs hit:
+    /// an empty series yields 0, and a single-sample series (whose final
+    /// change-point has no dwell time at all) yields that sample's value
+    /// rather than panicking or dividing by zero.
+    pub fn quantile(&self, p: f64) -> i64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        // Dwell time per held value: each change-point's value persists
+        // until the next one. The last value has zero dwell by definition.
+        let mut dwells: Vec<(i64, u64)> = self
+            .samples
+            .windows(2)
+            .map(|w| (w[0].1, (w[1].0 - w[0].0).as_nanos()))
+            .collect();
+        let total: u64 = dwells.iter().map(|&(_, d)| d).sum();
+        if total == 0 {
+            // Single change-point (or all at one instant): the only
+            // defensible answer is the value the series ended on.
+            return self.final_value();
+        }
+        dwells.sort_unstable();
+        let p = p.clamp(0.0, 1.0);
+        let target = (p * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (value, dwell) in dwells {
+            seen += dwell;
+            if seen >= target {
+                return value;
+            }
+        }
+        self.final_value()
+    }
+
     /// Mean value over `[ZERO, span]` (0 for an empty span).
     pub fn mean_over(&self, span: SimDuration) -> f64 {
         if span.is_zero() {
@@ -533,6 +572,41 @@ mod tests {
         let s = g.series("q");
         assert_eq!(s.integral(), SimDuration::micros(7 + 10 + 3));
         assert_eq!(s.peak(), 5);
+    }
+
+    #[test]
+    fn series_quantile_is_time_weighted() {
+        let mut g = Gauge::enabled();
+        // Depth 1 for 90µs, depth 10 for 10µs: p50 = 1, p99/p999 = 10.
+        g.occupy(t(0), t(100));
+        g.occupy_n(t(90), t(100), 9);
+        let s = g.series("q");
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(0.90), 1);
+        assert_eq!(s.quantile(0.99), 10);
+        assert_eq!(s.quantile(0.999), 10);
+    }
+
+    #[test]
+    fn series_quantile_degenerate_inputs_are_defined() {
+        // Empty: no samples at all.
+        let empty = Gauge::enabled().series("e");
+        for p in [0.0, 0.5, 0.99, 0.999] {
+            assert_eq!(empty.quantile(p), 0);
+        }
+        // Single change-point: zero dwell time, still a defined answer.
+        let mut g = Gauge::enabled();
+        g.add(t(5), 3);
+        let single = g.series("s");
+        assert_eq!(single.len(), 1);
+        for p in [0.0, 0.5, 0.99, 0.999] {
+            assert_eq!(single.quantile(p), 3, "p={p}");
+        }
+        // Several deltas collapsed onto one instant behave like one.
+        let mut h = Gauge::enabled();
+        h.add(t(7), 2);
+        h.add(t(7), 2);
+        assert_eq!(h.series("i").quantile(0.999), 4);
     }
 
     #[test]

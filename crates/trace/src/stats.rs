@@ -2,6 +2,7 @@
 //! the figure harnesses (Fig. 11's KLO/KET CDFs and every "×N" the paper
 //! reports).
 
+use hcc_types::json::{Json, ToJson};
 use hcc_types::SimDuration;
 
 /// An empirical cumulative distribution over durations.
@@ -44,10 +45,15 @@ impl Cdf {
 
     /// The `p`-quantile (nearest-rank), `p` clamped to `[0, 1]`.
     ///
-    /// # Panics
-    /// Panics if the CDF is empty.
+    /// Total on every input: an empty CDF yields `SimDuration::ZERO`
+    /// (there is no latency to report, not a programming error — a tenant
+    /// whose every request was rejected still gets a defined row), and a
+    /// single-sample CDF yields that sample for every `p`. The serving
+    /// p50/p99/p999 tables lean on this.
     pub fn quantile(&self, p: f64) -> SimDuration {
-        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        if self.sorted.is_empty() {
+            return SimDuration::ZERO;
+        }
         let p = p.clamp(0.0, 1.0);
         let rank = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
         self.sorted[rank.min(self.sorted.len() - 1)]
@@ -82,6 +88,25 @@ impl Cdf {
             .enumerate()
             .map(|(i, d)| (*d, (i + 1) as f64 / n))
             .collect()
+    }
+}
+
+impl ToJson for Cdf {
+    /// Summary export for plotting pipelines: sample count, mean, and the
+    /// tail quantiles the serving reports table (p50/p90/p99/p999), all in
+    /// nanoseconds. Raw samples are deliberately omitted — a 10⁵-request
+    /// serving run would otherwise dump 10⁵ numbers per tenant; use
+    /// [`Cdf::points`] directly when the full curve is wanted.
+    fn to_json(&self) -> Json {
+        let q = |p: f64| Json::U64(self.quantile(p).as_nanos());
+        Json::Obj(vec![
+            ("count".to_string(), Json::U64(self.len() as u64)),
+            ("mean_ns".to_string(), Json::U64(self.mean().as_nanos())),
+            ("p50_ns".to_string(), q(0.50)),
+            ("p90_ns".to_string(), q(0.90)),
+            ("p99_ns".to_string(), q(0.99)),
+            ("p999_ns".to_string(), q(0.999)),
+        ])
     }
 }
 
@@ -215,8 +240,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty CDF")]
-    fn empty_quantile_panics() {
-        let _ = Cdf::from_durations(vec![]).quantile(0.5);
+    fn empty_quantile_is_defined() {
+        let cdf = Cdf::from_durations(vec![]);
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(cdf.quantile(p), SimDuration::ZERO);
+        }
+        assert_eq!(cdf.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_that_sample() {
+        let cdf = Cdf::from_durations(vec![us(7)]);
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(cdf.quantile(p), us(7), "p={p}");
+        }
+    }
+
+    #[test]
+    fn tail_quantiles_on_small_samples() {
+        // 1000 samples 1..=1000 µs: nearest-rank p99 = 990, p999 = 999.
+        let cdf = Cdf::from_durations((1..=1000).map(us).collect());
+        assert_eq!(cdf.quantile(0.5), us(500));
+        assert_eq!(cdf.quantile(0.99), us(990));
+        assert_eq!(cdf.quantile(0.999), us(999));
+        // Two samples: every p > 0.5 lands on the larger one.
+        let two = Cdf::from_durations(vec![us(1), us(9)]);
+        assert_eq!(two.quantile(0.99), us(9));
+        assert_eq!(two.quantile(0.999), us(9));
+        assert_eq!(two.quantile(0.5), us(1));
+    }
+
+    #[test]
+    fn cdf_json_summarizes_quantiles() {
+        let cdf = Cdf::from_durations((1..=100).map(us).collect());
+        let doc = Json::parse(&cdf.to_json_string()).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(100));
+        assert_eq!(doc.get("p50_ns").and_then(Json::as_u64), Some(50_000));
+        assert_eq!(doc.get("p99_ns").and_then(Json::as_u64), Some(99_000));
+        assert_eq!(doc.get("p999_ns").and_then(Json::as_u64), Some(100_000));
+        // Empty CDFs export zeros, not errors.
+        let empty = Json::parse(&Cdf::from_durations(vec![]).to_json_string()).unwrap();
+        assert_eq!(empty.get("count").and_then(Json::as_u64), Some(0));
+        assert_eq!(empty.get("p999_ns").and_then(Json::as_u64), Some(0));
     }
 }

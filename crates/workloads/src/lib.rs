@@ -30,12 +30,14 @@ pub mod micro;
 pub mod parse;
 pub mod runner;
 pub mod scenario;
+pub mod serving;
 pub mod spec;
 pub mod suites;
 
 pub use parse::{parse_workload, ParseError};
 pub use runner::{run, run_scenario, RunError, RunResult};
 pub use scenario::{AppSelector, Scenario};
+pub use serving::{default_tenants, RequestClass, TenantSpec};
 pub use spec::{Op, Suite, WorkloadSpec};
 
 /// Convenience alias so downstream code can say `Program` for the op list.

@@ -1,0 +1,240 @@
+//! Request-level serving specifications: which apps a tenant submits, at
+//! what mix, and with what scheduling attributes.
+//!
+//! The per-app suites describe *one* program end to end; a serving cluster
+//! sees a stream of requests drawn from per-tenant application mixes. A
+//! [`RequestClass`] names one request shape (a standard suite app plus
+//! scheduling attributes), a [`TenantSpec`] is a weighted mix of classes
+//! with a priority and a share of the offered load, and
+//! [`default_tenants`] is the canonical population the `serve` harness and
+//! the golden tests run: a latency-sensitive "chat" tenant issuing
+//! LLM-shaped GEMM work (the continuous-batching candidate) and a
+//! throughput-oriented "batch" tenant issuing PolyBench analytics kernels.
+//!
+//! Everything here is pure data — deterministic, hashable through the
+//! [`Scenario`](crate::Scenario) path, and cheap to clone.
+
+/// One request shape a tenant issues: a standard suite app plus the
+/// attributes the scheduler cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestClass {
+    /// Class label as reports print it (e.g. `"prefill"`).
+    pub name: &'static str,
+    /// Standard suite app backing the shape (resolved via
+    /// [`crate::suites::by_name`]).
+    pub app: &'static str,
+    /// Relative draw weight within the tenant's mix (must be nonzero).
+    pub weight: u32,
+    /// Whether a continuous-batching scheduler may coalesce consecutive
+    /// requests of this class into one device batch.
+    pub batchable: bool,
+}
+
+/// A tenant: a named, weighted mix of request classes plus the knobs the
+/// cluster needs to admit its traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant label as reports print it.
+    pub name: &'static str,
+    /// Scheduling priority (lower is more urgent) for priority schedulers.
+    pub priority: u8,
+    /// This tenant's share of the cluster's offered load, in relative
+    /// weight units (normalized across the population).
+    pub load_weight: u32,
+    /// The request mix.
+    pub mix: Vec<RequestClass>,
+}
+
+impl TenantSpec {
+    /// Sum of the mix weights.
+    ///
+    /// # Panics
+    /// Panics if the mix is empty or all weights are zero — a tenant that
+    /// can never issue a request is a configuration bug.
+    pub fn total_weight(&self) -> u64 {
+        let total: u64 = self.mix.iter().map(|c| u64::from(c.weight)).sum();
+        assert!(total > 0, "tenant {} has an empty mix", self.name);
+        total
+    }
+
+    /// Resolves a uniform draw in `[0, total_weight)` to a class index —
+    /// the deterministic weighted pick the arrival generator uses.
+    pub fn pick(&self, draw: u64) -> usize {
+        let mut remaining = draw % self.total_weight();
+        for (i, class) in self.mix.iter().enumerate() {
+            let w = u64::from(class.weight);
+            if remaining < w {
+                return i;
+            }
+            remaining -= w;
+        }
+        self.mix.len() - 1
+    }
+}
+
+/// The canonical serving population, truncated to `n` tenants (clamped to
+/// `1..=4`). The first two are the pair every golden test freezes:
+///
+/// * `chat` — latency-sensitive, LLM-shaped: GEMM prefill plus short
+///   decode/embedding kernels, mostly batchable, priority 0.
+/// * `batch` — throughput analytics over PolyBench solvers, priority 1,
+///   non-batchable except for a small shared-GEMM slice (which also
+///   guarantees cross-tenant shape reuse in the experiment-engine cache).
+/// * `train` / `adhoc` — optional heavier tenants for larger sweeps.
+pub fn default_tenants(n: usize) -> Vec<TenantSpec> {
+    let all = vec![
+        TenantSpec {
+            name: "chat",
+            priority: 0,
+            load_weight: 3,
+            mix: vec![
+                RequestClass {
+                    name: "prefill",
+                    app: "gemm",
+                    weight: 3,
+                    batchable: true,
+                },
+                RequestClass {
+                    name: "decode",
+                    app: "2mm",
+                    weight: 5,
+                    batchable: true,
+                },
+                RequestClass {
+                    name: "embed",
+                    app: "gesummv",
+                    weight: 2,
+                    batchable: false,
+                },
+            ],
+        },
+        TenantSpec {
+            name: "batch",
+            priority: 1,
+            load_weight: 2,
+            mix: vec![
+                RequestClass {
+                    name: "scan",
+                    app: "atax",
+                    weight: 4,
+                    batchable: false,
+                },
+                RequestClass {
+                    name: "join",
+                    app: "bicg",
+                    weight: 3,
+                    batchable: false,
+                },
+                RequestClass {
+                    name: "rollup",
+                    app: "mvt",
+                    weight: 2,
+                    batchable: false,
+                },
+                RequestClass {
+                    name: "gemm",
+                    app: "gemm",
+                    weight: 1,
+                    batchable: true,
+                },
+            ],
+        },
+        TenantSpec {
+            name: "train",
+            priority: 2,
+            load_weight: 2,
+            mix: vec![
+                RequestClass {
+                    name: "step",
+                    app: "syrk",
+                    weight: 3,
+                    batchable: true,
+                },
+                RequestClass {
+                    name: "eval",
+                    app: "syr2k",
+                    weight: 1,
+                    batchable: false,
+                },
+            ],
+        },
+        TenantSpec {
+            name: "adhoc",
+            priority: 3,
+            load_weight: 1,
+            mix: vec![
+                RequestClass {
+                    name: "query",
+                    app: "gesummv",
+                    weight: 2,
+                    batchable: false,
+                },
+                RequestClass {
+                    name: "solve",
+                    app: "gramschm",
+                    weight: 1,
+                    batchable: false,
+                },
+            ],
+        },
+    ];
+    let n = n.clamp(1, all.len());
+    all.into_iter().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites;
+
+    #[test]
+    fn default_population_resolves_to_real_apps() {
+        for tenant in default_tenants(4) {
+            assert!(tenant.total_weight() > 0);
+            for class in &tenant.mix {
+                assert!(
+                    suites::by_name(class.app).is_some(),
+                    "{}.{} names unknown app {}",
+                    tenant.name,
+                    class.name,
+                    class.app
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_the_golden_pair_first() {
+        let two = default_tenants(2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].name, "chat");
+        assert_eq!(two[1].name, "batch");
+        assert_eq!(default_tenants(0).len(), 1);
+        assert_eq!(default_tenants(99).len(), 4);
+    }
+
+    #[test]
+    fn weighted_pick_covers_every_class_proportionally() {
+        let chat = &default_tenants(1)[0];
+        let total = chat.total_weight();
+        let mut counts = vec![0u64; chat.mix.len()];
+        for draw in 0..total {
+            counts[chat.pick(draw)] += 1;
+        }
+        // One full sweep of the weight space hits each class exactly
+        // `weight` times.
+        for (class, count) in chat.mix.iter().zip(&counts) {
+            assert_eq!(*count, u64::from(class.weight), "{}", class.name);
+        }
+    }
+
+    #[test]
+    fn tenants_share_a_shape_for_cache_reuse() {
+        let tenants = default_tenants(2);
+        let chat_apps: Vec<&str> = tenants[0].mix.iter().map(|c| c.app).collect();
+        assert!(
+            tenants[1].mix.iter().any(|c| chat_apps.contains(&c.app)),
+            "batch tenant must share at least one app with chat"
+        );
+    }
+}

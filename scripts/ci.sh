@@ -167,3 +167,44 @@ if ! grep -q '"apps"' "$t2_dir/BENCH_summary.json" \
 fi
 
 echo "tier-2: OK (BENCH_summary.json exported)"
+
+# Tier-2 serving smoke: the multi-tenant CC serving simulator drains a
+# seeded 100k-request, 2-tenant, 4-GPU open-loop trace through every
+# scheduler in both modes. stdout must be byte-identical at 1 and 4
+# engine threads, both report trailer invariants must hold, and the
+# BENCH_serving.json side file must record nonzero wall-clock throughput
+# and a nonzero engine cache-hit rate (the memoized-shape win).
+echo "==> tier-2: serving cluster determinism and SLO invariants"
+HCC_ENGINE_THREADS=1 ./target/release/serve --requests 100000 --gpus 4 \
+    >"$t2_dir/serve1.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/serve --requests 100000 --gpus 4 \
+    --json "$t2_dir/BENCH_serving.json" \
+    >"$t2_dir/serve4.out" 2>/dev/null
+
+if ! diff -u "$t2_dir/serve1.out" "$t2_dir/serve4.out"; then
+    echo "tier-2: FAIL — serve stdout differs between 1 and 4 threads" >&2
+    exit 1
+fi
+if ! grep -q "^conservation: admitted == completed + rejected (all runs): true$" \
+    "$t2_dir/serve1.out"; then
+    echo "tier-2: FAIL — serving conservation invariant violated" >&2
+    exit 1
+fi
+if ! grep -q "^slo cc-on p99 > cc-off p99 (all tenants, all schedulers): true$" \
+    "$t2_dir/serve1.out"; then
+    echo "tier-2: FAIL — CC-on p99 did not dominate CC-off p99" >&2
+    exit 1
+fi
+
+rps=$(sed -n 's/.*"requests_per_sec":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_serving.json")
+hit_rate=$(sed -n 's/.*"cache_hit_rate_pct":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_serving.json")
+if [ -z "$rps" ] || [ "$rps" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_serving.json reports no wall-clock throughput" >&2
+    exit 1
+fi
+if [ -z "$hit_rate" ] || [ "$hit_rate" -eq 0 ]; then
+    echo "tier-2: FAIL — serving run missed the engine shape cache" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (serving: $rps req/s wall-clock, ${hit_rate}% shape-cache hits)"
