@@ -58,10 +58,30 @@ fn bench_full_apps(r: &mut Runner) {
     group.finish();
 }
 
+fn bench_full_suite(r: &mut Runner) {
+    let mut group = r.group("sim_full_suite");
+    group.sample_size(10);
+    let apps = suites::all();
+    let scenarios = apps.len() * CcMode::ALL.len();
+    group.wall(
+        &format!("{scenarios}_scenarios/all_apps_both_modes"),
+        || {
+            for cc in CcMode::ALL {
+                for spec in &apps {
+                    let res = runner::run(spec, SimConfig::new(cc)).expect("run");
+                    let _ = res.timeline.phase_totals();
+                }
+            }
+        },
+    );
+    group.finish();
+}
+
 fn main() {
     let mut runner = Runner::from_env();
     bench_launch_path(&mut runner);
     bench_copy_path(&mut runner);
     bench_full_apps(&mut runner);
+    bench_full_suite(&mut runner);
     runner.finish();
 }

@@ -136,10 +136,11 @@ fn cmd_chrome(args: &[String]) {
         .with_metrics(true)
         .with_causal(true);
     let r = runner::run(&spec, cfg).expect("run");
-    print!(
-        "{}",
-        hcc_trace::to_chrome_trace_full(&r.timeline, r.metrics.as_ref(), Some(&r.causal))
-    );
+    let mut export = hcc_trace::ChromeExport::new().with_causal(&r.causal);
+    if let Some(set) = r.metrics.as_ref() {
+        export = export.with_metrics(set);
+    }
+    print!("{}", export.render(&r.timeline));
 }
 
 fn main() {

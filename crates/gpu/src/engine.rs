@@ -198,12 +198,15 @@ impl MultiSlot {
 
     /// Schedules on the earliest-free slot.
     pub fn schedule(&mut self, ready: SimTime, service: SimDuration) -> Slot {
-        let (idx, _) = self
-            .slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .expect("at least one slot");
+        // Manual first-minimum scan: same slot choice as
+        // `min_by_key` (first of equals wins), but branch-predictable
+        // and vectorizable for the 16-slot compute engine.
+        let mut idx = 0;
+        for (i, t) in self.slots.iter().enumerate().skip(1) {
+            if *t < self.slots[idx] {
+                idx = i;
+            }
+        }
         let start = ready.max(self.slots[idx]);
         let end = start + service;
         self.slots[idx] = end;

@@ -2,8 +2,7 @@
 //! managed (UVM) memory, producing the far faults the UVM driver services
 //! (paper Sec. II-B).
 
-use std::collections::HashMap;
-
+use hcc_types::hash::FnvHashMap;
 use hcc_types::ByteSize;
 
 /// Identifies one managed allocation's residency table.
@@ -59,7 +58,51 @@ impl std::error::Error for GmmuError {}
 #[derive(Debug, Clone)]
 struct RangeTable {
     page_size: ByteSize,
-    residency: Vec<Residency>,
+    pages: u64,
+    /// Residency bitmap, one bit per page: set = device-resident. A
+    /// 64-page batch is one word, so window scans cost `pages / 64`
+    /// popcounts instead of a per-page `Vec<Residency>` walk.
+    device: Vec<u64>,
+    /// Running count of set bits in `device`. Steady-state accesses to a
+    /// fully-resident range (the common case after a workload's first
+    /// iteration) short-circuit to "no faults" without touching the
+    /// bitmap at all.
+    resident: u64,
+}
+
+impl RangeTable {
+    fn check_window(&self, id: ManagedId, first: u64, count: u64) -> Result<(), GmmuError> {
+        if first.checked_add(count).is_none_or(|end| end > self.pages) {
+            return Err(GmmuError::PageOutOfRange {
+                id,
+                page: first + count,
+                pages: self.pages,
+            });
+        }
+        Ok(())
+    }
+
+    /// Calls `f(word_index, mask)` for each bitmap word overlapping
+    /// `[first, first+count)`, with `mask` selecting the window's bits.
+    fn for_window(first: u64, count: u64, mut f: impl FnMut(usize, u64)) {
+        if count == 0 {
+            return;
+        }
+        let end = first + count;
+        let mut page = first;
+        while page < end {
+            let w = (page / 64) as usize;
+            let lo = page % 64;
+            let hi = (end - page).min(64 - lo);
+            let mask = if hi == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << hi) - 1) << lo
+            };
+            f(w, mask);
+            page += hi;
+        }
+    }
 }
 
 /// The GMMU: residency tables for every managed range, plus fault
@@ -80,7 +123,7 @@ struct RangeTable {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Gmmu {
-    ranges: HashMap<ManagedId, RangeTable>,
+    ranges: FnvHashMap<ManagedId, RangeTable>,
     far_faults: u64,
 }
 
@@ -101,7 +144,9 @@ impl Gmmu {
             id,
             RangeTable {
                 page_size,
-                residency: vec![Residency::Host; pages as usize],
+                pages,
+                device: vec![0u64; pages.div_ceil(64) as usize],
+                resident: 0,
             },
         );
     }
@@ -136,7 +181,7 @@ impl Gmmu {
     pub fn page_count(&self, id: ManagedId) -> Result<u64, GmmuError> {
         self.ranges
             .get(&id)
-            .map(|r| r.residency.len() as u64)
+            .map(|r| r.pages)
             .ok_or(GmmuError::UnknownRange(id))
     }
 
@@ -144,12 +189,7 @@ impl Gmmu {
     pub fn device_pages(&self, id: ManagedId) -> Result<u64, GmmuError> {
         self.ranges
             .get(&id)
-            .map(|r| {
-                r.residency
-                    .iter()
-                    .filter(|p| **p == Residency::Device)
-                    .count() as u64
-            })
+            .map(|r| r.resident)
             .ok_or(GmmuError::UnknownRange(id))
     }
 
@@ -166,17 +206,50 @@ impl Gmmu {
         count: u64,
     ) -> Result<u64, GmmuError> {
         let table = self.ranges.get(&id).ok_or(GmmuError::UnknownRange(id))?;
-        let total = table.residency.len() as u64;
-        if first.checked_add(count).is_none_or(|end| end > total) {
-            return Err(GmmuError::PageOutOfRange {
-                id,
-                page: first + count,
-                pages: total,
-            });
+        table.check_window(id, first, count)?;
+        if table.resident == table.pages {
+            return Ok(0);
         }
-        Ok((first..first + count)
-            .filter(|p| table.residency[*p as usize] == Residency::Host)
-            .count() as u64)
+        let mut hosted = 0u64;
+        RangeTable::for_window(first, count, |w, mask| {
+            hosted += u64::from((!table.device[w] & mask).count_ones());
+        });
+        Ok(hosted)
+    }
+
+    /// Scans a GPU access to pages `[first, first+count)`, counts the
+    /// far faults (host-resident pages), marks exactly those pages
+    /// device-resident, and returns the fault count — the whole
+    /// fault-service commit in one bitmap pass. Equivalent to
+    /// [`Gmmu::scan_faults`] followed by [`Gmmu::mark_device`] on the
+    /// result, without materializing the page list.
+    ///
+    /// # Errors
+    /// Returns [`GmmuError`] for unknown ranges or out-of-range pages.
+    pub fn claim_faults(
+        &mut self,
+        id: ManagedId,
+        first: u64,
+        count: u64,
+    ) -> Result<u64, GmmuError> {
+        let table = self
+            .ranges
+            .get_mut(&id)
+            .ok_or(GmmuError::UnknownRange(id))?;
+        table.check_window(id, first, count)?;
+        if table.resident == table.pages {
+            return Ok(0);
+        }
+        let mut claimed = 0u64;
+        let device = &mut table.device;
+        RangeTable::for_window(first, count, |w, mask| {
+            let newly = !device[w] & mask;
+            claimed += u64::from(newly.count_ones());
+            device[w] |= newly;
+        });
+        table.resident += claimed;
+        self.far_faults += claimed;
+        Ok(claimed)
     }
 
     /// Scans a GPU access to pages `[first, first+count)` and returns the
@@ -192,17 +265,16 @@ impl Gmmu {
         count: u64,
     ) -> Result<Vec<u64>, GmmuError> {
         let table = self.ranges.get(&id).ok_or(GmmuError::UnknownRange(id))?;
-        let total = table.residency.len() as u64;
-        if first.checked_add(count).is_none_or(|end| end > total) {
-            return Err(GmmuError::PageOutOfRange {
-                id,
-                page: first + count,
-                pages: total,
-            });
-        }
-        let faults: Vec<u64> = (first..first + count)
-            .filter(|p| table.residency[*p as usize] == Residency::Host)
-            .collect();
+        table.check_window(id, first, count)?;
+        let mut faults = Vec::new();
+        RangeTable::for_window(first, count, |w, mask| {
+            let mut hosted = !table.device[w] & mask;
+            while hosted != 0 {
+                let bit = hosted.trailing_zeros() as u64;
+                faults.push(w as u64 * 64 + bit);
+                hosted &= hosted - 1;
+            }
+        });
         self.far_faults += faults.len() as u64;
         Ok(faults)
     }
@@ -233,16 +305,26 @@ impl Gmmu {
             .ranges
             .get_mut(&id)
             .ok_or(GmmuError::UnknownRange(id))?;
-        let total = table.residency.len() as u64;
         for p in pages {
-            if *p >= total {
+            if *p >= table.pages {
                 return Err(GmmuError::PageOutOfRange {
                     id,
                     page: *p,
-                    pages: total,
+                    pages: table.pages,
                 });
             }
-            table.residency[*p as usize] = to;
+            let (w, bit) = ((*p / 64) as usize, *p % 64);
+            let was_set = table.device[w] & (1 << bit) != 0;
+            match to {
+                Residency::Device => {
+                    table.device[w] |= 1 << bit;
+                    table.resident += u64::from(!was_set);
+                }
+                Residency::Host => {
+                    table.device[w] &= !(1 << bit);
+                    table.resident -= u64::from(was_set);
+                }
+            }
         }
         Ok(())
     }

@@ -1,7 +1,7 @@
 //! Simulation configuration for a [`crate::CudaContext`].
 
 use hcc_types::calib::Calibration;
-use hcc_types::{ByteSize, CcMode, CpuModel, FaultPlan, RecoveryPolicy};
+use hcc_types::{ByteSize, CcMode, CpuModel, FaultPlan, Planes, RecoveryPolicy};
 
 /// Configuration of one simulated guest + GPU pairing.
 ///
@@ -40,16 +40,13 @@ pub struct SimConfig {
     pub fault: FaultPlan,
     /// How the runtime answers injected faults.
     pub recovery: RecoveryPolicy,
-    /// Enables the virtual-time metrics plane (queue/occupancy gauges
-    /// across GPU, TEE, UVM and runtime). Off by default: instruments
-    /// record nothing and the simulated trace is bit-identical either
-    /// way — metrics only observe, they never draw RNG or shift a clock.
-    pub metrics: bool,
-    /// Enables causal-edge collection: the runtime and the device/TEE/UVM
-    /// layers link the events they emit into a typed dependency DAG. Off
-    /// by default, with the same observe-never-perturb contract as
-    /// `metrics` — the timeline and clocks are bit-identical either way.
-    pub causal: bool,
+    /// Enabled observability planes ([`Planes::METRICS`], [`Planes::CAUSAL`]).
+    /// All off by default: instruments record nothing and the simulated
+    /// trace is bit-identical either way — planes only observe, they never
+    /// draw RNG or shift a clock. The metrics plane drives queue/occupancy
+    /// gauges across GPU, TEE, UVM and runtime; the causal plane links
+    /// emitted events into a typed dependency DAG.
+    pub planes: Planes,
 }
 
 impl SimConfig {
@@ -66,23 +63,41 @@ impl SimConfig {
             attest_at_creation: false,
             fault: FaultPlan::none(),
             recovery: RecoveryPolicy::default_retry(),
-            metrics: false,
-            causal: false,
+            planes: Planes::NONE,
         }
+    }
+
+    /// Replaces the full observability-plane mask in one call.
+    #[must_use]
+    pub fn with_planes(mut self, planes: Planes) -> Self {
+        self.planes = planes;
+        self
     }
 
     /// Enables (or disables) the virtual-time metrics plane.
     #[must_use]
     pub fn with_metrics(mut self, enabled: bool) -> Self {
-        self.metrics = enabled;
+        self.planes = self.planes.set(Planes::METRICS, enabled);
         self
     }
 
     /// Enables (or disables) causal-edge collection.
     #[must_use]
     pub fn with_causal(mut self, enabled: bool) -> Self {
-        self.causal = enabled;
+        self.planes = self.planes.set(Planes::CAUSAL, enabled);
         self
+    }
+
+    /// Whether the virtual-time metrics plane is enabled.
+    #[must_use]
+    pub fn metrics_enabled(&self) -> bool {
+        self.planes.contains(Planes::METRICS)
+    }
+
+    /// Whether causal-edge collection is enabled.
+    #[must_use]
+    pub fn causal_enabled(&self) -> bool {
+        self.planes.contains(Planes::CAUSAL)
     }
 
     /// Installs a fault-injection plan.
@@ -160,13 +175,16 @@ impl SimConfig {
         h.write_u64(self.calib.fingerprint());
         h.write_u64(self.fault.fingerprint());
         h.write_u64(self.recovery.fingerprint());
-        // The metrics flag cannot change the simulated trace, but it does
+        // The metrics plane cannot change the simulated trace, but it does
         // change what a cached result carries (the snapshot), so obs-on
-        // and obs-off runs must not share a memoization entry.
-        h.write_bool(self.metrics);
-        // Same aliasing argument for the causal flag: it never changes the
+        // and obs-off runs must not share a memoization entry. Written as
+        // individual bools (not the raw mask) to keep the byte stream —
+        // and therefore every memoized key — identical to the pre-Planes
+        // two-field layout.
+        h.write_bool(self.metrics_enabled());
+        // Same aliasing argument for the causal plane: it never changes the
         // trace, but it changes whether a cached result carries a graph.
-        h.write_bool(self.causal);
+        h.write_bool(self.causal_enabled());
         h.finish()
     }
 }
@@ -239,5 +257,19 @@ mod tests {
             .with_fault_plan(FaultPlan::none())
             .with_recovery(RecoveryPolicy::default_retry());
         assert_eq!(base.content_hash(), explicit.content_hash());
+    }
+
+    #[test]
+    fn plane_builders_and_mask_agree() {
+        let via_bools = SimConfig::default().with_metrics(true).with_causal(true);
+        let via_mask = SimConfig::default().with_planes(Planes::METRICS | Planes::CAUSAL);
+        assert!(via_bools.metrics_enabled() && via_bools.causal_enabled());
+        assert_eq!(via_bools.planes, via_mask.planes);
+        assert_eq!(via_bools.content_hash(), via_mask.content_hash());
+
+        let cleared = via_mask.with_metrics(false);
+        assert!(!cleared.metrics_enabled());
+        assert!(cleared.causal_enabled());
+        assert_eq!(cleared.planes, Planes::CAUSAL);
     }
 }

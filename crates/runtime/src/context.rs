@@ -1,21 +1,20 @@
 //! The simulated CUDA runtime context: allocation, transfers, kernel
 //! launches, streams, and synchronization over the TD + GPU substrates.
 
-use std::collections::{HashMap, HashSet};
-
 use hcc_crypto::gcm::AesGcm;
 use hcc_crypto::{CryptoAlgorithm, SoftCryptoModel};
 use hcc_gpu::{DeviceMemError, DevicePtr, GpuDevice, ManagedId, Resource, Slot};
 use hcc_tee::{BounceBufferPool, BounceError, TdContext, TdCounters};
 use hcc_trace::metrics::overlap_time;
 use hcc_trace::{
-    CausalEdge, CausalGraph, EdgeKind, EventId, EventKind, Gauge, MetricsSet, StreamId, Timeline,
-    TraceEvent,
+    CausalEdge, CausalGraph, EdgeKind, EventId, EventKind, Gauge, HypercallReason, MetricsSet,
+    StreamId, Timeline, TraceEvent,
 };
+use hcc_types::hash::{FnvHashMap, FnvHashSet};
 use hcc_types::rng::Xoshiro256;
 use hcc_types::{
     Bandwidth, ByteSize, CcMode, CopyKind, FaultCounts, FaultInjector, FaultSite, HostMemKind,
-    MemSpace, Recovery, SimDuration, SimTime,
+    MemSpace, Planes, Recovery, SimDuration, SimTime,
 };
 use hcc_uvm::{UvmDriver, UvmError, UvmStats};
 
@@ -170,23 +169,67 @@ pub struct CudaContext {
     timeline: Timeline,
     rng: Xoshiro256,
     next_correlation: u64,
-    seen_kernels: HashSet<u32>,
-    host_allocs: HashMap<HostPtr, HostAlloc>,
+    seen_kernels: SeenKernels,
+    host_allocs: FnvHashMap<HostPtr, HostAlloc>,
     next_host: u64,
-    managed_allocs: HashMap<ManagedPtr, ByteSize>,
+    /// Managed allocations, indexed by `ManagedPtr(n)` at slot `n - 1`
+    /// (handles are issued sequentially from 1; freed slots go `None`).
+    managed_allocs: Vec<Option<ByteSize>>,
     next_managed: u64,
-    streams: HashMap<StreamId, SimTime>,
-    next_stream: u32,
+    /// Per-stream completion clock, indexed by `StreamId.0` (stream
+    /// handles are issued densely from 0 and never destroyed).
+    streams: Vec<SimTime>,
     /// Host buffers whose DMA (bounce) mapping already exists; repeat
     /// copies reuse it instead of re-paying the map hypercalls.
-    dma_mapped: HashSet<HostPtr>,
+    dma_mapped: FnvHashSet<HostPtr>,
     events: crate::events::EventRegistry,
-    gcm: AesGcm,
+    /// AES-GCM session keys, expanded on first functional-path use —
+    /// the workload suite never pays the key schedule.
+    gcm: std::cell::OnceCell<AesGcm>,
     faults: FaultInjector,
     causal: CausalGraph,
-    /// Latest device-side event queued per stream — the gating
-    /// predecessor for stream-order causal edges and sync releases.
-    last_stream_event: HashMap<StreamId, EventId>,
+    /// Latest device-side event queued per stream (same indexing as
+    /// `streams`) — the gating predecessor for stream-order causal edges
+    /// and sync releases.
+    last_stream_event: Vec<Option<EventId>>,
+    /// Reused per-launch scratch for hypercall span costs (60% of
+    /// launches trap on the doorbell; a fresh Vec each time would be a
+    /// heap allocation on the hottest path).
+    hypercall_scratch: Vec<SimDuration>,
+    /// Observability planes in effect, resolved once at construction:
+    /// config planes plus [`Planes::FAULT`] when the fault plan is
+    /// non-empty. Hot emission sites test this single mask instead of
+    /// re-deriving per-plane booleans.
+    enabled: Planes,
+}
+
+/// First-launch tracking per kernel function. Workload kernel ids are
+/// small and dense, so the common case is a single bitmap word test;
+/// arbitrary ids fall back to a hash set.
+#[derive(Debug, Default)]
+struct SeenKernels {
+    dense: Vec<u64>,
+    sparse: FnvHashSet<u32>,
+}
+
+impl SeenKernels {
+    const DENSE_LIMIT: u32 = 4096;
+
+    /// Marks `id` seen; returns `true` the first time.
+    fn first_seen(&mut self, id: u32) -> bool {
+        if id < Self::DENSE_LIMIT {
+            let w = (id / 64) as usize;
+            if self.dense.len() <= w {
+                self.dense.resize(w + 1, 0);
+            }
+            let bit = 1u64 << (id % 64);
+            let first = self.dense[w] & bit == 0;
+            self.dense[w] |= bit;
+            first
+        } else {
+            self.sparse.insert(id)
+        }
+    }
 }
 
 impl CudaContext {
@@ -197,15 +240,14 @@ impl CudaContext {
         let mut bounce = BounceBufferPool::new(cfg.calib.tdx.bounce_pool);
         let mut uvm = UvmDriver::new(cfg.calib.uvm.clone(), cfg.cc);
         let mut crypto_engine = Resource::new("cpu-crypto");
-        if cfg.metrics {
+        let enabled = cfg.planes.set(Planes::FAULT, !cfg.fault.is_empty());
+        if enabled.contains(Planes::METRICS) {
             gpu.enable_metrics();
             bounce.enable_metrics();
             uvm.enable_metrics();
             crypto_engine.enable_metrics();
         }
         let crypto = SoftCryptoModel::new(cfg.cpu);
-        let mut streams = HashMap::new();
-        streams.insert(StreamId(0), SimTime::ZERO);
         let mut td = td;
         let mut attest_time = SimDuration::ZERO;
         if cfg.attest_at_creation {
@@ -214,7 +256,6 @@ impl CudaContext {
             let session = hcc_tee::SpdmSession::establish(&mut td);
             attest_time = session.total_time;
         }
-        let gcm = AesGcm::new(&[0x42; 16]).expect("16-byte key is valid");
         // The injector draws from its own stream, so an empty plan leaves
         // every jitter draw — and thus every figure — bit-identical.
         let faults = FaultInjector::new(cfg.fault.clone(), cfg.recovery.clone(), cfg.seed);
@@ -238,20 +279,21 @@ impl CudaContext {
             crypto_engine,
             timeline: Timeline::new(),
             next_correlation: 1,
-            seen_kernels: HashSet::new(),
-            host_allocs: HashMap::new(),
+            seen_kernels: SeenKernels::default(),
+            host_allocs: FnvHashMap::default(),
             next_host: 0x1000,
-            managed_allocs: HashMap::new(),
+            managed_allocs: Vec::new(),
             next_managed: 1,
-            streams,
-            next_stream: 1,
-            dma_mapped: HashSet::new(),
+            streams: vec![SimTime::ZERO],
+            dma_mapped: FnvHashSet::default(),
             events: crate::events::EventRegistry::default(),
             clock: SimTime::ZERO + attest_time,
-            causal: CausalGraph::new(cfg.causal),
-            last_stream_event: HashMap::new(),
+            causal: CausalGraph::new(cfg.causal_enabled()),
+            last_stream_event: vec![None],
+            hypercall_scratch: Vec::new(),
+            enabled,
             cfg,
-            gcm,
+            gcm: std::cell::OnceCell::new(),
             faults,
         }
     }
@@ -281,7 +323,8 @@ impl CudaContext {
         self.timeline
     }
 
-    /// The causal DAG recorded so far (empty unless `cfg.causal`).
+    /// The causal DAG recorded so far (empty unless the causal plane is
+    /// enabled in `cfg.planes`).
     pub fn causal_graph(&self) -> &CausalGraph {
         &self.causal
     }
@@ -324,7 +367,7 @@ impl CudaContext {
     /// exactly with [`hcc_trace::Timeline::phase_totals`]: the
     /// attribution audit (Σ queue-time ≈ LQT + KQT) relies on this.
     pub fn metrics_snapshot(&self) -> Option<MetricsSet> {
-        if !self.cfg.metrics {
+        if !self.enabled.contains(Planes::METRICS) {
             return None;
         }
         let mut set = MetricsSet::new();
@@ -337,7 +380,7 @@ impl CudaContext {
         let mut launch_queue = Gauge::enabled();
         let mut launch_active = Gauge::enabled();
         let mut inflight = Gauge::enabled();
-        let mut launch_window: HashMap<u64, SimTime> = HashMap::new();
+        let mut launch_window: FnvHashMap<u64, SimTime> = FnvHashMap::default();
         for l in &lm.launches {
             launch_queue.occupy(l.start - l.lqt, l.start);
             launch_active.occupy(l.start, l.start + l.klo);
@@ -395,6 +438,13 @@ impl CudaContext {
         self.advance(d);
     }
 
+    /// Reserves trace-arena room for roughly `n` more events. A pure
+    /// capacity hint: callers that know a program's size (the workload
+    /// runner) use it to avoid arena regrowth; behaviour is unchanged.
+    pub fn reserve_events(&mut self, n: usize, launches: usize) {
+        self.timeline.reserve(n, launches);
+    }
+
     /// Appends a pre-built event (for sibling modules).
     pub(crate) fn push_event(&mut self, event: TraceEvent) {
         self.timeline.push(event);
@@ -416,8 +466,8 @@ impl CudaContext {
     }
 
     /// Charges one hypercall to the host clock and returns its cost.
-    pub(crate) fn charge_hypercall(&mut self, reason: &'static str) -> SimDuration {
-        let cost = self.td.hypercall(reason);
+    pub(crate) fn charge_hypercall(&mut self, reason: HypercallReason) -> SimDuration {
+        let cost = self.td.hypercall(reason.as_str());
         self.advance(cost);
         cost
     }
@@ -461,7 +511,7 @@ impl CudaContext {
     /// Completion time of work queued on a stream so far.
     pub(crate) fn stream_ready_time(&self, stream: StreamId) -> Result<SimTime> {
         self.streams
-            .get(&stream)
+            .get(stream.0 as usize)
             .copied()
             .ok_or(RuntimeError::UnknownStream(stream))
     }
@@ -577,7 +627,7 @@ impl CudaContext {
         self.advance(cost);
         let ptr = ManagedPtr(self.next_managed);
         self.next_managed += 1;
-        self.managed_allocs.insert(ptr, size);
+        self.managed_allocs.push(Some(size));
         self.gpu
             .gmmu_mut()
             .register(ManagedId(ptr.0), size, self.cfg.calib.uvm.page);
@@ -650,7 +700,8 @@ impl CudaContext {
     pub fn free_managed(&mut self, ptr: ManagedPtr) -> Result<()> {
         let size = self
             .managed_allocs
-            .remove(&ptr)
+            .get_mut((ptr.0 as usize).wrapping_sub(1))
+            .and_then(Option::take)
             .ok_or(RuntimeError::UnknownManagedPtr(ptr))?;
         let a = self.cfg.calib.alloc.clone();
         let base = a.free_base.scale(a.managed_free_factor);
@@ -686,8 +737,9 @@ impl CudaContext {
     /// Returns [`RuntimeError::UnknownManagedPtr`] for unknown pointers.
     pub fn managed_size(&self, ptr: ManagedPtr) -> Result<ByteSize> {
         self.managed_allocs
-            .get(&ptr)
+            .get((ptr.0 as usize).wrapping_sub(1))
             .copied()
+            .flatten()
             .ok_or(RuntimeError::UnknownManagedPtr(ptr))
     }
 
@@ -856,22 +908,27 @@ impl CudaContext {
     ) -> Result<(SimDuration, Recovery)> {
         let start = self.clock;
         // Events that gate the final transfer; once the umbrella Memcpy
-        // event exists, each becomes a typed causal edge into it.
-        let mut hc_ids: Vec<EventId> = Vec::new();
+        // event exists, each becomes a typed causal edge into it. The
+        // DMA-map hypercall events are pushed back-to-back, so the arena
+        // ids form one contiguous run — remembered as (first, count)
+        // instead of a heap-allocated id list.
+        let mut hc_first: Option<EventId> = None;
         let mut reservation: Option<(hcc_tee::BounceReservation, EventId)> = None;
         let mut crypto_done: Option<(EventId, SimTime)> = None;
         let mut recovery_tails: Vec<EventId> = Vec::new();
         // Hypercalls for DMA mapping (CC only).
         for _ in 0..plan.hypercalls {
             let hc_start = self.clock;
-            let cost = self.td.hypercall("dma_map");
+            let cost = self.td.hypercall(HypercallReason::DmaMap.as_str());
             self.advance(cost);
             let id = self.record(
-                EventKind::Hypercall { reason: "dma_map" },
+                EventKind::Hypercall {
+                    reason: HypercallReason::DmaMap,
+                },
                 hc_start,
                 self.clock,
             );
-            hc_ids.push(id);
+            hc_first.get_or_insert(id);
         }
         // Bounce staging reservation (chunked; costs mostly on cold pool).
         if self.cfg.cc.is_on() && plan.label != CopyKind::D2D || plan.managed {
@@ -985,9 +1042,14 @@ impl CudaContext {
             start,
             self.clock,
         );
-        for hc in hc_ids {
-            self.causal
-                .push(CausalEdge::new(hc, copy_id, EdgeKind::HypercallToStaging));
+        if let Some(first) = hc_first {
+            for i in 0..plan.hypercalls as usize {
+                self.causal.push(CausalEdge::new(
+                    EventId(first.0 + i),
+                    copy_id,
+                    EdgeKind::HypercallToStaging,
+                ));
+            }
         }
         if let Some((r, rid)) = reservation {
             self.causal.push(r.staging_edge(rid, copy_id));
@@ -1095,10 +1157,7 @@ impl CudaContext {
         stream: StreamId,
     ) -> Result<()> {
         let kind = self.check_copy(bytes, host, dev)?;
-        let ready = *self
-            .streams
-            .get(&stream)
-            .ok_or(RuntimeError::UnknownStream(stream))?;
+        let ready = self.stream_ready_time(stream)?;
         let first_map = self.dma_mapped.insert(host);
         let plan = self.plan_copy_mapped(bytes, kind, dir, first_map);
         // API call cost on the host.
@@ -1143,7 +1202,7 @@ impl CudaContext {
             )
             .on_stream(stream),
         );
-        if let Some(&prev) = self.last_stream_event.get(&stream) {
+        if let Some(prev) = self.last_stream_event[stream.0 as usize] {
             self.causal
                 .push(sched.causal_edge(prev, copy_id, EdgeKind::StreamOrder, ready));
         }
@@ -1151,8 +1210,8 @@ impl CudaContext {
             self.causal
                 .push(sched.causal_edge(cid, copy_id, EdgeKind::CryptoToStaging, done));
         }
-        self.last_stream_event.insert(stream, copy_id);
-        self.streams.insert(stream, sched.xfer.end);
+        self.last_stream_event[stream.0 as usize] = Some(copy_id);
+        self.streams[stream.0 as usize] = sched.xfer.end;
         Ok(())
     }
 
@@ -1162,9 +1221,9 @@ impl CudaContext {
 
     /// Creates a new asynchronous stream.
     pub fn create_stream(&mut self) -> StreamId {
-        let id = StreamId(self.next_stream);
-        self.next_stream += 1;
-        self.streams.insert(id, self.clock);
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(self.clock);
+        self.last_stream_event.push(None);
         self.advance(SimDuration::from_micros_f64(9.0));
         id
     }
@@ -1179,10 +1238,7 @@ impl CudaContext {
     /// # Errors
     /// Returns [`RuntimeError::UnknownStream`] for unknown streams.
     pub fn stream_synchronize(&mut self, stream: StreamId) -> Result<SimDuration> {
-        let ready = *self
-            .streams
-            .get(&stream)
-            .ok_or(RuntimeError::UnknownStream(stream))?;
+        let ready = self.stream_ready_time(stream)?;
         Ok(self.wait_until(ready))
     }
 
@@ -1190,7 +1246,7 @@ impl CudaContext {
     pub fn synchronize(&mut self) -> SimDuration {
         let target = self
             .streams
-            .values()
+            .iter()
             .copied()
             .max()
             .unwrap_or(self.clock)
@@ -1203,14 +1259,15 @@ impl CudaContext {
             let start = self.clock;
             self.clock = target;
             let sync_id = self.record(EventKind::Sync, start, target);
-            if self.causal.is_enabled() {
+            if self.enabled.contains(Planes::CAUSAL) {
                 // The device-side completion that released this wait: the
                 // queued stream event ending exactly at the sync target
-                // (lowest id wins for determinism — HashMap order isn't).
+                // (lowest id wins for determinism).
                 let release = self
                     .last_stream_event
-                    .values()
+                    .iter()
                     .copied()
+                    .flatten()
                     .filter(|&id| self.timeline.get(id).is_some_and(|e| e.end == target))
                     .min();
                 if let Some(done) = release {
@@ -1238,31 +1295,32 @@ impl CudaContext {
     /// # Errors
     /// Returns [`RuntimeError`] for unknown streams or managed pointers.
     pub fn launch_kernel(&mut self, desc: &KernelDesc, stream: StreamId) -> Result<u64> {
-        let stream_ready = *self
-            .streams
-            .get(&stream)
-            .ok_or(RuntimeError::UnknownStream(stream))?;
+        let stream_ready = self.stream_ready_time(stream)?;
         let corr = self.next_correlation;
         self.next_correlation += 1;
-        let first = self.seen_kernels.insert(desc.id.0);
+        let first = self.seen_kernels.first_seen(desc.id.0);
 
-        // --- Host work between launches (measured as LQT). ---
+        // --- Host work between launches (measured as LQT) and the
+        // driver-side KLO shape: one fused pair of lognormal draws
+        // (bit-identical to two sequential draws). ---
         let lc = self.cfg.calib.launch.clone();
-        let mut gap = lc.inter_launch_gap.scale(self.rng.lognormal(lc.gap_sigma));
+        let (gap_factor, klo_factor) = self.rng.lognormal_pair(lc.gap_sigma, lc.klo_sigma);
+        let mut gap = lc.inter_launch_gap.scale(gap_factor);
         if self.cfg.cc.is_on() {
             gap = gap.scale(lc.cc_gap_mult);
         }
         self.advance(gap);
 
         // --- Driver-side work (the KLO span). ---
-        let mut klo = lc.klo_base.scale(self.rng.lognormal(lc.klo_sigma));
+        let mut klo = lc.klo_base.scale(klo_factor);
         if let Some(spike) = self
             .rng
             .spike(lc.spike_prob, lc.spike_range.0, lc.spike_range.1)
         {
             klo = lc.klo_base.scale(spike);
         }
-        let mut hypercall_spans: Vec<SimDuration> = Vec::new();
+        let mut hypercall_spans = std::mem::take(&mut self.hypercall_scratch);
+        hypercall_spans.clear();
         if first {
             klo += match self.cfg.cc {
                 CcMode::Off => lc.first_launch_extra,
@@ -1270,7 +1328,7 @@ impl CudaContext {
             };
             if self.cfg.cc.is_on() {
                 for _ in 0..lc.first_launch_hypercalls {
-                    let cost = self.td.hypercall("launch_setup");
+                    let cost = self.td.hypercall(HypercallReason::LaunchSetup.as_str());
                     hypercall_spans.push(cost);
                     klo += cost;
                 }
@@ -1286,7 +1344,7 @@ impl CudaContext {
         if self.rng.next_f64() < lc.doorbell_trap_prob {
             // The doorbell MMIO write exits the guest: a cheap vmexit in a
             // VM, a full #VE → tdx_hypercall in a TD.
-            let cost = self.td.hypercall("doorbell");
+            let cost = self.td.hypercall(HypercallReason::Doorbell.as_str());
             hypercall_spans.push(cost);
             klo += cost;
         }
@@ -1306,11 +1364,7 @@ impl CudaContext {
         let mut uvm_penalties: Vec<Vec<SimDuration>> = Vec::new();
         let mut services: Vec<hcc_uvm::FaultService> = Vec::new();
         for access in &desc.managed {
-            let size = self
-                .managed_allocs
-                .get(&access.ptr)
-                .copied()
-                .ok_or(RuntimeError::UnknownManagedPtr(access.ptr))?;
+            let size = self.managed_size(access.ptr)?;
             let id = ManagedId(access.ptr.0);
             let total_pages = size.pages(self.cfg.calib.uvm.page);
             let first_page = access.first_page.min(total_pages);
@@ -1330,7 +1384,7 @@ impl CudaContext {
             fault_time += service.total_time;
             fault_pages += service.pages;
             fault_bytes += service.bytes;
-            if self.cfg.metrics || self.cfg.causal {
+            if self.enabled.any(Planes::METRICS | Planes::CAUSAL) {
                 services.push(service);
             }
             if let Recovery::Retried { backoffs } = rec {
@@ -1417,14 +1471,17 @@ impl CudaContext {
 
         // Trace: hypercalls inside the launch window (for Fig. 8 flavour).
         let mut hc_cursor = launch_start;
-        for span in hypercall_spans {
+        for &span in &hypercall_spans {
             self.timeline.push(TraceEvent::new(
-                EventKind::Hypercall { reason: "launch" },
+                EventKind::Hypercall {
+                    reason: HypercallReason::Launch,
+                },
                 hc_cursor,
                 hc_cursor + span,
             ));
             hc_cursor += span;
         }
+        self.hypercall_scratch = hypercall_spans;
         let launch_id = self.timeline.push(
             TraceEvent::new(
                 EventKind::Launch {
@@ -1511,7 +1568,7 @@ impl CudaContext {
             }
             uvm_tails.push(tail);
         }
-        let prev_stream_event = self.last_stream_event.get(&stream).copied();
+        let prev_stream_event = self.last_stream_event[stream.0 as usize];
         let kernel_id = self.timeline.push(
             TraceEvent::new(
                 EventKind::Kernel {
@@ -1524,7 +1581,7 @@ impl CudaContext {
             .on_stream(stream)
             .with_correlation(corr),
         );
-        if self.causal.is_enabled() {
+        if self.enabled.contains(Planes::CAUSAL) {
             // Launch → execution: the device types the KQT leg.
             self.causal
                 .push(sched.causal_edge(launch_id, kernel_id, launch_end));
@@ -1550,8 +1607,8 @@ impl CudaContext {
                     .push(CausalEdge::new(tail, kernel_id, EdgeKind::RetryToVictim));
             }
         }
-        self.last_stream_event.insert(stream, kernel_id);
-        self.streams.insert(stream, sched.exec.end);
+        self.last_stream_event[stream.0 as usize] = Some(kernel_id);
+        self.streams[stream.0 as usize] = sched.exec.end;
         Ok(corr)
     }
 
@@ -1568,6 +1625,11 @@ impl CudaContext {
     /// # Errors
     /// Returns [`RuntimeError`] on bounds violations or (never, absent
     /// bugs) integrity failure.
+    fn gcm(&self) -> &AesGcm {
+        self.gcm
+            .get_or_init(|| AesGcm::new(&[0x42; 16]).expect("16-byte key is valid"))
+    }
+
     pub fn upload_bytes(&mut self, dst: DevicePtr, data: &[u8]) -> Result<SimDuration> {
         let bytes = ByteSize::bytes(data.len() as u64);
         let dsize = self.gpu.hbm().size_of(dst)?;
@@ -1587,7 +1649,7 @@ impl CudaContext {
                 // Encrypt into the bounce buffer, then device-side decrypt.
                 let mut staged = data.to_vec();
                 let nonce = [0x07u8; 12];
-                let tag = self.gcm.encrypt(&nonce, &[], &mut staged);
+                let tag = self.gcm().encrypt(&nonce, &[], &mut staged);
                 debug_assert_ne!(staged, data, "ciphertext must differ for non-empty data");
                 if !recovery.is_clean() {
                     // The injected fault corrupted the tag in transit:
@@ -1597,14 +1659,14 @@ impl CudaContext {
                     bad_tag[0] ^= 0x01;
                     let mut first_attempt = staged.clone();
                     if self
-                        .gcm
+                        .gcm()
                         .decrypt(&nonce, &[], &mut first_attempt, &bad_tag)
                         .is_ok()
                     {
                         return Err(RuntimeError::Integrity);
                     }
                 }
-                self.gcm
+                self.gcm()
                     .decrypt(&nonce, &[], &mut staged, &tag)
                     .map_err(|_| RuntimeError::Integrity)?;
                 staged
@@ -1627,7 +1689,7 @@ impl CudaContext {
         if self.cfg.cc.is_on() {
             // Round-trip through the encrypted channel.
             let nonce = [0x09u8; 12];
-            let tag = self.gcm.encrypt(&nonce, &[], &mut data);
+            let tag = self.gcm().encrypt(&nonce, &[], &mut data);
             if !recovery.is_clean() {
                 // Injected tag corruption: the first verification fails,
                 // the retry delivers the genuine tag.
@@ -1635,14 +1697,14 @@ impl CudaContext {
                 bad_tag[0] ^= 0x01;
                 let mut first_attempt = data.clone();
                 if self
-                    .gcm
+                    .gcm()
                     .decrypt(&nonce, &[], &mut first_attempt, &bad_tag)
                     .is_ok()
                 {
                     return Err(RuntimeError::Integrity);
                 }
             }
-            self.gcm
+            self.gcm()
                 .decrypt(&nonce, &[], &mut data, &tag)
                 .map_err(|_| RuntimeError::Integrity)?;
         }

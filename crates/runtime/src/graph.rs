@@ -3,7 +3,7 @@
 //! launch — the launch-fusion optimization of Sec. VII-A (Fig. 12b's
 //! alternative for apps like 3dconv that re-launch one kernel in a loop).
 
-use hcc_trace::{EventKind, StreamId, TraceEvent};
+use hcc_trace::{EventKind, HypercallReason, StreamId, TraceEvent};
 use hcc_types::{CcMode, SimDuration};
 
 use crate::context::{CudaContext, Result};
@@ -115,7 +115,7 @@ impl CudaContext {
             self.push_event(
                 TraceEvent::new(
                     EventKind::Hypercall {
-                        reason: "graph_node",
+                        reason: HypercallReason::GraphNode,
                     },
                     end,
                     end,

@@ -6,7 +6,7 @@
 
 use hcc_crypto::CryptoAlgorithm;
 use hcc_gpu::DevicePtr;
-use hcc_trace::EventKind;
+use hcc_trace::{EventKind, HypercallReason};
 use hcc_types::{ByteSize, CcMode, CopyKind, SimDuration};
 
 use crate::context::{CudaContext, Result, RuntimeError};
@@ -63,8 +63,14 @@ impl CudaContext {
         // One DMA-map hypercall pair up front.
         for _ in 0..2 {
             let t0 = self.now();
-            let cost = self.charge_hypercall("dma_map");
-            self.push_event_public(EventKind::Hypercall { reason: "dma_map" }, t0, t0 + cost);
+            let cost = self.charge_hypercall(HypercallReason::DmaMap);
+            self.push_event_public(
+                EventKind::Hypercall {
+                    reason: HypercallReason::DmaMap,
+                },
+                t0,
+                t0 + cost,
+            );
         }
         self.advance_public(p.cc_transfer_setup);
 

@@ -25,6 +25,49 @@ impl std::fmt::Display for StreamId {
     }
 }
 
+/// Why a `tdx_hypercall` transition was taken — the typed replacement for
+/// the old free-form `&'static str` label, so hot-path grouping compiles
+/// to a jump table instead of string compares.
+///
+/// `Display` renders the exact strings the free-form labels used, so
+/// exports and summaries are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum HypercallReason {
+    /// Doorbell MMIO write trapping to the host (`#VE`).
+    Doorbell,
+    /// DMA mapping / unmapping of a host buffer.
+    DmaMap,
+    /// Launch-path submission transition.
+    Launch,
+    /// Lazy driver setup on a kernel's first launch.
+    LaunchSetup,
+    /// Private→shared page conversion (`set_memory_decrypted`).
+    SetMemoryDecrypted,
+    /// Informational marker for a CUDA-graph node boundary.
+    GraphNode,
+}
+
+impl HypercallReason {
+    /// The label the free-form payload used for this reason.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            HypercallReason::Doorbell => "doorbell",
+            HypercallReason::DmaMap => "dma_map",
+            HypercallReason::Launch => "launch",
+            HypercallReason::LaunchSetup => "launch_setup",
+            HypercallReason::SetMemoryDecrypted => "set_memory_decrypted",
+            HypercallReason::GraphNode => "graph_node",
+        }
+    }
+}
+
+impl std::fmt::Display for HypercallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// What a trace span represents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -85,8 +128,8 @@ pub enum EventKind {
     },
     /// A `tdx_hypercall` transition (CC only), for Fig. 8-style accounting.
     Hypercall {
-        /// Short reason label (e.g. "doorbell", "dma_map").
-        reason: &'static str,
+        /// Why the transition was taken.
+        reason: HypercallReason,
     },
     /// A bounce-pool (swiotlb) staging reservation (CC only). The span is
     /// the pool bookkeeping plus any first-touch page conversion, nested
@@ -255,7 +298,7 @@ impl ToJson for EventKind {
                 put("encrypt", Json::Bool(*encrypt));
             }
             EventKind::Hypercall { reason } => {
-                put("reason", Json::Str((*reason).to_string()));
+                put("reason", Json::Str(reason.as_str().to_string()));
             }
             EventKind::BounceReserve { bytes, converted } => {
                 put("bytes", bytes.to_json());
@@ -360,7 +403,9 @@ mod tests {
                 bytes: ByteSize::kib(1),
                 encrypt: true,
             },
-            EventKind::Hypercall { reason: "doorbell" },
+            EventKind::Hypercall {
+                reason: HypercallReason::Doorbell,
+            },
             EventKind::BounceReserve {
                 bytes: ByteSize::mib(2),
                 converted: true,

@@ -94,28 +94,105 @@ fn name_of(event: &TraceEvent) -> String {
     }
 }
 
-/// Serializes the timeline as a Chrome trace-event JSON array
-/// ("X" complete events, microsecond timestamps). Load the output in
-/// `chrome://tracing` or <https://ui.perfetto.dev>.
+/// The one Chrome trace-event export entry point: an options struct
+/// selecting which overlays accompany the span array.
+///
+/// Replaces the old trio of free functions (`to_chrome_trace`,
+/// `to_chrome_trace_with_metrics`, `to_chrome_trace_full`), which remain
+/// as deprecated wrappers. Output is byte-identical to the old API for
+/// every option combination.
+///
+/// ```
+/// use hcc_trace::{ChromeExport, Timeline};
+///
+/// let json = ChromeExport::new().render(&Timeline::new());
+/// assert_eq!(json, "[\n\n]\n");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChromeExport<'a> {
+    metrics: Option<&'a MetricsSet>,
+    causal: Option<&'a CausalGraph>,
+}
+
+impl<'a> ChromeExport<'a> {
+    /// Spans only — the plain `chrome://tracing` / Perfetto export
+    /// ("X" complete events, microsecond timestamps).
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeExport::default()
+    }
+
+    /// Additionally emits every gauge in `metrics` as a Perfetto counter
+    /// track ("C" events under the `metrics` process), so spans and
+    /// queue depths line up on one timeline. Each gauge change-point
+    /// becomes one counter sample; empty gauges still get a zero sample
+    /// so their track exists.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &'a MetricsSet) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Additionally emits the causal graph as flow events
+    /// (`"ph": "s"`/`"f"`) so recorded causal edges render as arrows
+    /// between their endpoint slices in Perfetto. Each edge binds at the
+    /// source event's end and the target event's start (`"bp": "e"`
+    /// attaches to the enclosing slice).
+    #[must_use]
+    pub fn with_causal(mut self, causal: &'a CausalGraph) -> Self {
+        self.causal = Some(causal);
+        self
+    }
+
+    /// Serializes `timeline` (plus the selected overlays) as a Chrome
+    /// trace-event JSON array. Load the output in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    #[must_use]
+    pub fn render(&self, timeline: &Timeline) -> String {
+        render(timeline, self.metrics, self.causal)
+    }
+}
+
+/// Serializes the timeline as a Chrome trace-event JSON array.
+#[deprecated(since = "0.7.0", note = "use `ChromeExport::new().render(timeline)`")]
 pub fn to_chrome_trace(timeline: &Timeline) -> String {
-    to_chrome_trace_with_metrics(timeline, None)
+    ChromeExport::new().render(timeline)
 }
 
-/// Like [`to_chrome_trace`], but additionally emits every gauge in
-/// `metrics` as a Perfetto counter track ("C" events under the
-/// `metrics` process), so spans and queue depths line up on one
-/// timeline. Each gauge change-point becomes one counter sample; empty
-/// gauges still get a zero sample so their track exists.
+/// Spans plus counter tracks.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `ChromeExport::new().with_metrics(..).render(timeline)`"
+)]
 pub fn to_chrome_trace_with_metrics(timeline: &Timeline, metrics: Option<&MetricsSet>) -> String {
-    to_chrome_trace_full(timeline, metrics, None)
+    let mut export = ChromeExport::new();
+    if let Some(m) = metrics {
+        export = export.with_metrics(m);
+    }
+    export.render(timeline)
 }
 
-/// The full export: spans, counter tracks, and — when a causal graph is
-/// supplied — flow events (`"ph": "s"`/`"f"`) so the recorded causal
-/// edges render as arrows between their endpoint slices in Perfetto.
-/// Each edge binds at the source event's end and the target event's
-/// start (`"bp": "e"` attaches to the enclosing slice).
+/// Spans, counter tracks, and causal flow events.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `ChromeExport::new().with_metrics(..).with_causal(..).render(timeline)`"
+)]
 pub fn to_chrome_trace_full(
+    timeline: &Timeline,
+    metrics: Option<&MetricsSet>,
+    causal: Option<&CausalGraph>,
+) -> String {
+    let mut export = ChromeExport::new();
+    if let Some(m) = metrics {
+        export = export.with_metrics(m);
+    }
+    if let Some(g) = causal {
+        export = export.with_causal(g);
+    }
+    export.render(timeline)
+}
+
+fn render(
     timeline: &Timeline,
     metrics: Option<&MetricsSet>,
     causal: Option<&CausalGraph>,
@@ -245,7 +322,7 @@ mod tests {
 
     #[test]
     fn output_is_valid_json_shape() {
-        let json = to_chrome_trace(&sample());
+        let json = ChromeExport::new().render(&sample());
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));
         // One object per event, comma-separated.
@@ -257,7 +334,7 @@ mod tests {
 
     #[test]
     fn events_carry_expected_names_and_tracks() {
-        let json = to_chrome_trace(&sample());
+        let json = ChromeExport::new().render(&sample());
         assert!(json.contains("cudaLaunchKernel(K0) [first]"));
         assert!(json.contains("\"pid\": \"gpu\""));
         assert!(json.contains("\"pid\": \"host\""));
@@ -267,7 +344,7 @@ mod tests {
 
     #[test]
     fn timestamps_are_microseconds() {
-        let json = to_chrome_trace(&sample());
+        let json = ChromeExport::new().render(&sample());
         // The kernel starts at 8 us and runs 100 us.
         assert!(json.contains("\"ts\": 8.000"));
         assert!(json.contains("\"dur\": 100.000"));
@@ -275,8 +352,34 @@ mod tests {
 
     #[test]
     fn empty_timeline_is_an_empty_array() {
-        let json = to_chrome_trace(&Timeline::new());
+        let json = ChromeExport::new().render(&Timeline::new());
         assert_eq!(json, "[\n\n]\n");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_options_struct() {
+        use crate::metrics::{Gauge, MetricsSet};
+
+        let tl = sample();
+        let mut set = MetricsSet::new();
+        let mut g = Gauge::enabled();
+        g.occupy(t(10), t(20));
+        set.gauge("gpu.ring.occupancy", &g);
+        let graph = CausalGraph::new(true);
+
+        assert_eq!(to_chrome_trace(&tl), ChromeExport::new().render(&tl));
+        assert_eq!(
+            to_chrome_trace_with_metrics(&tl, Some(&set)),
+            ChromeExport::new().with_metrics(&set).render(&tl)
+        );
+        assert_eq!(
+            to_chrome_trace_full(&tl, Some(&set), Some(&graph)),
+            ChromeExport::new()
+                .with_metrics(&set)
+                .with_causal(&graph)
+                .render(&tl)
+        );
     }
 
     #[test]
@@ -291,7 +394,7 @@ mod tests {
             EdgeKind::LaunchToExec,
         ));
 
-        let json = to_chrome_trace_full(&tl, None, Some(&g));
+        let json = ChromeExport::new().with_causal(&g).render(&tl);
         assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
         assert_eq!(json.matches("\"ph\": \"s\"").count(), 1);
         assert_eq!(json.matches("\"ph\": \"f\"").count(), 1);
@@ -302,8 +405,13 @@ mod tests {
         assert!(json.contains("\"ph\": \"f\", \"id\": 0, \"ts\": 8.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
 
-        // Without a graph the output is byte-identical to the old format.
-        assert_eq!(to_chrome_trace_full(&tl, None, None), to_chrome_trace(&tl));
+        // Without a graph the output is byte-identical to the plain form.
+        assert_eq!(
+            ChromeExport::new()
+                .with_causal(&CausalGraph::new(false))
+                .render(&tl),
+            ChromeExport::new().render(&tl)
+        );
         // Dangling edges are skipped, not exported.
         let mut dangling = CausalGraph::new(true);
         dangling.push(CausalEdge::new(
@@ -311,7 +419,8 @@ mod tests {
             EventId(99),
             EdgeKind::StreamOrder,
         ));
-        assert!(!to_chrome_trace_full(&tl, None, Some(&dangling)).contains("\"ph\": \"s\""));
+        let json = ChromeExport::new().with_causal(&dangling).render(&tl);
+        assert!(!json.contains("\"ph\": \"s\""));
     }
 
     #[test]
@@ -324,7 +433,7 @@ mod tests {
         set.gauge("gpu.ring.occupancy", &g);
         set.gauge("tee.bounce.occupancy", &Gauge::enabled()); // empty
 
-        let json = to_chrome_trace_with_metrics(&sample(), Some(&set));
+        let json = ChromeExport::new().with_metrics(&set).render(&sample());
         // Spans are still present alongside the counters.
         assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
         // Leading zero + two change-points for the ring gauge, one zero

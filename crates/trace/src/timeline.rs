@@ -10,9 +10,33 @@ use crate::event::{EventKind, KernelId, TraceEvent};
 ///
 /// Events may be pushed out of order (different engines finish at
 /// different times); extraction sorts internally where needed.
+///
+/// Internally this is an *arena*: an append-only, id-stable contiguous
+/// store that folds every aggregate the extraction API needs into running
+/// state at push time. `span()`/`end()` read two words, `mem_metrics()`
+/// copies a struct, and `launch_metrics()` joins pre-split launch/kernel
+/// record lists — none of them re-walk the event array. All aggregates are
+/// integer-nanosecond sums or min/max folds, so maintaining them
+/// incrementally is *exact*, not approximate: every accessor returns
+/// byte-identical results to a full scan of `events()`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
     events: Vec<TraceEvent>,
+    /// Earliest `start` seen (`None` while empty).
+    min_start: Option<SimTime>,
+    /// Latest `end` seen.
+    max_end: SimTime,
+    /// Running memory-path totals (order-independent integer sums).
+    mem: MemMetrics,
+    /// Launch records in push order; `LaunchMetrics` sorts a copy.
+    launches: Vec<LaunchRecord>,
+    /// Kernel records in push order with `kqt` unresolved (zero); the
+    /// correlation join fills it at extraction time.
+    kernels: Vec<KernelRecord>,
+    /// `Sync` spans in push order, for the sync/kernel overlap fold.
+    sync_spans: Vec<(SimTime, SimTime)>,
+    /// `Kernel` spans in push order, ditto.
+    kernel_spans: Vec<(SimTime, SimTime)>,
 }
 
 impl Timeline {
@@ -21,10 +45,128 @@ impl Timeline {
         Timeline::default()
     }
 
+    /// Creates an empty timeline with room for `n` events before the
+    /// arena reallocates.
+    pub fn with_capacity(n: usize) -> Self {
+        Timeline {
+            events: Vec::with_capacity(n),
+            ..Timeline::default()
+        }
+    }
+
+    /// Reserves room for at least `n` more events, of which `launches`
+    /// are expected to be launch/kernel pairs, so a caller that can
+    /// estimate a program's shape up front (e.g. the workload runner)
+    /// avoids arena and record-list regrowth memcpys mid-run.
+    pub fn reserve(&mut self, n: usize, launches: usize) {
+        self.events.reserve(n);
+        self.launches.reserve(launches);
+        self.kernels.reserve(launches);
+        self.kernel_spans.reserve(launches);
+        self.sync_spans.reserve(launches);
+    }
+
     /// Appends an event, returning its id for causal-edge linking.
+    #[inline]
     pub fn push(&mut self, event: TraceEvent) -> EventId {
+        self.fold(&event);
         self.events.push(event);
         EventId(self.events.len() - 1)
+    }
+
+    /// Folds one event into the running aggregates.
+    fn fold(&mut self, e: &TraceEvent) {
+        self.min_start = Some(match self.min_start {
+            Some(s) => s.min(e.start),
+            None => e.start,
+        });
+        self.max_end = self.max_end.max(e.end);
+        let m = &mut self.mem;
+        match &e.kind {
+            EventKind::Launch {
+                kernel,
+                queue_wait,
+                first,
+            } => {
+                self.launches.push(LaunchRecord {
+                    kernel: *kernel,
+                    start: e.start,
+                    klo: e.duration(),
+                    lqt: *queue_wait,
+                    first: *first,
+                    correlation: e.correlation,
+                });
+            }
+            EventKind::Kernel { kernel, uvm } => {
+                self.kernels.push(KernelRecord {
+                    kernel: *kernel,
+                    start: e.start,
+                    ket: e.duration(),
+                    kqt: SimDuration::ZERO,
+                    uvm: *uvm,
+                    correlation: e.correlation,
+                });
+                self.kernel_spans.push((e.start, e.end));
+            }
+            EventKind::Memcpy {
+                kind,
+                bytes,
+                managed,
+                ..
+            } => {
+                let slot = match kind {
+                    CopyKind::H2D => &mut m.h2d,
+                    CopyKind::D2H => &mut m.d2h,
+                    CopyKind::D2D => &mut m.d2d,
+                };
+                *slot += e.duration();
+                m.copy_bytes += *bytes;
+                if *managed {
+                    m.managed_copy += e.duration();
+                }
+            }
+            EventKind::Alloc { space, .. } => match space {
+                MemSpace::Host => m.hmalloc += e.duration(),
+                MemSpace::Device => m.dmalloc += e.duration(),
+                MemSpace::Managed => m.managed_alloc += e.duration(),
+            },
+            EventKind::Free { space, .. } => match space {
+                MemSpace::Managed => m.managed_free += e.duration(),
+                _ => m.free += e.duration(),
+            },
+            EventKind::Sync => {
+                m.sync += e.duration();
+                self.sync_spans.push((e.start, e.end));
+            }
+            EventKind::Crypto { bytes, .. } => {
+                m.crypto += e.duration();
+                m.crypto_bytes += *bytes;
+            }
+            EventKind::Hypercall { .. } => {
+                m.hypercalls += 1;
+                m.hypercall_time += e.duration();
+            }
+            EventKind::UvmFault { pages, bytes, .. } => {
+                m.uvm_fault += e.duration();
+                m.uvm_pages += pages;
+                m.uvm_bytes += *bytes;
+            }
+            EventKind::FaultInjected { attempts, .. } => {
+                m.faults_injected += u64::from(*attempts);
+                m.fault_time += e.duration();
+            }
+            EventKind::Retry { .. } => {
+                m.fault_retries += 1;
+                m.fault_time += e.duration();
+            }
+            EventKind::Degraded { .. } => {
+                m.fault_degrades += 1;
+                m.fault_time += e.duration();
+            }
+            // Reservation windows are nested inside their copy's span,
+            // which `copy_total` already counts.
+            EventKind::BounceReserve { .. } => {}
+        }
     }
 
     /// All events, in insertion order.
@@ -50,64 +192,74 @@ impl Timeline {
     /// Wall-clock span from the earliest start to the latest end. This is
     /// the paper's end-to-end `P` for a full application trace.
     pub fn span(&self) -> SimDuration {
-        let start = self.events.iter().map(|e| e.start).min();
-        let end = self.events.iter().map(|e| e.end).max();
-        match (start, end) {
-            (Some(s), Some(e)) => e - s,
-            _ => SimDuration::ZERO,
+        match self.min_start {
+            Some(s) => self.max_end - s,
+            None => SimDuration::ZERO,
         }
     }
 
     /// Latest event end (completion time).
     pub fn end(&self) -> SimTime {
-        self.events
-            .iter()
-            .map(|e| e.end)
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.max_end
     }
 
     /// Extracts the per-launch / per-kernel metric records.
+    ///
+    /// The KQT join runs over the pre-split record lists with an
+    /// FNV-keyed map (correlation ids are simulator-assigned small
+    /// integers, so SipHash buys nothing), in one pass per list.
     pub fn launch_metrics(&self) -> LaunchMetrics {
-        let mut launches = Vec::new();
-        let mut kernels = Vec::new();
-        // correlation -> launch end (for KQT).
-        let mut launch_end: std::collections::HashMap<u64, SimTime> =
-            std::collections::HashMap::new();
-        for e in &self.events {
-            if let EventKind::Launch {
-                kernel,
-                queue_wait,
-                first,
-            } = e.kind
-            {
-                launches.push(LaunchRecord {
-                    kernel,
-                    start: e.start,
-                    klo: e.duration(),
-                    lqt: queue_wait,
-                    first,
-                    correlation: e.correlation,
-                });
-                launch_end.insert(e.correlation, e.end);
+        let mut kernels = self.kernels.clone();
+        // The runtime allocates correlation ids monotonically and pushes
+        // a launch before its kernel, so both record lists arrive sorted
+        // by correlation and the KQT join is a linear merge. A
+        // duplicated correlation resolves to the *last* launch, exactly
+        // as the scan-based extraction did; out-of-order records (e.g. a
+        // hand-built timeline) fall back to the FNV map.
+        let sorted = self
+            .launches
+            .windows(2)
+            .all(|w| w[0].correlation <= w[1].correlation)
+            && kernels
+                .windows(2)
+                .all(|w| w[0].correlation <= w[1].correlation);
+        if sorted {
+            let mut j = 0usize;
+            for k in &mut kernels {
+                while j < self.launches.len() && self.launches[j].correlation < k.correlation {
+                    j += 1;
+                }
+                let mut hit = None;
+                let mut jj = j;
+                while jj < self.launches.len() && self.launches[jj].correlation == k.correlation {
+                    hit = Some(jj);
+                    jj += 1;
+                }
+                k.kqt = match hit {
+                    Some(i) => {
+                        let l = &self.launches[i];
+                        k.start.saturating_since(l.start + l.klo)
+                    }
+                    None => SimDuration::ZERO,
+                };
             }
-        }
-        for e in &self.events {
-            if let EventKind::Kernel { kernel, uvm } = e.kind {
-                let kqt = launch_end
-                    .get(&e.correlation)
-                    .map(|le| e.start.saturating_since(*le))
+        } else {
+            let mut launch_end: hcc_types::hash::FnvHashMap<u64, SimTime> =
+                hcc_types::hash::FnvHashMap::with_capacity_and_hasher(
+                    self.launches.len(),
+                    hcc_types::hash::FnvBuildHasher,
+                );
+            for l in &self.launches {
+                launch_end.insert(l.correlation, l.start + l.klo);
+            }
+            for k in &mut kernels {
+                k.kqt = launch_end
+                    .get(&k.correlation)
+                    .map(|le| k.start.saturating_since(*le))
                     .unwrap_or(SimDuration::ZERO);
-                kernels.push(KernelRecord {
-                    kernel,
-                    start: e.start,
-                    ket: e.duration(),
-                    kqt,
-                    uvm,
-                    correlation: e.correlation,
-                });
             }
         }
+        let mut launches = self.launches.clone();
         launches.sort_by_key(|l| l.start);
         kernels.sort_by_key(|k| k.start);
         LaunchMetrics { launches, kernels }
@@ -115,68 +267,7 @@ impl Timeline {
 
     /// Extracts memory-path metrics (Fig. 5/6 inputs).
     pub fn mem_metrics(&self) -> MemMetrics {
-        let mut m = MemMetrics::default();
-        for e in &self.events {
-            match &e.kind {
-                EventKind::Memcpy {
-                    kind,
-                    bytes,
-                    managed,
-                    ..
-                } => {
-                    let slot = match kind {
-                        CopyKind::H2D => &mut m.h2d,
-                        CopyKind::D2H => &mut m.d2h,
-                        CopyKind::D2D => &mut m.d2d,
-                    };
-                    *slot += e.duration();
-                    m.copy_bytes += *bytes;
-                    if *managed {
-                        m.managed_copy += e.duration();
-                    }
-                }
-                EventKind::Alloc { space, .. } => match space {
-                    MemSpace::Host => m.hmalloc += e.duration(),
-                    MemSpace::Device => m.dmalloc += e.duration(),
-                    MemSpace::Managed => m.managed_alloc += e.duration(),
-                },
-                EventKind::Free { space, .. } => match space {
-                    MemSpace::Managed => m.managed_free += e.duration(),
-                    _ => m.free += e.duration(),
-                },
-                EventKind::Sync => m.sync += e.duration(),
-                EventKind::Crypto { bytes, .. } => {
-                    m.crypto += e.duration();
-                    m.crypto_bytes += *bytes;
-                }
-                EventKind::Hypercall { .. } => {
-                    m.hypercalls += 1;
-                    m.hypercall_time += e.duration();
-                }
-                EventKind::UvmFault { pages, bytes, .. } => {
-                    m.uvm_fault += e.duration();
-                    m.uvm_pages += pages;
-                    m.uvm_bytes += *bytes;
-                }
-                EventKind::FaultInjected { attempts, .. } => {
-                    m.faults_injected += u64::from(*attempts);
-                    m.fault_time += e.duration();
-                }
-                EventKind::Retry { .. } => {
-                    m.fault_retries += 1;
-                    m.fault_time += e.duration();
-                }
-                EventKind::Degraded { .. } => {
-                    m.fault_degrades += 1;
-                    m.fault_time += e.duration();
-                }
-                // Reservation windows are nested inside their copy's span,
-                // which `copy_total` already counts.
-                EventKind::BounceReserve { .. } => {}
-                EventKind::Launch { .. } | EventKind::Kernel { .. } => {}
-            }
-        }
-        m
+        self.mem
     }
 
     /// Aggregates the four phases of the Fig. 3 performance model, plus
@@ -199,42 +290,84 @@ impl Timeline {
         }
     }
 
-    /// Total time during which `Sync` events overlap `Kernel` events.
+    /// Total time during which `Sync` events overlap `Kernel` events,
+    /// summed over every (sync, kernel) span pair.
+    ///
+    /// The naive pairwise scan is O(|sync|·|kernel|) — quadratic for
+    /// sync-per-iteration apps where both lists grow with the launch
+    /// count. This computes the *identical* integer total by sorting
+    /// kernel starts and ends once and resolving each sync span `(ss,
+    /// se)` with four binary searches over prefix sums:
+    ///
+    /// ```text
+    /// Σ max(0, min(se, ke) − max(ss, ks))
+    ///   = [ Σ_{ke > ss} min(se, ke) − |{ks ≥ se}|·se ]
+    ///   − [ Σ_{ks < se} max(ss, ks) − |{ke ≤ ss}|·ss ]
+    /// ```
+    ///
+    /// Pairs with `ks ≥ se` contribute `min = se` to the left bracket
+    /// and pairs with `ke ≤ ss` contribute `max = ss` to the right, so
+    /// both non-overlapping families cancel exactly; every surviving
+    /// pair's term is its nonnegative overlap. Integer addition is
+    /// order-independent, so the result matches the pairwise sum bit
+    /// for bit.
     fn sync_kernel_overlap(&self) -> SimDuration {
-        let kernels: Vec<(SimTime, SimTime)> = self
-            .events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Kernel { .. }))
-            .map(|e| (e.start, e.end))
-            .collect();
-        let mut total = SimDuration::ZERO;
-        for e in &self.events {
-            if !matches!(e.kind, EventKind::Sync) {
-                continue;
-            }
-            for (ks, ke) in &kernels {
-                let start = e.start.max(*ks);
-                let end = e.end.min(*ke);
-                if end > start {
-                    total += end - start;
-                }
-            }
+        if self.sync_spans.is_empty() || self.kernel_spans.is_empty() {
+            return SimDuration::ZERO;
         }
-        total
+        let mut starts: Vec<u64> = self.kernel_spans.iter().map(|s| s.0.as_nanos()).collect();
+        let mut ends: Vec<u64> = self.kernel_spans.iter().map(|s| s.1.as_nanos()).collect();
+        starts.sort_unstable();
+        ends.sort_unstable();
+        fn prefix(v: &[u64]) -> Vec<u128> {
+            let mut p = Vec::with_capacity(v.len() + 1);
+            let mut acc = 0u128;
+            p.push(acc);
+            for &x in v {
+                acc += u128::from(x);
+                p.push(acc);
+            }
+            p
+        }
+        let pstarts = prefix(&starts);
+        let pends = prefix(&ends);
+        let n = starts.len();
+        let mut total = 0i128;
+        for &(ss, se) in &self.sync_spans {
+            let (ss, se) = (ss.as_nanos(), se.as_nanos());
+            if se <= ss {
+                continue; // zero-length sync overlaps nothing
+            }
+            // ends[..a] have ke ≤ ss; ends[a..b] lie in (ss, se).
+            let a = ends.partition_point(|&e| e <= ss);
+            let b = ends.partition_point(|&e| e < se);
+            // starts[..d] have ks ≤ ss; starts[..c] have ks < se.
+            let d = starts.partition_point(|&s| s <= ss);
+            let c = starts.partition_point(|&s| s < se);
+            let sum_min = (pends[b] - pends[a]) as i128 + (n - b) as i128 * se as i128
+                - (n - c) as i128 * se as i128;
+            let sum_max = (d as i128 - a as i128) * ss as i128 + (pstarts[c] - pstarts[d]) as i128;
+            total += sum_min - sum_max;
+        }
+        SimDuration::from_nanos(total as u64)
     }
 }
 
 impl FromIterator<TraceEvent> for Timeline {
     fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
-        Timeline {
-            events: iter.into_iter().collect(),
-        }
+        let mut tl = Timeline::new();
+        tl.extend(iter);
+        tl
     }
 }
 
 impl Extend<TraceEvent> for Timeline {
     fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
-        self.events.extend(iter);
+        let iter = iter.into_iter();
+        self.events.reserve(iter.size_hint().0);
+        for event in iter {
+            self.push(event);
+        }
     }
 }
 
@@ -628,6 +761,24 @@ mod tests {
         let lm = tl.launch_metrics();
         assert_eq!(lm.launches[0].kernel, KernelId(1));
         assert_eq!(lm.launches[1].kernel, KernelId(2));
+    }
+
+    #[test]
+    fn running_min_max_survive_out_of_order_pushes() {
+        // The arena maintains span bounds incrementally; pushing spans in
+        // descending, interleaved, and nested orders must always agree
+        // with a full scan of the stored events.
+        let spans = [(40u64, 45u64), (10, 90), (0, 5), (50, 55), (2, 3)];
+        let mut tl = Timeline::new();
+        for (i, &(s, e)) in spans.iter().enumerate() {
+            tl.push(TraceEvent::new(EventKind::Sync, t(s), t(e)));
+            let scan_min = tl.events().iter().map(|e| e.start).min().unwrap();
+            let scan_max = tl.events().iter().map(|e| e.end).max().unwrap();
+            assert_eq!(tl.end(), scan_max, "after push {i}");
+            assert_eq!(tl.span(), scan_max - scan_min, "after push {i}");
+        }
+        assert_eq!(tl.span(), SimDuration::micros(90));
+        assert_eq!(tl.end(), t(90));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use std::collections::HashMap;
 
 use hcc_trace::{
-    to_chrome_trace_full, to_chrome_trace_with_metrics, CausalEdge, CausalGraph, EdgeKind, EventId,
-    EventKind, Gauge, KernelId, MetricsSet, Timeline, TraceEvent,
+    CausalEdge, CausalGraph, ChromeExport, EdgeKind, EventId, EventKind, Gauge, KernelId,
+    MetricsSet, Timeline, TraceEvent,
 };
 use hcc_types::json::Json;
 use hcc_types::{ByteSize, CopyKind, HostMemKind, MemSpace, SimDuration, SimTime};
@@ -139,7 +139,7 @@ fn full_golden_path() -> std::path::PathBuf {
 #[test]
 fn export_matches_golden_file_byte_for_byte() {
     let (tl, set) = fixture();
-    let out = to_chrome_trace_with_metrics(&tl, Some(&set));
+    let out = ChromeExport::new().with_metrics(&set).render(&tl);
     let path = golden_path();
     if std::env::var_os("HCC_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -162,7 +162,10 @@ fn export_matches_golden_file_byte_for_byte() {
 fn full_export_matches_golden_file_byte_for_byte() {
     let (tl, set) = fixture();
     let causal = causal_fixture();
-    let out = to_chrome_trace_full(&tl, Some(&set), Some(&causal));
+    let out = ChromeExport::new()
+        .with_metrics(&set)
+        .with_causal(&causal)
+        .render(&tl);
     let path = full_golden_path();
     if std::env::var_os("HCC_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -190,7 +193,10 @@ fn full_export_combines_flows_and_counters_coherently() {
         causal.is_acyclic(),
         "fixture edges must respect event order"
     );
-    let out = to_chrome_trace_full(&tl, Some(&set), Some(&causal));
+    let out = ChromeExport::new()
+        .with_metrics(&set)
+        .with_causal(&causal)
+        .render(&tl);
     let doc = Json::parse(&out).expect("full export is well-formed JSON");
     let Json::Arr(events) = doc else {
         panic!("export root is not an array");
@@ -243,7 +249,7 @@ fn full_export_combines_flows_and_counters_coherently() {
     }
     // Counter tracks are unchanged by the causal overlay: stripping the
     // flow events gives back the metrics-only export exactly.
-    let metrics_only = to_chrome_trace_with_metrics(&tl, Some(&set));
+    let metrics_only = ChromeExport::new().with_metrics(&set).render(&tl);
     let flowless: Vec<&str> = out
         .lines()
         .filter(|l| !l.contains("\"cat\": \"causal\""))
@@ -262,7 +268,7 @@ fn full_export_combines_flows_and_counters_coherently() {
 #[test]
 fn export_round_trips_through_the_in_repo_parser() {
     let (tl, set) = fixture();
-    let out = to_chrome_trace_with_metrics(&tl, Some(&set));
+    let out = ChromeExport::new().with_metrics(&set).render(&tl);
     let doc = Json::parse(&out).expect("export is well-formed JSON");
     let Json::Arr(events) = doc else {
         panic!("export root is not an array");
@@ -317,7 +323,7 @@ fn export_round_trips_through_the_in_repo_parser() {
 #[test]
 fn track_assignment_is_stable_per_category() {
     let (tl, set) = fixture();
-    let out = to_chrome_trace_with_metrics(&tl, Some(&set));
+    let out = ChromeExport::new().with_metrics(&set).render(&tl);
     let Json::Arr(events) = Json::parse(&out).unwrap() else {
         unreachable!()
     };

@@ -87,6 +87,45 @@ impl Default for Fnv64 {
     }
 }
 
+/// [`std::hash::Hasher`] adapter over [`Fnv64`], so standard collections
+/// can use the stable FNV-1a mix instead of SipHash.
+///
+/// SipHash exists to resist hash-flooding from adversarial keys; the
+/// simulators hash their *own* small integer handles (stream ids, pointer
+/// values, correlation ids), where FNV's much shorter mix wins on the hot
+/// path and the DoS defence buys nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FnvHasher(Fnv64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+}
+
+/// `BuildHasher` producing [`FnvHasher`]s; the state is empty so every
+/// build is free and every process hashes identically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher::default()
+    }
+}
+
+/// `HashMap` keyed through the stable FNV-1a mix.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// `HashSet` keyed through the stable FNV-1a mix.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +178,28 @@ mod tests {
         let mut b = Fnv64::new();
         b.write_f64(1.0 + f64::EPSILON);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn std_collections_work_over_fnv() {
+        let mut map: FnvHashMap<u64, &str> = FnvHashMap::default();
+        map.insert(1, "one");
+        map.insert(0x1000, "addr");
+        assert_eq!(map.get(&1), Some(&"one"));
+        assert_eq!(map.len(), 2);
+
+        let mut set: FnvHashSet<u64> = FnvHashSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+    }
+
+    #[test]
+    fn fnv_hasher_matches_fnv64_digest() {
+        use std::hash::Hasher as _;
+        let mut h = FnvHasher::default();
+        h.write(b"foobar");
+        let mut reference = Fnv64::new();
+        reference.write(b"foobar");
+        assert_eq!(h.finish(), reference.finish());
     }
 }

@@ -26,12 +26,14 @@ pub mod fault;
 pub mod hash;
 pub mod json;
 pub mod mode;
+pub mod planes;
 pub mod rng;
 mod size;
 mod time;
 
 pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultSite, Recovery, RecoveryPolicy};
 pub use mode::{CcMode, CopyKind, CpuModel, HostMemKind, MemSpace};
+pub use planes::Planes;
 pub use size::{Bandwidth, ByteSize};
 pub use time::{SimDuration, SimTime};
 

@@ -209,17 +209,18 @@ impl UvmDriver {
         first: u64,
         count: u64,
     ) -> Result<FaultService, UvmError> {
-        let faulting = gmmu.scan_faults(id, first, count)?;
-        if faulting.is_empty() {
+        // One bitmap pass counts the host-resident pages and flips them
+        // device-resident; only the count feeds the batching below.
+        let total = gmmu.claim_faults(id, first, count)?;
+        if total == 0 {
             return Ok(FaultService::empty());
         }
         let page_size = gmmu.page_size(id)?;
-        self.stats.faults += faulting.len() as u64;
+        self.stats.faults += total;
 
         // Split the faulting pages into demand batches and, when the
         // prefetcher is on and the access is dense (sequential-ish), a
         // prefetched remainder that skips the fault round trip.
-        let total = faulting.len() as u64;
         let dense = count > 0 && (total * 10) >= (count * 9); // ≥90 % of scan faulted
         let prefetched_pages = if self.calib.prefetch && dense {
             ((total as f64) * self.calib.prefetch_hit) as u64
@@ -258,7 +259,6 @@ impl UvmDriver {
             self.stats.prefetch_batches += 1;
         }
 
-        gmmu.mark_device(id, &faulting)?;
         let bytes = page_size * total;
         self.stats.pages_migrated += total;
         self.stats.bytes_migrated += bytes;

@@ -1,8 +1,6 @@
 //! Executes a [`WorkloadSpec`] against a fresh [`CudaContext`] and
 //! collects the trace plus substrate statistics.
 
-use std::collections::HashMap;
-
 use hcc_runtime::{
     CudaContext, DevicePtr, HostPtr, KernelDesc, ManagedAccess, ManagedPtr, RuntimeError, SimConfig,
 };
@@ -114,6 +112,33 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunResult, RunError> {
     }
 }
 
+/// Handle bindings per spec slot. Slot numbers in suite programs are
+/// small dense integers, so a grow-on-demand `Vec<Option<T>>` replaces a
+/// `HashMap<usize, T>` on the per-op hot path.
+#[derive(Debug)]
+struct SlotMap<T>(Vec<Option<T>>);
+
+impl<T: Copy> SlotMap<T> {
+    fn new() -> Self {
+        SlotMap(Vec::new())
+    }
+
+    fn insert(&mut self, slot: usize, value: T) {
+        if slot >= self.0.len() {
+            self.0.resize_with(slot + 1, || None);
+        }
+        self.0[slot] = Some(value);
+    }
+
+    fn get(&self, slot: usize) -> Option<T> {
+        self.0.get(slot).copied().flatten()
+    }
+
+    fn remove(&mut self, slot: usize) -> Option<T> {
+        self.0.get_mut(slot).and_then(Option::take)
+    }
+}
+
 /// Runs `spec` under `cfg` to completion (a trailing sync is added if the
 /// program does not end with one). This is the thin spec-level shim under
 /// [`run_scenario`]; prefer building a [`Scenario`] so results can be
@@ -123,10 +148,27 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunResult, RunError> {
 /// Returns [`RunError`] on malformed programs or runtime failures.
 pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
     let mut ctx = CudaContext::new(cfg);
+    // Size the trace arena up front: kernels emit up to three events
+    // (launch, kernel, sync), transfers up to five (hypercall, bounce,
+    // crypto, memcpy, sync), everything else one. Purely a capacity
+    // hint — over- or under-shooting changes nothing observable.
+    let mut events_hint = 0usize;
+    let mut launches_hint = 0usize;
+    for op in &spec.ops {
+        match op {
+            Op::Launch { repeat, .. } => {
+                events_hint += 3 * *repeat as usize;
+                launches_hint += *repeat as usize;
+            }
+            Op::H2D { .. } | Op::D2H { .. } | Op::D2D { .. } => events_hint += 5,
+            _ => events_hint += 1,
+        }
+    }
+    ctx.reserve_events(events_hint, launches_hint);
     let stream = ctx.default_stream();
-    let mut dev: HashMap<usize, DevicePtr> = HashMap::new();
-    let mut host: HashMap<usize, HostPtr> = HashMap::new();
-    let mut managed: HashMap<usize, ManagedPtr> = HashMap::new();
+    let mut dev: SlotMap<DevicePtr> = SlotMap::new();
+    let mut host: SlotMap<HostPtr> = SlotMap::new();
+    let mut managed: SlotMap<ManagedPtr> = SlotMap::new();
 
     for (i, op) in spec.ops.iter().enumerate() {
         match op {
@@ -140,33 +182,33 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
                 managed.insert(*slot, ctx.malloc_managed(*size)?);
             }
             Op::H2D { dst, src, bytes } => {
-                let d = *dev.get(dst).ok_or(RunError::UnboundSlot {
+                let d = dev.get(*dst).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "device",
                 })?;
-                let h = *host.get(src).ok_or(RunError::UnboundSlot {
+                let h = host.get(*src).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "host",
                 })?;
                 ctx.memcpy_h2d(d, h, *bytes)?;
             }
             Op::D2H { dst, src, bytes } => {
-                let h = *host.get(dst).ok_or(RunError::UnboundSlot {
+                let h = host.get(*dst).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "host",
                 })?;
-                let d = *dev.get(src).ok_or(RunError::UnboundSlot {
+                let d = dev.get(*src).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "device",
                 })?;
                 ctx.memcpy_d2h(h, d, *bytes)?;
             }
             Op::D2D { dst, src, bytes } => {
-                let d1 = *dev.get(dst).ok_or(RunError::UnboundSlot {
+                let d1 = dev.get(*dst).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "device",
                 })?;
-                let d2 = *dev.get(src).ok_or(RunError::UnboundSlot {
+                let d2 = dev.get(*src).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "device",
                 })?;
@@ -180,7 +222,7 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
             } => {
                 let mut desc = KernelDesc::new(KernelId(*kernel), *ket);
                 for s in slots {
-                    let m = *managed.get(s).ok_or(RunError::UnboundSlot {
+                    let m = managed.get(*s).ok_or(RunError::UnboundSlot {
                         op_index: i,
                         what: "managed",
                     })?;
@@ -194,21 +236,21 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
                 ctx.synchronize();
             }
             Op::FreeDevice { slot } => {
-                let d = dev.remove(slot).ok_or(RunError::UnboundSlot {
+                let d = dev.remove(*slot).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "device",
                 })?;
                 ctx.free_device(d)?;
             }
             Op::FreeHost { slot } => {
-                let h = host.remove(slot).ok_or(RunError::UnboundSlot {
+                let h = host.remove(*slot).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "host",
                 })?;
                 ctx.free_host(h)?;
             }
             Op::FreeManaged { slot } => {
-                let m = managed.remove(slot).ok_or(RunError::UnboundSlot {
+                let m = managed.remove(*slot).ok_or(RunError::UnboundSlot {
                     op_index: i,
                     what: "managed",
                 })?;

@@ -208,3 +208,12 @@ if [ -z "$hit_rate" ] || [ "$hit_rate" -eq 0 ]; then
 fi
 
 echo "tier-2: OK (serving: $rps req/s wall-clock, ${hit_rate}% shape-cache hits)"
+
+# Tier-2 hot-path wall-clock gate: full-suite scenarios/sec must stay
+# within the 30% regression budget of the committed BENCH_hotpaths.json
+# baseline. The binary exits nonzero on a breach; after an intentional
+# perf change, re-bless with HCC_BLESS=1 ./target/release/hotpaths.
+echo "==> tier-2: hot-path throughput gate (BENCH_hotpaths.json)"
+./target/release/hotpaths
+
+echo "tier-2: OK (hot-path throughput within gate)"

@@ -14,7 +14,7 @@
 
 use hcc_bench::engine::ExperimentEngine;
 use hcc_bench::figures;
-use hcc_trace::to_chrome_trace_with_metrics;
+use hcc_trace::ChromeExport;
 use hcc_types::{CcMode, SimDuration};
 use hcc_workloads::{runner, suites, Scenario};
 
@@ -121,7 +121,7 @@ fn chrome_export_carries_counter_tracks_for_every_layer() {
     let spec = suites::by_name("kmeans-uvm").expect("suite app");
     let run = runner::run(&spec, figures::cfg(CcMode::On).with_metrics(true)).unwrap();
     let set = run.metrics.as_ref().unwrap();
-    let trace = to_chrome_trace_with_metrics(&run.timeline, Some(set));
+    let trace = ChromeExport::new().with_metrics(set).render(&run.timeline);
     for track in [
         "gpu.compute.queue",
         "gpu.copy-h2d.queue",
