@@ -29,13 +29,15 @@ fn main() {
         match a.as_str() {
             "--plan" => {
                 plan_spec = args.next().unwrap_or_else(|| {
-                    eprintln!("--plan requires a spec argument");
+                    eprintln!("fault_sweep: --plan: missing value");
                     std::process::exit(2);
                 });
             }
             "--panic-smoke" => panic_smoke = true,
             other => {
-                eprintln!("unknown argument {other:?} (expected --plan <spec> | --panic-smoke)");
+                eprintln!(
+                    "fault_sweep: unknown argument {other:?} (expected --plan <spec> | --panic-smoke)"
+                );
                 std::process::exit(2);
             }
         }
@@ -47,7 +49,7 @@ fn main() {
     }
 
     let plan = FaultPlan::parse(&plan_spec).unwrap_or_else(|e| {
-        eprintln!("{e}");
+        eprintln!("fault_sweep: --plan: {e}");
         std::process::exit(2);
     });
     sweep(plan);

@@ -24,18 +24,24 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// One-line diagnostic naming the flag and the offending value, then the
+/// usage line and a nonzero exit.
+fn bad(flag: &str, detail: &str) -> ! {
+    eprintln!("serve: {flag}: {detail}");
+    usage()
+}
+
 fn parse_u64(flag: &str, value: Option<String>) -> u64 {
-    let Some(raw) = value else { usage() };
+    let Some(raw) = value else {
+        bad(flag, "missing value")
+    };
     let raw = raw.trim();
     let parsed = if let Some(hex) = raw.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).ok()
     } else {
         raw.parse().ok()
     };
-    parsed.unwrap_or_else(|| {
-        eprintln!("{flag}: cannot parse {raw:?}");
-        usage()
-    })
+    parsed.unwrap_or_else(|| bad(flag, &format!("cannot parse {raw:?} as an integer")))
 }
 
 fn main() {
@@ -56,28 +62,38 @@ fn main() {
             "--tenants" => tenant_count = parse_u64(&arg, args.next()).max(1) as usize,
             "--seed" => cfg.seed = parse_u64(&arg, args.next()),
             "--max-batch" => cfg.max_batch = parse_u64(&arg, args.next()).max(1) as usize,
-            "--util" => {
-                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
-                    usage()
-                };
-                cfg.target_util = v.clamp(0.05, 0.95);
-            }
-            "--arrival" => {
-                let Some(kind) = args.next().as_deref().and_then(ArrivalKind::parse) else {
-                    usage()
-                };
-                cfg.arrival = kind;
-            }
-            "--scheduler" => match args.next().as_deref() {
-                Some("all") => cfg.schedulers = SchedulerKind::ALL.to_vec(),
-                Some(name) => match SchedulerKind::parse(name) {
-                    Some(kind) => cfg.schedulers = vec![kind],
-                    None => usage(),
+            "--util" => match args.next() {
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(v) => cfg.target_util = v.clamp(0.05, 0.95),
+                    Err(_) => bad(&arg, &format!("cannot parse {raw:?} as a fraction")),
                 },
-                None => usage(),
+                None => bad(&arg, "missing value"),
+            },
+            "--arrival" => match args.next() {
+                Some(raw) => match ArrivalKind::parse(&raw) {
+                    Some(kind) => cfg.arrival = kind,
+                    None => bad(
+                        &arg,
+                        &format!(
+                            "unknown arrival process {raw:?} (expected poisson|bursty|diurnal)"
+                        ),
+                    ),
+                },
+                None => bad(&arg, "missing value"),
+            },
+            "--scheduler" => match args.next() {
+                Some(raw) if raw == "all" => cfg.schedulers = SchedulerKind::ALL.to_vec(),
+                Some(raw) => match SchedulerKind::parse(&raw) {
+                    Some(kind) => cfg.schedulers = vec![kind],
+                    None => bad(
+                        &arg,
+                        &format!("unknown scheduler {raw:?} (expected fifo|priority|batching|all)"),
+                    ),
+                },
+                None => bad(&arg, "missing value"),
             },
             "--json" => json_path = args.next(),
-            _ => usage(),
+            _ => bad(&arg, "unknown flag"),
         }
     }
     cfg.tenants = hcc_workloads::default_tenants(tenant_count);

@@ -1,0 +1,681 @@
+//! Aggregation, verdicts, and rendering for chaos-lab runs.
+//!
+//! A [`ChaosReport`] holds one [`ProfileReport`] per storm profile, each
+//! with one [`PolicyCell`] per recovery policy run head-to-head over the
+//! *identical* arrival trace and storm calendar. Every figure is measured
+//! on the virtual clock, so the rendered text is byte-identical across
+//! engine thread counts; the trailer states the invariants CI greps for
+//! (latency identity, request and fault conservation, session ledger,
+//! gauge drain, leak audit) plus the PASS/FAIL verdict totals.
+
+use hcc_runtime::LeakAudit;
+use hcc_types::json::{Json, ToJson};
+use hcc_types::{
+    FaultCounts, LatencyBudget, RecoveryPolicy, SimDuration, SimTime, StormIntensity, StormProfile,
+};
+
+use crate::serving::report::ModeRun;
+use crate::serving::{ArrivalKind, SchedulerKind};
+
+/// Request-level fault accounting for one cell. Every request replays its
+/// memoized shape simulation, so the shape's deterministic outcome *is*
+/// the request's outcome: a request is `rejected` when its shape aborted,
+/// `degraded`/`recovered` when its shape survived faults that way, and
+/// `clean` when its shape saw no injection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLedger {
+    /// Requests whose shape saw no injected fault.
+    pub clean: u64,
+    /// Requests whose shape survived by retrying.
+    pub recovered: u64,
+    /// Requests whose shape survived by degrading staging granularity.
+    pub degraded: u64,
+    /// Requests whose shape aborted (rejected at dispatch).
+    pub rejected: u64,
+}
+
+impl FaultLedger {
+    /// Requests that encountered an injected fault.
+    #[must_use]
+    pub fn faulty(&self) -> u64 {
+        self.recovered + self.degraded + self.rejected
+    }
+
+    /// All requests accounted for.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.clean + self.faulty()
+    }
+}
+
+/// Post-storm drain measurements: for each peak window's end, how long
+/// until the cluster queue returned to zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeToRecover {
+    /// Peak windows in the storm calendar.
+    pub peaks: usize,
+    /// Peaks after which the queue demonstrably drained to zero.
+    pub drained: usize,
+    /// Mean drain time over drained peaks.
+    pub mean: SimDuration,
+    /// Worst drain time over drained peaks.
+    pub max: SimDuration,
+}
+
+/// One tenant's SLO verdict inside one cell.
+#[derive(Debug, Clone)]
+pub struct TenantVerdict {
+    /// Tenant label.
+    pub name: String,
+    /// The budget judged against.
+    pub budget: LatencyBudget,
+    /// Completed requests.
+    pub completed: u64,
+    /// Rejected requests.
+    pub rejected: u64,
+    /// Measured p99 end-to-end latency (completed requests).
+    pub p99: SimDuration,
+    /// Measured p999 end-to-end latency.
+    pub p999: SimDuration,
+    /// Measured rejections in parts per million of the tenant's total.
+    pub reject_ppm: u64,
+}
+
+impl TenantVerdict {
+    /// p99 within budget.
+    #[must_use]
+    pub fn p99_ok(&self) -> bool {
+        self.p99 <= self.budget.p99
+    }
+
+    /// p999 within budget.
+    #[must_use]
+    pub fn p999_ok(&self) -> bool {
+        self.p999 <= self.budget.p999
+    }
+
+    /// Rejection rate within budget.
+    #[must_use]
+    pub fn reject_ok(&self) -> bool {
+        self.reject_ppm <= self.budget.max_reject_ppm
+    }
+
+    /// The overall verdict: every budget clause holds.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.p99_ok() && self.p999_ok() && self.reject_ok()
+    }
+
+    /// `PASS`, or `FAIL(<clauses>)` naming each violated clause.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.pass() {
+            return "PASS".to_string();
+        }
+        let mut broken = Vec::new();
+        if !self.p99_ok() {
+            broken.push("p99");
+        }
+        if !self.p999_ok() {
+            broken.push("p999");
+        }
+        if !self.reject_ok() {
+            broken.push("rej");
+        }
+        format!("FAIL({})", broken.join("+"))
+    }
+}
+
+/// One (storm profile, recovery policy) cell: the cluster run plus its
+/// fault ledger, leak audit, drain measurements, and per-tenant verdicts.
+#[derive(Debug)]
+pub struct PolicyCell {
+    /// The recovery policy under test.
+    pub policy: RecoveryPolicy,
+    /// The cluster run (per-tenant latency/wait CDFs, utilization,
+    /// gauges) over the shared trace.
+    pub mode: ModeRun,
+    /// Request-level fault accounting.
+    pub ledger: FaultLedger,
+    /// Simulation-level fault counters summed over the cell's distinct
+    /// surviving shapes (aborted shapes carry no counters out).
+    pub sim_faults: FaultCounts,
+    /// Aggregated conservation snapshot over every surviving shape.
+    pub audit: LeakAudit,
+    /// Distinct shape simulations backing the cell (incl. calm shapes).
+    pub shapes: usize,
+    /// Shape simulations that aborted (their requests are rejected).
+    pub aborted_shapes: usize,
+    /// Largest single-shape trace-event count (arena-growth bound input).
+    pub max_shape_events: usize,
+    /// Sessions attested across every device pool.
+    pub sessions_established: u64,
+    /// Sessions torn down by the end-of-run drain.
+    pub sessions_closed: u64,
+    /// Post-peak queue-drain measurements.
+    pub ttr: TimeToRecover,
+    /// Per-tenant SLO verdicts, in population order.
+    pub verdicts: Vec<TenantVerdict>,
+    /// Leak-audit and bounded-growth violations (empty = healthy).
+    pub violations: Vec<String>,
+}
+
+impl PolicyCell {
+    /// Passing tenant verdicts.
+    #[must_use]
+    pub fn passes(&self) -> u64 {
+        self.verdicts.iter().filter(|v| v.pass()).count() as u64
+    }
+
+    /// Failing tenant verdicts.
+    #[must_use]
+    pub fn fails(&self) -> u64 {
+        self.verdicts.len() as u64 - self.passes()
+    }
+
+    /// Exact per-tenant latency identity: `latency == wait + service`,
+    /// summed over completed requests, to the nanosecond.
+    #[must_use]
+    pub fn latency_identity(&self) -> bool {
+        self.mode
+            .tenants
+            .iter()
+            .all(|t| t.latency_total == t.wait_total + t.service_total)
+    }
+
+    /// Request conservation: admitted == completed + rejected.
+    #[must_use]
+    pub fn conserved(&self, admitted: u64) -> bool {
+        self.mode.completed() + self.mode.rejected() == admitted
+    }
+
+    /// Fault-ledger conservation: the clean/recovered/degraded/rejected
+    /// partition covers every admitted request exactly once, and the
+    /// ledger's rejection count matches the cluster's.
+    #[must_use]
+    pub fn fault_conserved(&self, admitted: u64) -> bool {
+        self.ledger.total() == admitted && self.ledger.rejected == self.mode.rejected()
+    }
+
+    /// Session ledger: every attested session closed exactly once, and
+    /// each cold-start admission attested exactly one session.
+    #[must_use]
+    pub fn sessions_ok(&self) -> bool {
+        self.sessions_established == self.sessions_closed
+            && self.sessions_established == self.mode.cold_starts
+    }
+
+    /// Every queue/occupancy gauge drained back to zero.
+    #[must_use]
+    pub fn gauges_drained(&self) -> bool {
+        let queue_ok = self
+            .mode
+            .metrics
+            .gauge_series("serving.queue_depth")
+            .is_none_or(|s| s.final_value() == 0);
+        let gpus_ok = (0..self.mode.gpus).all(|g| {
+            self.mode
+                .metrics
+                .gauge_series(&format!("serving.gpu{g}.depth"))
+                .is_none_or(|s| s.final_value() == 0)
+        });
+        queue_ok && gpus_ok
+    }
+
+    /// No leak-audit violations and all structural identities hold.
+    #[must_use]
+    pub fn healthy(&self, admitted: u64) -> bool {
+        self.violations.is_empty()
+            && self.latency_identity()
+            && self.conserved(admitted)
+            && self.fault_conserved(admitted)
+            && self.sessions_ok()
+            && self.gauges_drained()
+    }
+}
+
+/// One storm profile's calendar plus its per-policy cells.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// The storm under test.
+    pub profile: StormProfile,
+    /// Fingerprint of the generated calendar (seed-replayable).
+    pub schedule_fingerprint: u64,
+    /// Virtual time spent at each intensity, by [`StormIntensity::index`].
+    pub coverage: [SimDuration; StormIntensity::COUNT],
+    /// Requests arriving inside each intensity, by index.
+    pub arrivals: [u64; StormIntensity::COUNT],
+    /// One cell per recovery policy, in configuration order.
+    pub cells: Vec<PolicyCell>,
+}
+
+/// The complete chaos-lab run: every profile, every policy, one shared
+/// arrival trace.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Master seed (storm calendars, plan seeds, and arrivals derive from
+    /// it).
+    pub seed: u64,
+    /// Virtual days soaked (one day = the 60 s compressed diurnal
+    /// period).
+    pub days: u64,
+    /// The storm-calendar horizon (`days` × 60 s).
+    pub horizon: SimDuration,
+    /// Requests in the shared trace (each cell replays all of them).
+    pub requests_per_cell: u64,
+    /// Cluster width.
+    pub gpus: usize,
+    /// Arrival process.
+    pub arrival: ArrivalKind,
+    /// Scheduler used by every cell.
+    pub scheduler: SchedulerKind,
+    /// Storm episodes per calendar.
+    pub episodes: u32,
+    /// Decorrelated fault-plan replicas per (profile, intensity).
+    pub replicas: u32,
+    /// Tenant labels, in population order.
+    pub tenant_names: Vec<String>,
+    /// Per-tenant budgets, aligned with `tenant_names`.
+    pub budgets: Vec<LatencyBudget>,
+    /// One report per storm profile.
+    pub profiles: Vec<ProfileReport>,
+}
+
+impl ChaosReport {
+    /// Every cell across every profile.
+    pub fn cells(&self) -> impl Iterator<Item = &PolicyCell> {
+        self.profiles.iter().flat_map(|p| p.cells.iter())
+    }
+
+    /// Requests pushed through the whole run (trace length × cells).
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.requests_per_cell * self.cells().count() as u64
+    }
+
+    /// No cell recorded a leak-audit or bounded-growth violation.
+    #[must_use]
+    pub fn leak_free(&self) -> bool {
+        self.cells().all(|c| c.violations.is_empty())
+    }
+
+    /// `latency == wait + service` exactly, for every tenant in every
+    /// cell.
+    #[must_use]
+    pub fn latency_identity(&self) -> bool {
+        self.cells().all(PolicyCell::latency_identity)
+    }
+
+    /// Request conservation in every cell.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.cells().all(|c| c.conserved(self.requests_per_cell))
+    }
+
+    /// Fault-ledger conservation in every cell.
+    #[must_use]
+    pub fn fault_conserved(&self) -> bool {
+        self.cells()
+            .all(|c| c.fault_conserved(self.requests_per_cell))
+    }
+
+    /// Session ledger balanced in every cell.
+    #[must_use]
+    pub fn sessions_ok(&self) -> bool {
+        self.cells().all(PolicyCell::sessions_ok)
+    }
+
+    /// Every gauge in every cell drained to zero.
+    #[must_use]
+    pub fn gauges_drained(&self) -> bool {
+        self.cells().all(PolicyCell::gauges_drained)
+    }
+
+    /// `(pass, fail)` verdict totals across every cell.
+    #[must_use]
+    pub fn verdict_counts(&self) -> (u64, u64) {
+        self.cells()
+            .fold((0, 0), |(p, f), c| (p + c.passes(), f + c.fails()))
+    }
+
+    /// The run is structurally sound: leak-free with every conservation
+    /// and latency identity holding. Budget FAIL verdicts are expected
+    /// data (that is what the lab measures) and do *not* make a run
+    /// unhealthy.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.cells().all(|c| c.healthy(self.requests_per_cell))
+    }
+
+    /// First recorded violation, for error reporting.
+    #[must_use]
+    pub fn first_violation(&self) -> Option<&str> {
+        self.cells()
+            .flat_map(|c| c.violations.iter())
+            .next()
+            .map(String::as_str)
+    }
+
+    /// Renders the full text report (virtual-time figures only).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== chaos lab: seeded fault storms, soak run ===");
+        let _ = writeln!(
+            out,
+            "seed {:#x} | days {} | horizon {} | requests/cell {} | cells {} | total {}",
+            self.seed,
+            self.days,
+            self.horizon,
+            self.requests_per_cell,
+            self.cells().count(),
+            self.total_requests(),
+        );
+        let _ = writeln!(
+            out,
+            "gpus {} | arrival {} | scheduler {} | episodes {} | replicas {}",
+            self.gpus, self.arrival, self.scheduler, self.episodes, self.replicas,
+        );
+        for (name, budget) in self.tenant_names.iter().zip(&self.budgets) {
+            let _ = writeln!(out, "budget {name:<10} {budget}");
+        }
+
+        for profile in &self.profiles {
+            let _ = writeln!(
+                out,
+                "\n=== storm: {} (calendar {:#x}) ===",
+                profile.profile, profile.schedule_fingerprint
+            );
+            let horizon_ns = self.horizon.as_nanos().max(1);
+            let pct = |d: SimDuration| (d.as_nanos() as f64 / horizon_ns as f64 * 100.0).round();
+            let _ = writeln!(
+                out,
+                "calendar: calm {:.0}% rising {:.0}% peak {:.0}% | arrivals calm {} rising {} peak {}",
+                pct(profile.coverage[0]),
+                pct(profile.coverage[1]),
+                pct(profile.coverage[2]),
+                profile.arrivals[0],
+                profile.arrivals[1],
+                profile.arrivals[2],
+            );
+            for cell in &profile.cells {
+                let _ = writeln!(out, "\n--- policy: {} ---", cell.policy);
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>6} {:>10} {:>10} {:>8}  {}",
+                    "tenant", "n", "rej", "p99", "p999", "rej-ppm", "verdict"
+                );
+                for v in &cell.verdicts {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>8} {:>6} {:>10} {:>10} {:>8}  {}",
+                        v.name,
+                        v.completed,
+                        v.rejected,
+                        v.p99.to_string(),
+                        v.p999.to_string(),
+                        v.reject_ppm,
+                        v.label(),
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "cell: util {:>3.0}% | makespan {} | batches {} | cold {} | sessions {}/{}",
+                    cell.mode.utilization() * 100.0,
+                    cell.mode.end.saturating_since(SimTime::ZERO),
+                    cell.mode.batches,
+                    cell.mode.cold_starts,
+                    cell.sessions_established,
+                    cell.sessions_closed,
+                );
+                let _ = writeln!(
+                    out,
+                    "faults: injected {} retries {} recovered {} degraded {} aborted {} \
+                     | requests clean {} recovered {} degraded {} rejected {}",
+                    cell.sim_faults.injected,
+                    cell.sim_faults.retries,
+                    cell.sim_faults.recovered,
+                    cell.sim_faults.degraded,
+                    cell.sim_faults.aborted,
+                    cell.ledger.clean,
+                    cell.ledger.recovered,
+                    cell.ledger.degraded,
+                    cell.ledger.rejected,
+                );
+                let _ = writeln!(
+                    out,
+                    "recover: peaks {} drained {} | ttr mean {} max {}",
+                    cell.ttr.peaks, cell.ttr.drained, cell.ttr.mean, cell.ttr.max,
+                );
+                let _ = writeln!(
+                    out,
+                    "audit: shapes {} ({} aborted) | events {} | max shape events {} | {}",
+                    cell.shapes,
+                    cell.aborted_shapes,
+                    cell.audit.events,
+                    cell.max_shape_events,
+                    if cell.violations.is_empty() {
+                        "leak none".to_string()
+                    } else {
+                        format!("LEAK {}", cell.violations.join("; "))
+                    },
+                );
+            }
+        }
+
+        let _ = writeln!(out, "\n=== policy verdicts ===");
+        for profile in &self.profiles {
+            for cell in &profile.cells {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:<8} {} PASS, {} FAIL",
+                    profile.profile.name,
+                    cell.policy.to_string(),
+                    cell.passes(),
+                    cell.fails(),
+                );
+            }
+        }
+
+        let (pass, fail) = self.verdict_counts();
+        let _ = writeln!(
+            out,
+            "\nlatency identity: latency == wait + service (all tenants, all cells): {}",
+            self.latency_identity()
+        );
+        let _ = writeln!(
+            out,
+            "conservation: admitted == completed + rejected (all cells): {}",
+            self.conserved()
+        );
+        let _ = writeln!(
+            out,
+            "conservation: clean + recovered + degraded + rejected == admitted (all cells): {}",
+            self.fault_conserved()
+        );
+        let _ = writeln!(
+            out,
+            "sessions: established == closed == cold-starts (all cells): {}",
+            self.sessions_ok()
+        );
+        let _ = writeln!(
+            out,
+            "gauges: queue and device depth drained to zero (all cells): {}",
+            self.gauges_drained()
+        );
+        let _ = writeln!(
+            out,
+            "leaks: {}",
+            if self.leak_free() { "none" } else { "DETECTED" }
+        );
+        let _ = writeln!(out, "verdicts: {pass} PASS, {fail} FAIL");
+        out
+    }
+}
+
+impl ToJson for TenantVerdict {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tenant".to_string(), Json::Str(self.name.clone())),
+            ("completed".to_string(), Json::U64(self.completed)),
+            ("rejected".to_string(), Json::U64(self.rejected)),
+            ("p99_ns".to_string(), Json::U64(self.p99.as_nanos())),
+            ("p999_ns".to_string(), Json::U64(self.p999.as_nanos())),
+            ("reject_ppm".to_string(), Json::U64(self.reject_ppm)),
+            (
+                "budget_p99_ns".to_string(),
+                Json::U64(self.budget.p99.as_nanos()),
+            ),
+            (
+                "budget_p999_ns".to_string(),
+                Json::U64(self.budget.p999.as_nanos()),
+            ),
+            (
+                "budget_reject_ppm".to_string(),
+                Json::U64(self.budget.max_reject_ppm),
+            ),
+            ("pass".to_string(), Json::Bool(self.pass())),
+        ])
+    }
+}
+
+impl ToJson for PolicyCell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "policy".to_string(),
+                Json::Str(self.policy.name().to_string()),
+            ),
+            (
+                "makespan_ns".to_string(),
+                Json::U64(self.mode.end.saturating_since(SimTime::ZERO).as_nanos()),
+            ),
+            (
+                "utilization_pct".to_string(),
+                Json::U64((self.mode.utilization() * 100.0).round() as u64),
+            ),
+            ("completed".to_string(), Json::U64(self.mode.completed())),
+            ("rejected".to_string(), Json::U64(self.mode.rejected())),
+            (
+                "requests_recovered".to_string(),
+                Json::U64(self.ledger.recovered),
+            ),
+            (
+                "requests_degraded".to_string(),
+                Json::U64(self.ledger.degraded),
+            ),
+            (
+                "faults_injected".to_string(),
+                Json::U64(self.sim_faults.injected),
+            ),
+            ("shapes".to_string(), Json::U64(self.shapes as u64)),
+            (
+                "aborted_shapes".to_string(),
+                Json::U64(self.aborted_shapes as u64),
+            ),
+            ("ttr_peaks".to_string(), Json::U64(self.ttr.peaks as u64)),
+            (
+                "ttr_drained".to_string(),
+                Json::U64(self.ttr.drained as u64),
+            ),
+            (
+                "ttr_mean_ns".to_string(),
+                Json::U64(self.ttr.mean.as_nanos()),
+            ),
+            ("ttr_max_ns".to_string(), Json::U64(self.ttr.max.as_nanos())),
+            ("passes".to_string(), Json::U64(self.passes())),
+            ("fails".to_string(), Json::U64(self.fails())),
+            (
+                "violations".to_string(),
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "verdicts".to_string(),
+                Json::Arr(self.verdicts.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for ProfileReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "profile".to_string(),
+                Json::Str(self.profile.name.to_string()),
+            ),
+            (
+                "calendar_fingerprint".to_string(),
+                Json::U64(self.schedule_fingerprint),
+            ),
+            (
+                "coverage_ns".to_string(),
+                Json::Arr(
+                    self.coverage
+                        .iter()
+                        .map(|d| Json::U64(d.as_nanos()))
+                        .collect(),
+                ),
+            ),
+            (
+                "arrivals".to_string(),
+                Json::Arr(self.arrivals.iter().map(|&n| Json::U64(n)).collect()),
+            ),
+            (
+                "cells".to_string(),
+                Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for ChaosReport {
+    fn to_json(&self) -> Json {
+        let (pass, fail) = self.verdict_counts();
+        Json::Obj(vec![
+            ("seed".to_string(), Json::U64(self.seed)),
+            ("days".to_string(), Json::U64(self.days)),
+            ("horizon_ns".to_string(), Json::U64(self.horizon.as_nanos())),
+            (
+                "requests_per_cell".to_string(),
+                Json::U64(self.requests_per_cell),
+            ),
+            (
+                "total_requests".to_string(),
+                Json::U64(self.total_requests()),
+            ),
+            ("gpus".to_string(), Json::U64(self.gpus as u64)),
+            ("arrival".to_string(), Json::Str(self.arrival.to_string())),
+            (
+                "scheduler".to_string(),
+                Json::Str(self.scheduler.to_string()),
+            ),
+            ("episodes".to_string(), Json::U64(u64::from(self.episodes))),
+            ("replicas".to_string(), Json::U64(u64::from(self.replicas))),
+            (
+                "latency_identity".to_string(),
+                Json::Bool(self.latency_identity()),
+            ),
+            ("conserved".to_string(), Json::Bool(self.conserved())),
+            ("sessions_ok".to_string(), Json::Bool(self.sessions_ok())),
+            (
+                "gauges_drained".to_string(),
+                Json::Bool(self.gauges_drained()),
+            ),
+            ("leak_free".to_string(), Json::Bool(self.leak_free())),
+            ("healthy".to_string(), Json::Bool(self.healthy())),
+            ("verdict_pass".to_string(), Json::U64(pass)),
+            ("verdict_fail".to_string(), Json::U64(fail)),
+            (
+                "profiles".to_string(),
+                Json::Arr(self.profiles.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}

@@ -17,6 +17,7 @@
 //! so each distinct (app, mode, seed, calibration) combination simulates
 //! exactly once per process no matter how many figures ask for it.
 
+pub mod chaos;
 pub mod engine;
 pub mod explain;
 pub mod figures;

@@ -60,6 +60,13 @@ pub struct ClusterRun {
     pub batches: u64,
     /// Cold-start admissions (first request of a tenant on a device).
     pub cold_starts: u64,
+    /// Sessions established across every device pool (equals
+    /// `cold_starts`: each cold admission attests exactly one session).
+    pub sessions_established: u64,
+    /// Sessions torn down by the end-of-run drain. Leak-audit identity:
+    /// equals `sessions_established`, and no pool reports an established
+    /// session afterwards.
+    pub sessions_closed: u64,
     /// TD transition counters summed over every (device, tenant) context.
     pub td: TdCounters,
     /// Queue-depth and per-GPU occupancy gauges.
@@ -192,12 +199,19 @@ pub fn simulate(
     debug_assert!(settled.iter().all(|&s| s), "every request settles once");
 
     let mut td = TdCounters::default();
-    for pool in &pools {
+    let mut sessions_established = 0u64;
+    let mut sessions_closed = 0u64;
+    for pool in &mut pools {
         let c = pool.counters();
         td.hypercalls += c.hypercalls;
         td.seamcalls += c.seamcalls;
         td.pages_converted += c.pages_converted;
         td.transition_time += c.transition_time;
+        // End-of-run drain: every established session must close exactly
+        // once, and the pool must report none live afterwards.
+        sessions_established += pool.established() as u64;
+        sessions_closed += pool.close_all();
+        pool.leak_check().expect("session pool drained");
     }
 
     let mut metrics = MetricsSet::new();
@@ -215,6 +229,8 @@ pub fn simulate(
         busy,
         batches,
         cold_starts,
+        sessions_established,
+        sessions_closed,
         td,
         metrics,
     }

@@ -107,6 +107,31 @@ impl CommandProcessor {
         self.submissions
     }
 
+    /// Ring entries still logically in flight at `at`: submitted commands
+    /// whose service has not yet completed. Conservation accessor for
+    /// soak-scale leak audits — entries retire lazily on submit, so this
+    /// counts against the service-completion times rather than the
+    /// physical queue length.
+    pub fn in_flight_at(&self, at: SimTime) -> usize {
+        self.ring.iter().filter(|end| **end > at).count()
+    }
+
+    /// Asserts the ring has fully drained by `horizon` (typically the
+    /// program's final synchronize): every submitted command serviced.
+    ///
+    /// # Errors
+    /// A description of the leak.
+    pub fn leak_check(&self, horizon: SimTime) -> Result<(), String> {
+        let live = self.in_flight_at(horizon);
+        if live != 0 {
+            return Err(format!(
+                "{live} ring entries still in flight at {}ns",
+                horizon.as_nanos()
+            ));
+        }
+        Ok(())
+    }
+
     /// Submits a command that the host wants to enqueue at `want`.
     ///
     /// If the ring is full, the host blocks until the oldest in-flight

@@ -1,0 +1,110 @@
+//! Soak-scale resource-leak auditing.
+//!
+//! A [`LeakAudit`] snapshots every conserved quantity a finished context
+//! must have drained: bounce-pool bytes, in-flight ring entries, UVM
+//! migration ledgers, and the fault-recovery accounting. The chaos
+//! harness (`hcc_bench::chaos`) aggregates one audit per distinct request
+//! shape across millions of virtual-time operations and fails the run on
+//! the first imbalance — the forcing function that keeps the runtime
+//! leak-free at soak scale.
+
+use hcc_types::{ByteSize, FaultCounts};
+
+/// End-of-run conservation snapshot for one [`crate::CudaContext`].
+///
+/// Collected after the final synchronize, so every scheduled completion
+/// is in the past: anything still "in flight" here is a leak, not work in
+/// progress.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LeakAudit {
+    /// Bounce-pool bytes still reserved (must be zero).
+    pub bounce_in_use: ByteSize,
+    /// Lifetime bounce bytes handed out.
+    pub bounce_reserved: ByteSize,
+    /// Lifetime bounce bytes given back (must equal `bounce_reserved`).
+    pub bounce_released: ByteSize,
+    /// Command-ring entries still unserviced at the final clock (must be
+    /// zero).
+    pub ring_in_flight: usize,
+    /// Far faults claimed by the GMMU scan.
+    pub uvm_faults: u64,
+    /// Pages the UVM driver migrated (must equal `uvm_faults`).
+    pub uvm_pages_migrated: u64,
+    /// Pages that rode a migration batch (must equal
+    /// `uvm_pages_migrated`: the batch split drops or double-counts
+    /// nothing).
+    pub uvm_pages_batched: u64,
+    /// Trace events recorded — the arena-growth input for the chaos
+    /// harness's bounded-growth check.
+    pub events: usize,
+    /// Fault-injection ledger for the run.
+    pub fault: FaultCounts,
+}
+
+impl LeakAudit {
+    /// Asserts every conservation identity. The fault ledger must satisfy
+    /// `recovered + degraded + aborted <= injected` — each recovered,
+    /// degraded, or aborted operation consumed at least one injected
+    /// fault.
+    ///
+    /// # Errors
+    /// A description of the first imbalance found.
+    pub fn check(&self) -> Result<(), String> {
+        if self.bounce_in_use != ByteSize::ZERO {
+            return Err(format!(
+                "bounce pool holds {} after final sync",
+                self.bounce_in_use
+            ));
+        }
+        if self.bounce_reserved != self.bounce_released {
+            return Err(format!(
+                "bounce bytes reserved {} != released {}",
+                self.bounce_reserved, self.bounce_released
+            ));
+        }
+        if self.ring_in_flight != 0 {
+            return Err(format!(
+                "{} ring entries in flight after final sync",
+                self.ring_in_flight
+            ));
+        }
+        if self.uvm_faults != self.uvm_pages_migrated {
+            return Err(format!(
+                "uvm faults {} != pages migrated {}",
+                self.uvm_faults, self.uvm_pages_migrated
+            ));
+        }
+        if self.uvm_pages_batched != self.uvm_pages_migrated {
+            return Err(format!(
+                "uvm pages batched {} != pages migrated {}",
+                self.uvm_pages_batched, self.uvm_pages_migrated
+            ));
+        }
+        let resolved = self.fault.recovered + self.fault.degraded + self.fault.aborted;
+        if resolved > self.fault.injected {
+            return Err(format!(
+                "fault ledger: resolved {} operations > injected {} faults",
+                resolved, self.fault.injected
+            ));
+        }
+        Ok(())
+    }
+
+    /// Merges another audit into this one (used by the chaos harness to
+    /// aggregate per-shape audits into a run-level ledger).
+    pub fn absorb(&mut self, other: &LeakAudit) {
+        self.bounce_in_use += other.bounce_in_use;
+        self.bounce_reserved += other.bounce_reserved;
+        self.bounce_released += other.bounce_released;
+        self.ring_in_flight += other.ring_in_flight;
+        self.uvm_faults += other.uvm_faults;
+        self.uvm_pages_migrated += other.uvm_pages_migrated;
+        self.uvm_pages_batched += other.uvm_pages_batched;
+        self.events += other.events;
+        self.fault.injected += other.fault.injected;
+        self.fault.retries += other.fault.retries;
+        self.fault.recovered += other.fault.recovered;
+        self.fault.degraded += other.fault.degraded;
+        self.fault.aborted += other.fault.aborted;
+    }
+}

@@ -18,6 +18,7 @@ use hcc_types::{
 };
 use hcc_uvm::{UvmDriver, UvmError, UvmStats};
 
+use crate::audit::LeakAudit;
 use crate::config::SimConfig;
 use crate::handles::{HostPtr, KernelDesc, ManagedPtr};
 
@@ -353,6 +354,25 @@ impl CudaContext {
     /// Read access to the simulated GPU.
     pub fn gpu(&self) -> &GpuDevice {
         &self.gpu
+    }
+
+    /// End-of-run conservation snapshot across every layer this context
+    /// owns. Meaningful after the final synchronize (in-flight work reads
+    /// as a leak before then); see [`LeakAudit::check`] for the
+    /// identities asserted.
+    pub fn leak_audit(&self) -> LeakAudit {
+        let (bounce_reserved, bounce_released) = self.bounce.byte_totals();
+        LeakAudit {
+            bounce_in_use: self.bounce.in_use(),
+            bounce_reserved,
+            bounce_released,
+            ring_in_flight: self.gpu.command_processor().in_flight_at(self.clock),
+            uvm_faults: self.uvm.stats().faults,
+            uvm_pages_migrated: self.uvm.stats().pages_migrated,
+            uvm_pages_batched: self.uvm.pages_batched(),
+            events: self.timeline.len(),
+            fault: self.faults.counts(),
+        }
     }
 
     /// Assembles the virtual-time metrics snapshot for this run, or

@@ -30,6 +30,7 @@
 //! assert_eq!(metrics.launch_count(), 1);
 //! ```
 
+mod audit;
 mod config;
 mod context;
 mod events;
@@ -37,6 +38,7 @@ mod graph;
 mod handles;
 mod pipeline;
 
+pub use audit::LeakAudit;
 pub use config::SimConfig;
 pub use context::{CudaContext, Result, RuntimeError};
 pub use events::CudaEvent;

@@ -104,6 +104,8 @@ pub struct BounceBufferPool {
     in_use: ByteSize,
     reservations: u64,
     cold_reservations: u64,
+    reserved_bytes: ByteSize,
+    released_bytes: ByteSize,
     occupancy: Gauge,
 }
 
@@ -119,6 +121,8 @@ impl BounceBufferPool {
             in_use: ByteSize::ZERO,
             reservations: 0,
             cold_reservations: 0,
+            reserved_bytes: ByteSize::ZERO,
+            released_bytes: ByteSize::ZERO,
             occupancy: Gauge::new(),
         }
     }
@@ -174,6 +178,31 @@ impl BounceBufferPool {
         (self.reservations, self.cold_reservations)
     }
 
+    /// Lifetime byte totals handed out and given back: `(reserved,
+    /// released)`. Conservation accessor for soak-scale leak audits —
+    /// after every staging window has been released the two are equal.
+    pub fn byte_totals(&self) -> (ByteSize, ByteSize) {
+        (self.reserved_bytes, self.released_bytes)
+    }
+
+    /// Asserts the pool has fully drained: no bytes in use, and lifetime
+    /// reserved == released.
+    ///
+    /// # Errors
+    /// A description of the first leak found.
+    pub fn leak_check(&self) -> Result<(), String> {
+        if self.in_use != ByteSize::ZERO {
+            return Err(format!("bounce pool holds {} after drain", self.in_use));
+        }
+        if self.reserved_bytes != self.released_bytes {
+            return Err(format!(
+                "bounce byte totals diverge: reserved {} != released {}",
+                self.reserved_bytes, self.released_bytes
+            ));
+        }
+        Ok(())
+    }
+
     /// Reserves `size` bytes of staging space, charging conversion costs
     /// through `td` for any pages touched for the first time.
     ///
@@ -223,6 +252,7 @@ impl BounceBufferPool {
             self.cold_reservations += 1;
         }
         self.in_use += size;
+        self.reserved_bytes += size;
         Ok(BounceReservation {
             size,
             cost,
@@ -284,6 +314,7 @@ impl BounceBufferPool {
             "released more bounce space than reserved"
         );
         self.in_use = self.in_use - size;
+        self.released_bytes += size;
     }
 }
 

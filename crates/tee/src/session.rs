@@ -48,6 +48,9 @@ pub struct SessionPool {
     calib: TdxCalib,
     /// `(tenant, context, established)` in first-admission order.
     slots: Vec<(u64, TdContext, bool)>,
+    /// Sessions torn down via [`SessionPool::close_all`] over the pool's
+    /// lifetime — the other side of the leak-audit ledger.
+    closed: u64,
 }
 
 impl SessionPool {
@@ -57,6 +60,7 @@ impl SessionPool {
             cc,
             calib,
             slots: Vec::new(),
+            closed: 0,
         }
     }
 
@@ -95,6 +99,39 @@ impl SessionPool {
     /// Number of tenants that have admitted at least one request.
     pub fn tenants(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Tears down every established session (end-of-run drain), returning
+    /// how many were closed. Conservation accessor for soak-scale leak
+    /// audits: after `close_all`, [`SessionPool::established`] is zero and
+    /// lifetime establishes equal lifetime closes.
+    pub fn close_all(&mut self) -> u64 {
+        let mut n = 0;
+        for (_, _, established) in &mut self.slots {
+            if *established {
+                *established = false;
+                n += 1;
+            }
+        }
+        self.closed += n;
+        n
+    }
+
+    /// Sessions torn down over the pool's lifetime.
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Asserts the pool has fully drained: no session still established.
+    ///
+    /// # Errors
+    /// A description of the leak.
+    pub fn leak_check(&self) -> Result<(), String> {
+        let live = self.established();
+        if live != 0 {
+            return Err(format!("{live} TD sessions still established after drain"));
+        }
+        Ok(())
     }
 
     /// Transition counters summed across every tenant context.

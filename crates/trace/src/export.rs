@@ -153,45 +153,6 @@ impl<'a> ChromeExport<'a> {
     }
 }
 
-/// Serializes the timeline as a Chrome trace-event JSON array.
-#[deprecated(since = "0.7.0", note = "use `ChromeExport::new().render(timeline)`")]
-pub fn to_chrome_trace(timeline: &Timeline) -> String {
-    ChromeExport::new().render(timeline)
-}
-
-/// Spans plus counter tracks.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `ChromeExport::new().with_metrics(..).render(timeline)`"
-)]
-pub fn to_chrome_trace_with_metrics(timeline: &Timeline, metrics: Option<&MetricsSet>) -> String {
-    let mut export = ChromeExport::new();
-    if let Some(m) = metrics {
-        export = export.with_metrics(m);
-    }
-    export.render(timeline)
-}
-
-/// Spans, counter tracks, and causal flow events.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `ChromeExport::new().with_metrics(..).with_causal(..).render(timeline)`"
-)]
-pub fn to_chrome_trace_full(
-    timeline: &Timeline,
-    metrics: Option<&MetricsSet>,
-    causal: Option<&CausalGraph>,
-) -> String {
-    let mut export = ChromeExport::new();
-    if let Some(m) = metrics {
-        export = export.with_metrics(m);
-    }
-    if let Some(g) = causal {
-        export = export.with_causal(g);
-    }
-    export.render(timeline)
-}
-
 fn render(
     timeline: &Timeline,
     metrics: Option<&MetricsSet>,
@@ -354,32 +315,6 @@ mod tests {
     fn empty_timeline_is_an_empty_array() {
         let json = ChromeExport::new().render(&Timeline::new());
         assert_eq!(json, "[\n\n]\n");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_options_struct() {
-        use crate::metrics::{Gauge, MetricsSet};
-
-        let tl = sample();
-        let mut set = MetricsSet::new();
-        let mut g = Gauge::enabled();
-        g.occupy(t(10), t(20));
-        set.gauge("gpu.ring.occupancy", &g);
-        let graph = CausalGraph::new(true);
-
-        assert_eq!(to_chrome_trace(&tl), ChromeExport::new().render(&tl));
-        assert_eq!(
-            to_chrome_trace_with_metrics(&tl, Some(&set)),
-            ChromeExport::new().with_metrics(&set).render(&tl)
-        );
-        assert_eq!(
-            to_chrome_trace_full(&tl, Some(&set), Some(&graph)),
-            ChromeExport::new()
-                .with_metrics(&set)
-                .with_causal(&graph)
-                .render(&tl)
-        );
     }
 
     #[test]

@@ -46,8 +46,6 @@ pub use causal::{CausalEdge, CausalGraph, EdgeKind, EventId};
 pub use critpath::{Attribution, CritPath, ResourceClass, Segment};
 pub use event::{EventKind, HypercallReason, KernelId, StreamId, TraceEvent};
 pub use export::ChromeExport;
-#[allow(deprecated)]
-pub use export::{to_chrome_trace, to_chrome_trace_full, to_chrome_trace_with_metrics};
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge, MetricsSet, Series};
 pub use stats::{geomean, mean_ratio, Cdf, Summary};

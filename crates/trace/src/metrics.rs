@@ -6,7 +6,7 @@
 //! instruments ([`Counter`], [`Gauge`], [`Hist`]) and record change-points
 //! as they schedule work; a run-level [`MetricsSet`] snapshot is assembled
 //! at the end and exported as Perfetto counter tracks
-//! ([`crate::export::to_chrome_trace_with_metrics`]), a Prometheus-style
+//! ([`crate::export::ChromeExport::with_metrics`]), a Prometheus-style
 //! text page ([`to_prometheus`]), or an [`hcc_types::json`] tree.
 //!
 //! Determinism contract:

@@ -184,7 +184,13 @@ impl FaultPlan {
                         .iter()
                         .copied()
                         .find(|s| s.name() == name)
-                        .ok_or_else(|| format!("fault plan key {name:?} is not a site"))?;
+                        .ok_or_else(|| {
+                            let sites = FaultSite::ALL.map(FaultSite::name).join(", ");
+                            format!(
+                                "fault plan key {name:?} is not a site \
+                                 (sites: {sites}; shorthand: gcm)"
+                            )
+                        })?;
                     plan.rates[site.index()] = fval()?;
                 }
             }
@@ -303,6 +309,37 @@ impl RecoveryPolicy {
             RecoveryPolicy::Abort => h.write_u8(2),
         }
         h.finish()
+    }
+
+    /// Short stable name (used in CLI flags, reports, and goldens).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Retry { .. } => "retry",
+            RecoveryPolicy::Degrade { .. } => "degrade",
+            RecoveryPolicy::Abort => "abort",
+        }
+    }
+
+    /// Parses a CLI spelling into the default parameterization of each
+    /// policy (retry = [`RecoveryPolicy::default_retry`], degrade floors
+    /// staging at 64 KiB chunks).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RecoveryPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "retry" => Some(RecoveryPolicy::default_retry()),
+            "degrade" => Some(RecoveryPolicy::Degrade {
+                min_chunk: ByteSize::kib(64),
+            }),
+            "abort" => Some(RecoveryPolicy::Abort),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

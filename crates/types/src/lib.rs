@@ -29,12 +29,14 @@ pub mod mode;
 pub mod planes;
 pub mod rng;
 mod size;
+pub mod storm;
 mod time;
 
 pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultSite, Recovery, RecoveryPolicy};
 pub use mode::{CcMode, CopyKind, CpuModel, HostMemKind, MemSpace};
 pub use planes::Planes;
 pub use size::{Bandwidth, ByteSize};
+pub use storm::{LatencyBudget, StormIntensity, StormProfile, StormSchedule, StormWindow};
 pub use time::{SimDuration, SimTime};
 
 /// Result alias used by fallible APIs across the workspace foundation.

@@ -119,6 +119,10 @@ pub struct UvmDriver {
     calib: UvmCalib,
     cc: CcMode,
     stats: UvmStats,
+    /// Pages that rode a service batch (demand or prefetch). Conservation
+    /// counter: must equal `stats.pages_migrated` after every access —
+    /// the batch-splitting loops may drop or double-count no page.
+    pages_batched: u64,
     outstanding: Gauge,
     backlog: Gauge,
 }
@@ -130,6 +134,7 @@ impl UvmDriver {
             calib,
             cc,
             stats: UvmStats::default(),
+            pages_batched: 0,
             outstanding: Gauge::new(),
             backlog: Gauge::new(),
         }
@@ -183,6 +188,32 @@ impl UvmDriver {
     /// Accumulated statistics.
     pub fn stats(&self) -> UvmStats {
         self.stats
+    }
+
+    /// Pages that rode a service batch over the driver's lifetime.
+    pub fn pages_batched(&self) -> u64 {
+        self.pages_batched
+    }
+
+    /// Asserts migration conservation: every far fault claimed was
+    /// migrated, and every migrated page rode exactly one batch.
+    ///
+    /// # Errors
+    /// A description of the first imbalance found.
+    pub fn leak_check(&self) -> Result<(), String> {
+        if self.stats.faults != self.stats.pages_migrated {
+            return Err(format!(
+                "uvm faults {} != pages migrated {}",
+                self.stats.faults, self.stats.pages_migrated
+            ));
+        }
+        if self.pages_batched != self.stats.pages_migrated {
+            return Err(format!(
+                "uvm batched pages {} != pages migrated {}",
+                self.pages_batched, self.stats.pages_migrated
+            ));
+        }
+        Ok(())
     }
 
     /// Migration bandwidth for the current mode — the encrypted-paging
@@ -306,12 +337,13 @@ impl UvmDriver {
     }
 
     fn service_batch(
-        &self,
+        &mut self,
         td: &mut TdContext,
         pages: u64,
         page_size: ByteSize,
         prefetched: bool,
     ) -> FaultBatch {
+        self.pages_batched += pages;
         let bytes = page_size * pages;
         let mut time = if prefetched {
             // Prefetch rides the existing fault pipeline; only transfer

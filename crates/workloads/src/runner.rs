@@ -4,9 +4,9 @@
 use hcc_runtime::{
     CudaContext, DevicePtr, HostPtr, KernelDesc, ManagedAccess, ManagedPtr, RuntimeError, SimConfig,
 };
-use hcc_runtime::{TdCounters, UvmStats};
+use hcc_runtime::{LeakAudit, TdCounters, UvmStats};
 use hcc_trace::{CausalGraph, KernelId, MetricsSet, Timeline};
-use hcc_types::SimTime;
+use hcc_types::{FaultCounts, SimTime};
 
 use crate::scenario::{AppSelector, Scenario};
 use crate::spec::{Op, WorkloadSpec};
@@ -87,6 +87,11 @@ pub struct RunResult {
     /// Causal DAG over `timeline` (empty unless the config enabled
     /// causal collection).
     pub causal: CausalGraph,
+    /// Fault-injection ledger for the run (all zero under an empty plan).
+    pub fault: FaultCounts,
+    /// End-of-run conservation snapshot (taken after the final
+    /// synchronize; see [`LeakAudit::check`]).
+    pub audit: LeakAudit,
 }
 
 /// Resolves and runs a [`Scenario`] — the unified entry point the
@@ -264,6 +269,8 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
     let td = ctx.td_counters();
     let uvm = ctx.uvm_stats();
     let metrics = ctx.metrics_snapshot();
+    let fault = ctx.fault_counts();
+    let audit = ctx.leak_audit();
     let (timeline, causal) = ctx.into_trace();
     Ok(RunResult {
         timeline,
@@ -272,6 +279,8 @@ pub fn run(spec: &WorkloadSpec, cfg: SimConfig) -> Result<RunResult, RunError> {
         uvm,
         metrics,
         causal,
+        fault,
+        audit,
     })
 }
 

@@ -217,3 +217,49 @@ echo "==> tier-2: hot-path throughput gate (BENCH_hotpaths.json)"
 ./target/release/hotpaths
 
 echo "tier-2: OK (hot-path throughput within gate)"
+
+# Tier-2 chaos smoke: seeded fault storms composed with the serving
+# cluster over a virtual-time soak. The report must be byte-identical at
+# 1 and 4 engine threads, at least one budget verdict must FAIL (the SLO
+# gate is live, not vacuously green), every conservation/identity trailer
+# must hold, and the leak-audit trailer must be clean. The binary itself
+# exits nonzero on any leak or conservation violation.
+echo "==> tier-2: chaos lab determinism, SLO verdicts, leak audit"
+HCC_ENGINE_THREADS=1 ./target/release/chaos \
+    >"$t2_dir/chaos1.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/chaos --json "$t2_dir/BENCH_chaos.json" \
+    >"$t2_dir/chaos4.out" 2>/dev/null
+
+if ! diff -u "$t2_dir/chaos1.out" "$t2_dir/chaos4.out"; then
+    echo "tier-2: FAIL — chaos stdout differs between 1 and 4 threads" >&2
+    exit 1
+fi
+if ! grep -q "FAIL(" "$t2_dir/chaos1.out"; then
+    echo "tier-2: FAIL — chaos run produced no failing-budget verdict" >&2
+    exit 1
+fi
+for trailer in \
+    "latency identity: latency == wait + service (all tenants, all cells): true" \
+    "conservation: admitted == completed + rejected (all cells): true" \
+    "conservation: clean + recovered + degraded + rejected == admitted (all cells): true" \
+    "sessions: established == closed == cold-starts (all cells): true" \
+    "gauges: queue and device depth drained to zero (all cells): true" \
+    "leaks: none"; do
+    if ! grep -q "^$trailer$" "$t2_dir/chaos1.out"; then
+        echo "tier-2: FAIL — chaos trailer missing or false: $trailer" >&2
+        exit 1
+    fi
+done
+
+chaos_rps=$(sed -n 's/.*"requests_per_sec":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_chaos.json")
+chaos_fail=$(sed -n 's/.*"verdict_fail":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_chaos.json")
+if [ -z "$chaos_rps" ] || [ "$chaos_rps" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_chaos.json reports no wall-clock throughput" >&2
+    exit 1
+fi
+if [ -z "$chaos_fail" ] || [ "$chaos_fail" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_chaos.json records no FAIL verdicts" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (chaos: $chaos_rps req/s under storm, $chaos_fail budget FAILs, leak-free)"
