@@ -10,11 +10,20 @@
 //! self-check; `--json <path>` / `--prom <path>` additionally write the
 //! machine-readable exports (all snapshots as JSON; the worst scenario's
 //! Prometheus text page).
+//!
+//! `--serve` / `--chaos` additionally drive a small serving or chaos
+//! soak and report its `serving.queue_depth` snapshot per cell, so soak
+//! metrics flow through the same self-check, drift audit, and exports
+//! as the per-scenario planes. Any gauge whose final change-point is
+//! nonzero earns a `WARN ... drift` line: a queue that never drained
+//! back to zero usually means a release was never recorded.
 
-use hcc_bench::{engine, figures, report};
+use hcc_bench::chaos::ChaosConfig;
+use hcc_bench::serving::ServingConfig;
+use hcc_bench::{chaos, engine, figures, report, serving};
 use hcc_trace::metrics::{to_prometheus, MetricsSet};
 use hcc_types::json::{Json, ToJson};
-use hcc_types::{CcMode, SimDuration};
+use hcc_types::{CcMode, RecoveryPolicy, SimDuration, SimTime, StormProfile};
 use hcc_workloads::{suites, Scenario};
 
 /// Queue-style gauges (unit: items waiting) ranked when flagging the
@@ -53,16 +62,86 @@ fn saturated(set: &MetricsSet) -> Option<(&'static str, SimDuration)> {
         .max_by_key(|&(_, wait)| wait)
 }
 
+/// Audit a snapshot for end-of-run drift: a gauge whose final
+/// change-point is nonzero never drained back to its baseline. Prints
+/// one WARN line per drifting gauge and returns how many fired.
+fn warn_drift(label: &str, set: &MetricsSet) -> usize {
+    let mut fired = 0;
+    for s in &set.gauges {
+        let v = s.final_value();
+        if v != 0 {
+            println!(
+                "WARN {label}: gauge {} drifted: final value {v} != 0",
+                s.name
+            );
+            fired += 1;
+        }
+    }
+    fired
+}
+
+/// Soak snapshots taken by `--serve` / `--chaos`: one labelled metrics
+/// set per (scheduler|policy, cc-mode) cell, with the cell's virtual
+/// end time for mean-depth normalisation.
+fn soak_snapshots(serve: bool, storm: bool) -> Vec<(String, SimTime, MetricsSet)> {
+    let mut out = Vec::new();
+    if serve {
+        let cfg = ServingConfig {
+            requests: 2_000,
+            gpus: 2,
+            ..ServingConfig::default()
+        };
+        let rep = serving::run(&cfg, engine::global());
+        for run in &rep.runs {
+            for mode in &run.modes {
+                out.push((
+                    format!("serve:{}/{}", run.scheduler, mode.cc),
+                    mode.end,
+                    mode.metrics.clone(),
+                ));
+            }
+        }
+    }
+    if storm {
+        let cfg = ChaosConfig {
+            requests: 1_000,
+            days: 1,
+            gpus: 2,
+            profiles: vec![StormProfile::crypto_burst()],
+            policies: vec![RecoveryPolicy::Abort],
+            ..ChaosConfig::default()
+        };
+        let rep = chaos::run(&cfg, engine::global());
+        for prof in &rep.profiles {
+            for cell in &prof.cells {
+                out.push((
+                    format!("chaos:{}/{}", prof.profile.name, cell.policy),
+                    cell.mode.end,
+                    cell.mode.metrics.clone(),
+                ));
+            }
+        }
+    }
+    out
+}
+
 fn main() {
     let mut json_path: Option<String> = None;
     let mut prom_path: Option<String> = None;
+    let mut serve_soak = false;
+    let mut chaos_soak = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next(),
             "--prom" => prom_path = args.next(),
+            "--serve" => serve_soak = true,
+            "--chaos" => chaos_soak = true,
             other => {
-                eprintln!("unknown argument {other:?} (expected --json <path> | --prom <path>)");
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (expected --serve | --chaos | --json <path> | --prom <path>)"
+                );
                 std::process::exit(2);
             }
         }
@@ -87,6 +166,7 @@ fn main() {
 
     let mut total_samples = 0usize;
     let mut flagged = 0usize;
+    let mut drift = 0usize;
     let mut json_rows: Vec<Json> = Vec::new();
     // The scenario whose saturated queue waited longest overall — its
     // Prometheus page is the most interesting one to export.
@@ -144,6 +224,7 @@ fn main() {
             uvm_mean,
             hot_label
         );
+        drift += warn_drift(&result.label, set);
 
         if let Some((_, wait)) = hot {
             let replace = worst.as_ref().is_none_or(|(_, w, _)| wait > *w);
@@ -168,11 +249,52 @@ fn main() {
         ]));
     }
 
+    let soaks = soak_snapshots(serve_soak, chaos_soak);
+    if !soaks.is_empty() {
+        report::section("observability — soak snapshots (serving.queue_depth)");
+        println!(
+            "{:<28} {:>10} {:>7} {:>9}  {}",
+            "soak", "end", "q.pk", "q.mean", "saturated"
+        );
+        for (label, end, set) in &soaks {
+            let reparsed = Json::parse(&set.to_json_string()).expect("snapshot JSON parses");
+            assert!(
+                reparsed.get("gauges").is_some(),
+                "soak snapshot JSON lost its gauges"
+            );
+            let span = end.saturating_since(SimTime::ZERO);
+            let (q_pk, q_mean) = set
+                .gauge_series("serving.queue_depth")
+                .map(|s| (s.peak(), s.mean_over(span)))
+                .unwrap_or((0, 0.0));
+            let hot = set
+                .gauge_integral("serving.queue_depth")
+                .filter(|wait| !wait.is_zero())
+                .map(|wait| format!("serving.queue_depth (waited {wait})"))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{label:<28} {:>10} {q_pk:>7} {q_mean:>9.3}  {hot}",
+                end.to_string()
+            );
+            drift += warn_drift(label, set);
+            total_samples += set.total_samples();
+            json_rows.push(Json::Obj(vec![
+                ("soak".to_string(), Json::Str(label.clone())),
+                ("metrics".to_string(), set.to_json()),
+            ]));
+        }
+    }
+
     println!(
         "\nsnapshots: {} scenarios, {} samples, {} saturated (json round-trip OK)",
         results.len(),
         total_samples,
         flagged
+    );
+    println!(
+        "gauge drift audit: {} snapshots, {} drift warnings",
+        results.len() + soaks.len(),
+        drift
     );
     if let Some((label, wait, _)) = &worst {
         println!("hottest scenario: {label} (saturated queue waited {wait})");

@@ -19,7 +19,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--requests N] [--gpus N] [--tenants N] [--seed S] \
          [--arrival poisson|bursty|diurnal] [--scheduler fifo|priority|batching|all] \
-         [--util F] [--max-batch N] [--json <path>]"
+         [--util F] [--max-batch N] [--watch] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -92,6 +92,9 @@ fn main() {
                 },
                 None => bad(&arg, "missing value"),
             },
+            "--watch" => {
+                cfg.watch = Some(hcc_bench::watch::WatchConfig::default().from_env());
+            }
             "--json" => json_path = args.next(),
             _ => bad(&arg, "unknown flag"),
         }

@@ -1,0 +1,226 @@
+//! SLO watchtower harness: windowed rollups, multi-window burn-rate
+//! alerts, and storm-correlated incident timelines over a virtual-time
+//! soak.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin slo_watch            # stormy chaos soak
+//! cargo run --release -p hcc-bench --bin slo_watch -- --serve # calm serving soak
+//! ```
+//!
+//! The default drives the canonical chaos-shaped soak (crypto-burst
+//! calendar, Abort policy) whose peak windows burn every tenant's error
+//! budget past the alert threshold, and renders the incident log plus
+//! the per-window rollup table. `--serve` drives the calm low-util
+//! serving soak instead (empty timeline). Stdout carries only
+//! virtual-time figures and is byte-identical across
+//! `HCC_ENGINE_THREADS` settings (the tier-2 CI smoke diffs it).
+//!
+//! Exports: `--json <path>` writes the full watch report plus wall-clock
+//! bench figures; `--prom <path>` writes the Prometheus-style text
+//! exposition with `tenant`/`window` labels.
+//!
+//! Exit codes: 0 = soak healthy, 1 = underlying soak violated a
+//! structural invariant, 2 = usage error.
+
+use hcc_bench::watch::{self, WatchReport};
+use hcc_bench::{chaos, engine, serving};
+use hcc_types::json::{Json, ToJson};
+use hcc_types::StormProfile;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slo_watch [--serve] [--requests N] [--days N] [--gpus N] [--seed S] \
+         [--profile NAME] [--util F] [--json <path>] [--prom <path>]"
+    );
+    std::process::exit(2);
+}
+
+/// One-line diagnostic naming the flag and the offending value, then the
+/// usage line and a nonzero exit.
+fn bad(flag: &str, detail: &str) -> ! {
+    eprintln!("slo_watch: {flag}: {detail}");
+    usage()
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    let Some(raw) = value else {
+        bad(flag, "missing value")
+    };
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    };
+    parsed.unwrap_or_else(|| bad(flag, &format!("cannot parse {raw:?} as an integer")))
+}
+
+fn main() {
+    let mut serve_mode = false;
+    let mut requests: Option<u64> = None;
+    let mut days: Option<u64> = None;
+    let mut gpus: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut profile: Option<StormProfile> = None;
+    let mut util: Option<f64> = None;
+    let mut json_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serve" => serve_mode = true,
+            "--requests" => requests = Some(parse_u64(&arg, args.next()).max(1)),
+            "--days" => days = Some(parse_u64(&arg, args.next()).clamp(1, 3650)),
+            "--gpus" => gpus = Some(parse_u64(&arg, args.next()).max(1) as usize),
+            "--seed" => seed = Some(parse_u64(&arg, args.next())),
+            "--profile" => match args.next() {
+                Some(raw) => match StormProfile::by_name(raw.trim()) {
+                    Some(p) => profile = Some(p),
+                    None => {
+                        let known: Vec<&str> =
+                            StormProfile::builtin().iter().map(|p| p.name).collect();
+                        bad(
+                            &arg,
+                            &format!(
+                                "unknown storm profile {:?} (profiles: {})",
+                                raw.trim(),
+                                known.join(", ")
+                            ),
+                        )
+                    }
+                },
+                None => bad(&arg, "missing value"),
+            },
+            "--util" => match args.next() {
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(v) => util = Some(v.clamp(0.05, 0.95)),
+                    Err(_) => bad(&arg, &format!("cannot parse {raw:?} as a fraction")),
+                },
+                None => bad(&arg, "missing value"),
+            },
+            "--json" => json_path = args.next(),
+            "--prom" => prom_path = args.next(),
+            _ => bad(&arg, "unknown flag"),
+        }
+    }
+
+    let wall = std::time::Instant::now();
+    let (header, report, healthy): (String, WatchReport, bool) = if serve_mode {
+        let mut cfg = watch::calm_soak();
+        cfg.watch = Some(watch::WatchConfig::default().from_env());
+        if let Some(n) = requests {
+            cfg.requests = n;
+        }
+        if let Some(g) = gpus {
+            cfg.gpus = g;
+        }
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        if let Some(u) = util {
+            cfg.target_util = u;
+        }
+        let rep = serving::run(&cfg, engine::global());
+        let header = format!(
+            "=== slo watchtower: serve-shaped soak ===\n\
+             soak serve | requests {} | gpus {} | util {:.2} | scheduler {} | seed {:#x}\n",
+            cfg.requests, cfg.gpus, cfg.target_util, cfg.schedulers[0], cfg.seed,
+        );
+        let healthy = rep.conserved();
+        let watch = rep
+            .runs
+            .into_iter()
+            .next()
+            .and_then(|r| r.watch)
+            .expect("watch plane enabled");
+        (header, watch, healthy)
+    } else {
+        let mut cfg = watch::stormy_soak();
+        cfg.watch = Some(watch::WatchConfig::default().from_env());
+        if let Some(n) = requests {
+            cfg.requests = n;
+        }
+        if let Some(d) = days {
+            cfg.days = d;
+        }
+        if let Some(g) = gpus {
+            cfg.gpus = g;
+        }
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        if let Some(p) = profile {
+            cfg.profiles = vec![p];
+        }
+        let rep = chaos::run(&cfg, engine::global());
+        let header = format!(
+            "=== slo watchtower: chaos-shaped soak ===\n\
+             soak chaos | requests {} | days {} | gpus {} | profile {} | policy {} | seed {:#x}\n",
+            cfg.requests, cfg.days, cfg.gpus, cfg.profiles[0].name, cfg.policies[0], cfg.seed,
+        );
+        let healthy = rep.healthy();
+        let watch = rep
+            .profiles
+            .into_iter()
+            .next()
+            .and_then(|p| p.cells.into_iter().next())
+            .and_then(|c| c.watch)
+            .expect("watch plane enabled");
+        (header, watch, healthy)
+    };
+    let elapsed = wall.elapsed();
+
+    print!("{header}");
+    print!("{}", report.render());
+
+    if let Some(path) = prom_path {
+        if let Err(e) = std::fs::write(&path, report.to_prometheus()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let stats = engine::global().stats();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let doc = Json::Obj(vec![
+            (
+                "bench".to_string(),
+                Json::Obj(vec![
+                    (
+                        "windows_per_sec".to_string(),
+                        Json::U64((report.windows.len() as f64 / secs).round() as u64),
+                    ),
+                    (
+                        "windows".to_string(),
+                        Json::U64(report.windows.len() as u64),
+                    ),
+                    (
+                        "incidents".to_string(),
+                        Json::U64(report.incidents.len() as u64),
+                    ),
+                    ("alerts".to_string(), Json::U64(report.alerts())),
+                    (
+                        "storm_correlated".to_string(),
+                        Json::U64(report.storm_correlated() as u64),
+                    ),
+                    ("wall_ms".to_string(), Json::U64(elapsed.as_millis() as u64)),
+                ]),
+            ),
+            ("watch".to_string(), report.to_json()),
+            ("engine".to_string(), stats.to_json()),
+        ]);
+        if let Err(e) = std::fs::write(&path, doc.to_string()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    engine::emit_stats();
+
+    if !healthy {
+        eprintln!("slo_watch: underlying soak violated a structural invariant");
+        std::process::exit(1);
+    }
+}

@@ -108,6 +108,12 @@ pub struct ChaosConfig {
     pub shape_seed: u64,
     /// TDX calibration for the per-device session pools.
     pub tdx: TdxCalib,
+    /// SLO watchtower: when set, every cell records completion rollups
+    /// and carries a windowed burn-rate/incident timeline correlated
+    /// against the cell's storm calendar. `None` (the default) keeps the
+    /// rollup plane disabled and the rendered report byte-identical to
+    /// a watch-free build.
+    pub watch: Option<crate::watch::WatchConfig>,
 }
 
 impl Default for ChaosConfig {
@@ -136,6 +142,7 @@ impl Default for ChaosConfig {
             max_batch: 8,
             shape_seed: DEFAULT_SHAPE_SEED,
             tdx: TdxCalib::default(),
+            watch: None,
         }
     }
 }
@@ -319,6 +326,8 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
         (app * STORMY.len() + stormy) * replicas + replica
     };
 
+    let tenant_names: Vec<String> = cfg.tenants.iter().map(|t| t.name.to_string()).collect();
+
     let mut profiles_out = Vec::with_capacity(cfg.profiles.len());
     for profile in &cfg.profiles {
         let storm_seed = mix(cfg.seed, profile.fingerprint());
@@ -434,6 +443,11 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
 
             // The cluster run: identical trace, identical calendar —
             // only the recovery policy differs between cells.
+            let mut rollup = if cfg.watch.is_some() {
+                hcc_trace::RollupCollector::enabled()
+            } else {
+                hcc_trace::RollupCollector::new()
+            };
             let raw = cluster::simulate(
                 &requests,
                 &service,
@@ -443,6 +457,7 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                 cfg.scheduler,
                 cfg.max_batch,
                 &cfg.tdx,
+                &mut rollup,
             );
             let sessions_established = raw.sessions_established;
             let sessions_closed = raw.sessions_closed;
@@ -480,6 +495,51 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                 })
                 .collect();
 
+            // The watchtower: roll the cell's completions into windowed
+            // burn rates and incidents, correlated against this
+            // profile's calendar and blamed via the critical paths of
+            // the shapes its requests rode.
+            let watch = cfg.watch.as_ref().map(|wcfg| {
+                let samples = rollup.into_sorted();
+                let shape_of: Vec<u32> = assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, &(intensity, replica))| {
+                        (match intensity {
+                            StormIntensity::Calm => app_of[ri],
+                            StormIntensity::Rising => apps.len() + slot_of(app_of[ri], 0, replica),
+                            StormIntensity::Peak => apps.len() + slot_of(app_of[ri], 1, replica),
+                        }) as u32
+                    })
+                    .collect();
+                let attrs: Vec<hcc_trace::Attribution> = calm_entries
+                    .iter()
+                    .chain(entries.iter())
+                    .map(|entry| match entry.run() {
+                        Ok(r) => hcc_trace::critpath::extract(&r.timeline, &r.causal).attribution(),
+                        Err(_) => hcc_trace::Attribution::default(),
+                    })
+                    .collect();
+                crate::watch::observe(
+                    wcfg,
+                    &crate::watch::SoakView {
+                        tenant_names: &tenant_names,
+                        budgets: &cfg.budgets,
+                        samples: &samples,
+                        horizon: (SimTime::ZERO + horizon).max(mode.end),
+                        queue: mode.metrics.gauge_series("serving.queue_depth"),
+                        storm: Some(crate::watch::StormContext {
+                            profile: profile.name,
+                            schedule: &schedule,
+                        }),
+                        blame: Some(crate::watch::BlameView {
+                            shape_of: &shape_of,
+                            attrs: &attrs,
+                        }),
+                    },
+                )
+            });
+
             cells.push(PolicyCell {
                 policy: policy.clone(),
                 mode,
@@ -494,6 +554,7 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                 ttr,
                 verdicts,
                 violations,
+                watch,
             });
         }
 

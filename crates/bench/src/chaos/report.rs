@@ -158,6 +158,9 @@ pub struct PolicyCell {
     pub verdicts: Vec<TenantVerdict>,
     /// Leak-audit and bounded-growth violations (empty = healthy).
     pub violations: Vec<String>,
+    /// SLO watchtower over the cell's soak (`None` unless the config
+    /// enabled the watch plane).
+    pub watch: Option<crate::watch::WatchReport>,
 }
 
 impl PolicyCell {
@@ -461,6 +464,14 @@ impl ChaosReport {
                         format!("LEAK {}", cell.violations.join("; "))
                     },
                 );
+                if let Some(watch) = &cell.watch {
+                    let _ = writeln!(
+                        out,
+                        "\n--- watch: {} / {} ---",
+                        profile.profile.name, cell.policy
+                    );
+                    out.push_str(&watch.render());
+                }
             }
         }
 
@@ -542,7 +553,7 @@ impl ToJson for TenantVerdict {
 
 impl ToJson for PolicyCell {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "policy".to_string(),
                 Json::Str(self.policy.name().to_string()),
@@ -599,7 +610,11 @@ impl ToJson for PolicyCell {
                 "verdicts".to_string(),
                 Json::Arr(self.verdicts.iter().map(ToJson::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(watch) = &self.watch {
+            fields.push(("watch".to_string(), watch.to_json()));
+        }
+        Json::Obj(fields)
     }
 }
 

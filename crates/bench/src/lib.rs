@@ -24,6 +24,7 @@ pub mod figures;
 pub mod harness;
 pub mod report;
 pub mod serving;
+pub mod watch;
 
 pub use engine::ExperimentEngine;
 pub use figures::cfg;

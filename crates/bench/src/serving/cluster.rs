@@ -17,7 +17,8 @@
 use std::collections::{BTreeSet, BinaryHeap};
 
 use hcc_tee::{SessionPool, TdCounters};
-use hcc_trace::{Gauge, MetricsSet};
+use hcc_trace::rollup::CompletionSample;
+use hcc_trace::{Gauge, MetricsSet, RollupCollector};
 use hcc_types::calib::TdxCalib;
 use hcc_types::{CcMode, SimDuration, SimTime};
 use hcc_workloads::TenantSpec;
@@ -80,6 +81,11 @@ pub struct ClusterRun {
 /// produced (those requests are rejected at dispatch, never losing
 /// conservation: every admitted request either completes or rejects
 /// exactly once).
+///
+/// `rollup` receives one [`CompletionSample`] per settled request (at
+/// its completion instant for admitted work, at its dispatch instant for
+/// rejections) when enabled; a disabled collector costs one branch per
+/// settle and never allocates.
 pub fn simulate(
     requests: &[Request],
     service: &[Result<SimDuration, String>],
@@ -89,6 +95,7 @@ pub fn simulate(
     kind: SchedulerKind,
     max_batch: usize,
     tdx: &TdxCalib,
+    rollup: &mut RollupCollector,
 ) -> ClusterRun {
     assert_eq!(requests.len(), service.len());
     assert!(gpus > 0, "a cluster needs at least one GPU");
@@ -142,6 +149,13 @@ pub fn simulate(
                             batch: batch.len() as u32,
                             rejected: true,
                         };
+                        rollup.record(CompletionSample {
+                            req: i as u32,
+                            tenant: requests[i].tenant as u32,
+                            at: now,
+                            latency: now.saturating_since(requests[i].arrival),
+                            rejected: true,
+                        });
                     }
                     continue;
                 }
@@ -167,6 +181,13 @@ pub fn simulate(
                 outcomes[i].dispatch = now;
                 outcomes[i].completion = done;
                 outcomes[i].batch = batch.len() as u32;
+                rollup.record(CompletionSample {
+                    req: i as u32,
+                    tenant: requests[i].tenant as u32,
+                    at: done,
+                    latency: done.saturating_since(requests[i].arrival),
+                    rejected: false,
+                });
             }
             completions.push(std::cmp::Reverse((done, gpu)));
         }
@@ -275,6 +296,7 @@ mod tests {
             SchedulerKind::Fifo,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         // All three ran back to back on one device.
         assert_eq!(run.batches, 3);
@@ -307,6 +329,7 @@ mod tests {
             SchedulerKind::Fifo,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         let rejected: Vec<bool> = run.outcomes.iter().map(|o| o.rejected).collect();
         assert_eq!(rejected, vec![false, true, false]);
@@ -329,6 +352,7 @@ mod tests {
             SchedulerKind::Fifo,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         assert_eq!(run.cold_starts, 2, "one handshake per tenant on the device");
         assert!(run.outcomes[0].admission > run.outcomes[2].admission);
@@ -342,6 +366,7 @@ mod tests {
             SchedulerKind::Fifo,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         assert_eq!(off.cold_starts, 0);
         assert!(off.busy < run.busy, "CC-on admission costs device time");
@@ -361,6 +386,7 @@ mod tests {
             SchedulerKind::Fifo,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         let cb = simulate(
             &reqs,
@@ -371,6 +397,7 @@ mod tests {
             SchedulerKind::Batching,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         assert_eq!(cb.batches, 1);
         assert_eq!(cb.outcomes[0].batch, 4);
@@ -395,6 +422,7 @@ mod tests {
             SchedulerKind::Fifo,
             8,
             &TdxCalib::default(),
+            &mut RollupCollector::new(),
         );
         let depth = run.metrics.gauge_series("serving.queue_depth").unwrap();
         assert_eq!(depth.peak(), 2, "two requests queued behind the first");

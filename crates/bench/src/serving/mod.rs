@@ -86,6 +86,12 @@ pub struct ServingConfig {
     pub recovery: Option<RecoveryPolicy>,
     /// TDX calibration for the per-device session pools.
     pub tdx: TdxCalib,
+    /// SLO watchtower: when set, the CC-on run of every scheduler
+    /// records completion rollups and the report carries a windowed
+    /// burn-rate/incident timeline. `None` (the default) keeps the
+    /// rollup plane disabled and the rendered report byte-identical to
+    /// a watch-free build.
+    pub watch: Option<crate::watch::WatchConfig>,
 }
 
 impl Default for ServingConfig {
@@ -103,6 +109,7 @@ impl Default for ServingConfig {
             fault: None,
             recovery: None,
             tdx: TdxCalib::default(),
+            watch: None,
         }
     }
 }
@@ -241,13 +248,38 @@ pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
         }
     }
 
+    // Watchtower inputs shared by every scheduler: tenant labels, the
+    // chaos lab's default budgets, and a per-request blame table built
+    // from the CC-on shape attributions (each request blames its app's
+    // critical path).
+    let tenant_names: Vec<String> = cfg.tenants.iter().map(|t| t.name.to_string()).collect();
+    let budgets = crate::chaos::default_budgets(&cfg.tenants);
+    let blame = cfg.watch.map(|_| {
+        let shape_of: Vec<u32> = requests
+            .iter()
+            .map(|r| app_index[cfg.tenants[r.tenant].mix[r.class].app] as u32)
+            .collect();
+        let attrs: Vec<hcc_trace::Attribution> = (0..apps.len())
+            .map(|ai| match prefetched[apps.len() + ai].run() {
+                Ok(r) => hcc_trace::critpath::extract(&r.timeline, &r.causal).attribution(),
+                Err(_) => hcc_trace::Attribution::default(),
+            })
+            .collect();
+        (shape_of, attrs)
+    });
+
     let runs = cfg
         .schedulers
         .iter()
-        .map(|&kind| SchedulerRun {
-            scheduler: kind,
-            modes: [CcMode::Off, CcMode::On].map(|cc| {
+        .map(|&kind| {
+            let mut rollup = hcc_trace::RollupCollector::new();
+            let modes = [CcMode::Off, CcMode::On].map(|cc| {
                 let mi = usize::from(cc.is_on());
+                let mut collector = if cc.is_on() && cfg.watch.is_some() {
+                    hcc_trace::RollupCollector::enabled()
+                } else {
+                    hcc_trace::RollupCollector::new()
+                };
                 let raw = cluster::simulate(
                     &requests,
                     &service[mi],
@@ -257,9 +289,36 @@ pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
                     kind,
                     cfg.max_batch,
                     &cfg.tdx,
+                    &mut collector,
                 );
+                if cc.is_on() {
+                    rollup = collector;
+                }
                 report::mode_run(cc, cfg.gpus, &cfg.tenants, &requests, &service[mi], raw)
-            }),
+            });
+            let watch = cfg.watch.as_ref().map(|wcfg| {
+                let samples = std::mem::take(&mut rollup).into_sorted();
+                let on = &modes[1];
+                crate::watch::observe(
+                    wcfg,
+                    &crate::watch::SoakView {
+                        tenant_names: &tenant_names,
+                        budgets: &budgets,
+                        samples: &samples,
+                        horizon: on.end,
+                        queue: on.metrics.gauge_series("serving.queue_depth"),
+                        storm: None,
+                        blame: blame
+                            .as_ref()
+                            .map(|(shape_of, attrs)| crate::watch::BlameView { shape_of, attrs }),
+                    },
+                )
+            });
+            SchedulerRun {
+                scheduler: kind,
+                modes,
+                watch,
+            }
         })
         .collect();
 

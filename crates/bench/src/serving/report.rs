@@ -102,6 +102,9 @@ pub struct SchedulerRun {
     pub scheduler: SchedulerKind,
     /// CC-off then CC-on, in [`CcMode::ALL`] order.
     pub modes: [ModeRun; 2],
+    /// SLO watchtower over the CC-on run (`None` unless the config
+    /// enabled the watch plane).
+    pub watch: Option<crate::watch::WatchReport>,
 }
 
 impl SchedulerRun {
@@ -299,6 +302,10 @@ impl ServingReport {
                 })
                 .collect();
             let _ = writeln!(out, "p99 slowdown (cc/base): {}", slowdowns.join("  "));
+            if let Some(watch) = &run.watch {
+                let _ = writeln!(out, "\n--- watch: {} cc-on ---", run.scheduler);
+                out.push_str(&watch.render());
+            }
         }
         let _ = writeln!(
             out,
@@ -381,13 +388,17 @@ impl ToJson for ServingReport {
                     self.runs
                         .iter()
                         .map(|r| {
-                            Json::Obj(vec![
+                            let mut fields = vec![
                                 ("scheduler".to_string(), Json::Str(r.scheduler.to_string())),
                                 (
                                     "modes".to_string(),
                                     Json::Arr(r.modes.iter().map(ToJson::to_json).collect()),
                                 ),
-                            ])
+                            ];
+                            if let Some(watch) = &r.watch {
+                                fields.push(("watch".to_string(), watch.to_json()));
+                            }
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),

@@ -1,0 +1,455 @@
+//! Rendering and export of watchtower results: the per-window rollup
+//! table, the incident timeline, and the `tenant`/`window`-labelled
+//! Prometheus export.
+//!
+//! Everything rendered here is a deterministic function of virtual-time
+//! figures, so the text is byte-identical across `HCC_ENGINE_THREADS`
+//! (the tier-2 CI smoke diffs it at 1 vs 4 threads).
+
+use std::fmt::Write as _;
+
+use hcc_trace::critpath::ResourceClass;
+use hcc_trace::rollup::WindowStats;
+use hcc_types::json::{Json, ToJson};
+use hcc_types::{LatencyBudget, SimTime, StormIntensity};
+
+use super::WatchConfig;
+
+/// One tenant's budget consumption inside one fast window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBurn {
+    /// Bad events (rejections + p99 misses) settled in the window.
+    pub bad: u64,
+    /// Everything the tenant settled in the window.
+    pub total: u64,
+    /// Fast-window burn rate, milli-x.
+    pub fast_milli: u64,
+    /// Trailing slow-window burn rate, milli-x.
+    pub slow_milli: u64,
+    /// Whether the multi-window rule fired here.
+    pub alert: bool,
+}
+
+/// One fast window's full rollup: aggregate stats, queue reading, and
+/// per-tenant burns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Cross-tenant completion/rejection/latency rollup.
+    pub stats: WindowStats,
+    /// Mean queue depth over the window, in thousandths of a request.
+    pub queue_mean_milli: u64,
+    /// Whether the queue mean crossed the anomaly factor.
+    pub anomaly: bool,
+    /// Per-tenant burns, in population order.
+    pub burns: Vec<TenantBurn>,
+}
+
+/// The storm episode an incident overlapped (hottest intensity wins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentStorm {
+    /// Storm profile name.
+    pub profile: String,
+    /// Hottest intensity any incident window's midpoint sat in.
+    pub intensity: StormIntensity,
+    /// 1-based episode ordinal in the calendar.
+    pub episode: u32,
+}
+
+/// The dominant critical-path resource among an incident's completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncidentBlame {
+    /// Resource class with the largest summed critical time.
+    pub class: ResourceClass,
+    /// Its summed critical time.
+    pub critical: hcc_types::SimDuration,
+    /// Its share of the total, in whole percent.
+    pub pct: u64,
+}
+
+/// One coalesced streak of alerting windows for one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// 1-based position in the timeline (chronological).
+    pub id: usize,
+    /// Tenant index into the report's `tenant_names`.
+    pub tenant: usize,
+    /// First alerting window index.
+    pub first_window: usize,
+    /// Last alerting window index (inclusive).
+    pub last_window: usize,
+    /// Virtual start of the first alerting window.
+    pub start: SimTime,
+    /// Virtual end of the last alerting window.
+    pub end: SimTime,
+    /// Highest fast-window burn inside the streak, milli-x.
+    pub peak_burn_milli: u64,
+    /// Storm correlation (None when every window midpoint was calm or
+    /// no calendar was supplied).
+    pub storm: Option<IncidentStorm>,
+    /// Critical-path blame (None when nothing completed inside).
+    pub blame: Option<IncidentBlame>,
+}
+
+/// The full watchtower output for one soak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchReport {
+    /// The knobs that produced this report.
+    pub cfg: WatchConfig,
+    /// Tenant labels, in population order.
+    pub tenant_names: Vec<String>,
+    /// Per-tenant budgets, aligned with `tenant_names`.
+    pub budgets: Vec<LatencyBudget>,
+    /// One row per fast window, chronological.
+    pub windows: Vec<WindowRow>,
+    /// Chronological incident timeline.
+    pub incidents: Vec<Incident>,
+}
+
+/// Formats a milli-x burn rate as `N.Dx` (one decimal).
+fn fmt_burn(milli: u64) -> String {
+    format!("{}.{}x", milli / 1_000, (milli % 1_000) / 100)
+}
+
+/// Formats a virtual instant as whole+tenths seconds.
+fn fmt_secs(t: SimTime) -> String {
+    let ds = t.as_nanos() / 100_000_000; // deciseconds
+    format!("{}.{}s", ds / 10, ds % 10)
+}
+
+impl WatchReport {
+    /// Total `(tenant, window)` alerts.
+    pub fn alerts(&self) -> u64 {
+        self.windows
+            .iter()
+            .flat_map(|w| &w.burns)
+            .filter(|b| b.alert)
+            .count() as u64
+    }
+
+    /// Windows flagged as queue anomalies.
+    pub fn anomalies(&self) -> u64 {
+        self.windows.iter().filter(|w| w.anomaly).count() as u64
+    }
+
+    /// Highest fast-window burn anywhere in the soak, milli-x.
+    pub fn max_burn_milli(&self) -> u64 {
+        self.windows
+            .iter()
+            .flat_map(|w| &w.burns)
+            .map(|b| b.fast_milli)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Incidents that overlapped a storm episode.
+    pub fn storm_correlated(&self) -> usize {
+        self.incidents.iter().filter(|i| i.storm.is_some()).count()
+    }
+
+    /// Renders the rollup table, incident timeline, and trailer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "windows fast {} x{} | slow {} (x{}) | alert >={} both-window burn | anomaly >={} queue mean",
+            self.cfg.fast,
+            self.windows.len(),
+            self.cfg.pair().slow(),
+            self.cfg.slow_factor,
+            fmt_burn(self.cfg.threshold_milli),
+            fmt_burn(self.cfg.anomaly_milli),
+        );
+        for (name, b) in self.tenant_names.iter().zip(&self.budgets) {
+            let _ = writeln!(
+                out,
+                "budget {:<10} {} | error budget {}ppm",
+                name,
+                b,
+                b.error_budget_ppm()
+            );
+        }
+
+        let _ = writeln!(out);
+        let _ = write!(
+            out,
+            "{:>6} {:>15} {:>6} {:>5} {:>10} {:>10} {:>10} {:>8} {:>8}",
+            "window", "span", "n", "rej", "p50", "p99", "p999", "thr/s", "q.mean"
+        );
+        for name in &self.tenant_names {
+            let _ = write!(out, " {:>10}", format!("{name}-burn"));
+        }
+        let _ = writeln!(out, " {:>5}", "flags");
+        for row in &self.windows {
+            let w = &row.stats.window;
+            let _ = write!(
+                out,
+                "{:>6} {:>15} {:>6} {:>5} {:>10} {:>10} {:>10} {:>8.1} {:>8}",
+                format!("w{:03}", w.index),
+                format!("{}-{}", fmt_secs(w.start), fmt_secs(w.end)),
+                row.stats.completed,
+                row.stats.rejected,
+                row.stats.p50.to_string(),
+                row.stats.p99.to_string(),
+                row.stats.p999.to_string(),
+                row.stats.throughput_per_sec(),
+                format!(
+                    "{}.{:03}",
+                    row.queue_mean_milli / 1_000,
+                    row.queue_mean_milli % 1_000
+                ),
+            );
+            for b in &row.burns {
+                let cell = if b.total == 0 {
+                    "-".to_string()
+                } else {
+                    format!(
+                        "{}{}",
+                        fmt_burn(b.fast_milli),
+                        if b.alert { "!" } else { "" }
+                    )
+                };
+                let _ = write!(out, " {cell:>10}");
+            }
+            let _ = writeln!(out, " {:>5}", if row.anomaly { "~" } else { "" });
+        }
+
+        let _ = writeln!(out, "\nincident timeline:");
+        if self.incidents.is_empty() {
+            let _ = writeln!(out, "  (no incidents)");
+        }
+        for inc in &self.incidents {
+            let storm = match &inc.storm {
+                Some(s) => format!("{}@{} ep{}", s.profile, s.intensity, s.episode),
+                None => "none".to_string(),
+            };
+            let blame = match &inc.blame {
+                Some(b) => format!("{} {}%", b.class.short(), b.pct),
+                None => "none".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  incident #{}: tenant {} | w{:03}..w{:03} | {}..{} | peak burn {} | storm {} | blame {}",
+                inc.id,
+                self.tenant_names[inc.tenant],
+                inc.first_window,
+                inc.last_window,
+                fmt_secs(inc.start),
+                fmt_secs(inc.end),
+                fmt_burn(inc.peak_burn_milli),
+                storm,
+                blame,
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\nwatch: windows {} | alerts {} | anomalies {} | incidents {} | storm-correlated {} | max burn {}",
+            self.windows.len(),
+            self.alerts(),
+            self.anomalies(),
+            self.incidents.len(),
+            self.storm_correlated(),
+            fmt_burn(self.max_burn_milli()),
+        );
+        out
+    }
+
+    /// Prometheus-style text exposition with `tenant`/`window` labels.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE hcc_watch_window_p99_ns gauge");
+        for row in &self.windows {
+            let _ = writeln!(
+                out,
+                "hcc_watch_window_p99_ns{{window=\"{}\"}} {}",
+                row.stats.window.index,
+                row.stats.p99.as_nanos()
+            );
+        }
+        let _ = writeln!(out, "# TYPE hcc_watch_window_settled gauge");
+        for row in &self.windows {
+            let _ = writeln!(
+                out,
+                "hcc_watch_window_settled{{window=\"{}\"}} {}",
+                row.stats.window.index,
+                row.stats.total()
+            );
+        }
+        let _ = writeln!(out, "# TYPE hcc_watch_burn_milli gauge");
+        for row in &self.windows {
+            for (name, b) in self.tenant_names.iter().zip(&row.burns) {
+                let _ = writeln!(
+                    out,
+                    "hcc_watch_burn_milli{{tenant=\"{}\",window=\"{}\"}} {}",
+                    name, row.stats.window.index, b.fast_milli
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE hcc_watch_alert gauge");
+        for row in &self.windows {
+            for (name, b) in self.tenant_names.iter().zip(&row.burns) {
+                let _ = writeln!(
+                    out,
+                    "hcc_watch_alert{{tenant=\"{}\",window=\"{}\"}} {}",
+                    name,
+                    row.stats.window.index,
+                    u64::from(b.alert)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE hcc_watch_incident_peak_burn_milli gauge");
+        for inc in &self.incidents {
+            let _ = writeln!(
+                out,
+                "hcc_watch_incident_peak_burn_milli{{incident=\"{}\",tenant=\"{}\"}} {}",
+                inc.id, self.tenant_names[inc.tenant], inc.peak_burn_milli
+            );
+        }
+        let _ = writeln!(out, "# TYPE hcc_watch_incidents_total counter");
+        let _ = writeln!(out, "hcc_watch_incidents_total {}", self.incidents.len());
+        let _ = writeln!(out, "# TYPE hcc_watch_alerts_total counter");
+        let _ = writeln!(out, "hcc_watch_alerts_total {}", self.alerts());
+        out
+    }
+}
+
+impl ToJson for TenantBurn {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bad".to_string(), Json::U64(self.bad)),
+            ("total".to_string(), Json::U64(self.total)),
+            ("fast_milli".to_string(), Json::U64(self.fast_milli)),
+            ("slow_milli".to_string(), Json::U64(self.slow_milli)),
+            ("alert".to_string(), Json::Bool(self.alert)),
+        ])
+    }
+}
+
+impl ToJson for WindowRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "window".to_string(),
+                Json::U64(self.stats.window.index as u64),
+            ),
+            (
+                "start_ns".to_string(),
+                Json::U64(self.stats.window.start.as_nanos()),
+            ),
+            (
+                "end_ns".to_string(),
+                Json::U64(self.stats.window.end.as_nanos()),
+            ),
+            ("completed".to_string(), Json::U64(self.stats.completed)),
+            ("rejected".to_string(), Json::U64(self.stats.rejected)),
+            ("p50_ns".to_string(), Json::U64(self.stats.p50.as_nanos())),
+            ("p99_ns".to_string(), Json::U64(self.stats.p99.as_nanos())),
+            ("p999_ns".to_string(), Json::U64(self.stats.p999.as_nanos())),
+            (
+                "queue_mean_milli".to_string(),
+                Json::U64(self.queue_mean_milli),
+            ),
+            ("anomaly".to_string(), Json::Bool(self.anomaly)),
+            (
+                "burns".to_string(),
+                Json::Arr(self.burns.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for Incident {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::U64(self.id as u64)),
+            ("tenant".to_string(), Json::U64(self.tenant as u64)),
+            (
+                "first_window".to_string(),
+                Json::U64(self.first_window as u64),
+            ),
+            (
+                "last_window".to_string(),
+                Json::U64(self.last_window as u64),
+            ),
+            ("start_ns".to_string(), Json::U64(self.start.as_nanos())),
+            ("end_ns".to_string(), Json::U64(self.end.as_nanos())),
+            (
+                "peak_burn_milli".to_string(),
+                Json::U64(self.peak_burn_milli),
+            ),
+        ];
+        match &self.storm {
+            Some(s) => fields.push((
+                "storm".to_string(),
+                Json::Obj(vec![
+                    ("profile".to_string(), Json::Str(s.profile.clone())),
+                    (
+                        "intensity".to_string(),
+                        Json::Str(s.intensity.name().to_string()),
+                    ),
+                    ("episode".to_string(), Json::U64(u64::from(s.episode))),
+                ]),
+            )),
+            None => fields.push(("storm".to_string(), Json::Null)),
+        }
+        match &self.blame {
+            Some(b) => fields.push((
+                "blame".to_string(),
+                Json::Obj(vec![
+                    ("class".to_string(), Json::Str(b.class.name().to_string())),
+                    ("pct".to_string(), Json::U64(b.pct)),
+                    ("critical_ns".to_string(), Json::U64(b.critical.as_nanos())),
+                ]),
+            )),
+            None => fields.push(("blame".to_string(), Json::Null)),
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl ToJson for WatchReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("fast_ns".to_string(), Json::U64(self.cfg.fast.as_nanos())),
+            (
+                "slow_factor".to_string(),
+                Json::U64(u64::from(self.cfg.slow_factor)),
+            ),
+            (
+                "threshold_milli".to_string(),
+                Json::U64(self.cfg.threshold_milli),
+            ),
+            (
+                "anomaly_milli".to_string(),
+                Json::U64(self.cfg.anomaly_milli),
+            ),
+            (
+                "tenants".to_string(),
+                Json::Arr(
+                    self.tenant_names
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            ("alerts".to_string(), Json::U64(self.alerts())),
+            ("anomalies".to_string(), Json::U64(self.anomalies())),
+            (
+                "max_burn_milli".to_string(),
+                Json::U64(self.max_burn_milli()),
+            ),
+            (
+                "storm_correlated".to_string(),
+                Json::U64(self.storm_correlated() as u64),
+            ),
+            (
+                "windows".to_string(),
+                Json::Arr(self.windows.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "incidents".to_string(),
+                Json::Arr(self.incidents.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}

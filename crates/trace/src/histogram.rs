@@ -66,6 +66,12 @@ impl Histogram {
         self.count
     }
 
+    /// Exact sum of every recorded sample (not bucket-quantized) — what
+    /// a Prometheus `_sum` line must carry for rate math to be honest.
+    pub fn total(&self) -> SimDuration {
+        self.total
+    }
+
     /// Mean sample.
     pub fn mean(&self) -> SimDuration {
         if self.count == 0 {

@@ -38,6 +38,7 @@ mod event;
 pub mod export;
 mod histogram;
 pub mod metrics;
+pub mod rollup;
 mod stats;
 mod timeline;
 
@@ -48,6 +49,7 @@ pub use event::{EventKind, HypercallReason, KernelId, StreamId, TraceEvent};
 pub use export::ChromeExport;
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge, MetricsSet, Series};
+pub use rollup::{CompletionSample, RollupCollector, Window, WindowStats};
 pub use stats::{geomean, mean_ratio, Cdf, Summary};
 pub use timeline::{KernelRecord, LaunchMetrics, LaunchRecord, MemMetrics, PhaseTotals, Timeline};
 

@@ -282,6 +282,74 @@ impl Series {
             self.integral().as_nanos() as f64 / span.as_nanos() as f64
         }
     }
+
+    /// Value the step function holds at instant `t`: 0 before the first
+    /// change-point, and the final value for any `t` at or past the last
+    /// one (a step function persists).
+    pub fn value_at(&self, t: SimTime) -> i64 {
+        let idx = self.samples.partition_point(|&(st, _)| st <= t);
+        if idx == 0 {
+            0
+        } else {
+            self.samples[idx - 1].1
+        }
+    }
+
+    /// Time-weighted integral of the step function over `[from, to)`.
+    /// Total on every input: inverted or empty windows yield zero,
+    /// windows starting before the first change-point integrate the
+    /// implicit leading 0, and windows ending past the last change-point
+    /// extend its value (negative excursions contribute zero, matching
+    /// [`Series::integral`]).
+    pub fn integral_between(&self, from: SimTime, to: SimTime) -> SimDuration {
+        if to <= from {
+            return SimDuration::ZERO;
+        }
+        let mut total = 0u64;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        let idx = self.samples.partition_point(|&(st, _)| st <= from);
+        for &(st, v) in &self.samples[idx..] {
+            if st >= to {
+                break;
+            }
+            if value > 0 {
+                total += (value as u64).saturating_mul((st - cursor).as_nanos());
+            }
+            cursor = st;
+            value = v;
+        }
+        if value > 0 {
+            total += (value as u64).saturating_mul((to - cursor).as_nanos());
+        }
+        SimDuration::from_nanos(total)
+    }
+
+    /// Mean held value over `[from, to)` (0 for inverted/empty windows).
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            0.0
+        } else {
+            self.integral_between(from, to).as_nanos() as f64 / (to - from).as_nanos() as f64
+        }
+    }
+
+    /// Highest value the step function holds anywhere in `[from, to)`
+    /// (0 for inverted/empty windows).
+    pub fn peak_between(&self, from: SimTime, to: SimTime) -> i64 {
+        if to <= from {
+            return 0;
+        }
+        let mut peak = self.value_at(from);
+        let idx = self.samples.partition_point(|&(st, _)| st <= from);
+        for &(st, v) in &self.samples[idx..] {
+            if st >= to {
+                break;
+            }
+            peak = peak.max(v);
+        }
+        peak
+    }
 }
 
 /// Virtual time during which both step series are simultaneously positive
@@ -507,8 +575,9 @@ pub fn to_prometheus(set: &MetricsSet) -> String {
                 lo.as_nanos() * 2
             );
         }
+        let _ = writeln!(out, "hcc_{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "hcc_{n}_sum {}", h.total().as_nanos());
         let _ = writeln!(out, "hcc_{n}_count {}", h.count());
-        let _ = writeln!(out, "hcc_{n}_sum_ns {}", h.mean().as_nanos() * h.count());
     }
     out
 }
@@ -657,6 +726,103 @@ mod tests {
         set.gauge("off", &Gauge::new());
         assert!(set.counters.is_empty());
         assert!(set.gauges.is_empty());
+    }
+
+    #[test]
+    fn windowed_reads_match_whole_series_reads() {
+        let mut g = Gauge::enabled();
+        g.occupy(t(10), t(30));
+        g.occupy(t(20), t(40));
+        let s = g.series("q");
+        // value_at walks the step function including the implicit edges.
+        assert_eq!(s.value_at(t(0)), 0);
+        assert_eq!(s.value_at(t(10)), 1);
+        assert_eq!(s.value_at(t(25)), 2);
+        assert_eq!(s.value_at(t(40)), 0);
+        assert_eq!(s.value_at(t(999)), 0);
+        // A window covering the whole series reproduces integral()/peak().
+        assert_eq!(s.integral_between(t(0), t(100)), s.integral());
+        assert_eq!(s.peak_between(t(0), t(100)), s.peak());
+        // Interior window: [15, 35) holds 1 for 5µs, 2 for 10µs, 1 for 5µs.
+        assert_eq!(s.integral_between(t(15), t(35)), SimDuration::micros(30));
+        assert!((s.mean_between(t(15), t(35)) - 1.5).abs() < 1e-12);
+        assert_eq!(s.peak_between(t(15), t(35)), 2);
+        // Window entirely inside one step.
+        assert_eq!(s.integral_between(t(22), t(24)), SimDuration::micros(4));
+        assert_eq!(s.peak_between(t(22), t(24)), 2);
+    }
+
+    #[test]
+    fn windowed_reads_degenerate_inputs_are_defined() {
+        // Empty series: every read is zero.
+        let empty = Gauge::enabled().series("e");
+        assert_eq!(empty.value_at(t(5)), 0);
+        assert_eq!(empty.integral_between(t(0), t(10)), SimDuration::ZERO);
+        assert_eq!(empty.mean_between(t(0), t(10)), 0.0);
+        assert_eq!(empty.peak_between(t(0), t(10)), 0);
+        assert_eq!(empty.mean_over(SimDuration::ZERO), 0.0);
+        assert_eq!(empty.mean_over(SimDuration::micros(10)), 0.0);
+
+        // Single change-point: the value persists past the last sample.
+        let mut g = Gauge::enabled();
+        g.add(t(10), 3);
+        let single = g.series("s");
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.value_at(t(9)), 0);
+        assert_eq!(single.value_at(t(10)), 3);
+        // Window entirely before the first change-point.
+        assert_eq!(single.integral_between(t(0), t(10)), SimDuration::ZERO);
+        assert_eq!(single.peak_between(t(0), t(10)), 0);
+        // Window extending past the last change-point integrates the
+        // persisted value.
+        assert_eq!(
+            single.integral_between(t(5), t(20)),
+            SimDuration::micros(30)
+        );
+        assert_eq!(single.peak_between(t(5), t(20)), 3);
+
+        // Inverted and empty windows are zero, never a panic.
+        assert_eq!(single.integral_between(t(20), t(5)), SimDuration::ZERO);
+        assert_eq!(single.mean_between(t(20), t(5)), 0.0);
+        assert_eq!(single.peak_between(t(12), t(12)), 0);
+
+        // overlap_time with degenerate partners.
+        let e = Series {
+            name: "e".into(),
+            samples: vec![],
+        };
+        assert_eq!(overlap_time(&e, &e), SimDuration::ZERO);
+        assert_eq!(overlap_time(&single, &e), SimDuration::ZERO);
+        // Two single-sample series that both persist positive values
+        // never close their overlap window (no later change-point), so
+        // the measured overlap is zero — the scan stops at the last edge.
+        assert_eq!(overlap_time(&single, &single), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn prometheus_hist_export_is_ingestible() {
+        let mut set = MetricsSet::new();
+        set.push_hist(
+            "stage.lat",
+            Histogram::from_durations([
+                SimDuration::from_nanos(1),
+                SimDuration::from_nanos(3),
+                SimDuration::from_nanos(3),
+                SimDuration::micros(1),
+            ]),
+        );
+        // Cumulative buckets, an explicit +Inf, and an exact _sum — the
+        // shape real Prometheus tooling requires of a histogram family.
+        let expected = "\
+# TYPE hcc_stage_lat histogram
+hcc_stage_lat_bucket{le=\"2\"} 1
+hcc_stage_lat_bucket{le=\"4\"} 3
+hcc_stage_lat_bucket{le=\"1024\"} 4
+hcc_stage_lat_bucket{le=\"+Inf\"} 4
+hcc_stage_lat_sum 1007
+hcc_stage_lat_count 4
+";
+        assert_eq!(to_prometheus(&set), expected);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Streaming virtual-time rollups: tumbling/sliding windows over request
+//! completions and gauge change-point series.
+//!
+//! The metrics plane ([`crate::metrics`]) answers whole-run questions
+//! (peak depth, total occupancy); this module slices the same virtual
+//! clock into windows so a 30-day soak becomes a time-resolved sequence
+//! of per-window tail latencies, throughputs, and rejection fractions —
+//! the substrate the `hcc_bench::watch` burn-rate alerter consumes.
+//!
+//! Determinism contract (shared with the metrics plane):
+//!
+//! - **Virtual-time only.** A [`CompletionSample`] carries the settle
+//!   instant on the sim clock; window boundaries are pure arithmetic on
+//!   it. No wall-clock read anywhere.
+//! - **Order-independence.** Samples may be recorded in any order (the
+//!   serving loop settles completions as it dispatches, not as they
+//!   finish); [`RollupCollector::into_sorted`] canonicalizes by
+//!   `(at, req)` so every rollup depends only on the *set* of samples.
+//! - **Zero-cost when disabled.** A disabled collector's `record` is a
+//!   single branch and never allocates, so runs with the plane off are
+//!   byte-identical to runs before the plane existed.
+
+use hcc_types::{SimDuration, SimTime};
+
+/// One settled request: either a completion (with its end-to-end
+/// latency) or an admission-control rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionSample {
+    /// Index of the request in the driving soak's arrival order.
+    pub req: u32,
+    /// Tenant index (into the soak's tenant table).
+    pub tenant: u32,
+    /// Virtual instant the request settled (completion or rejection).
+    pub at: SimTime,
+    /// End-to-end latency (arrival → completion); zero for rejections.
+    pub latency: SimDuration,
+    /// True when admission control turned the request away.
+    pub rejected: bool,
+}
+
+/// Append-only recorder for [`CompletionSample`]s. Disabled by default;
+/// the serving loop threads one through unconditionally and pays a
+/// single branch per settled request when the plane is off.
+#[derive(Debug, Clone, Default)]
+pub struct RollupCollector {
+    enabled: bool,
+    samples: Vec<CompletionSample>,
+}
+
+impl RollupCollector {
+    /// A disabled (no-op) collector — the default state.
+    pub fn new() -> Self {
+        RollupCollector::default()
+    }
+
+    /// An enabled collector with no samples.
+    pub fn enabled() -> Self {
+        RollupCollector {
+            enabled: true,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Whether this collector records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one settled request (no-op while disabled).
+    pub fn record(&mut self, sample: CompletionSample) {
+        if self.enabled {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consumes the collector and returns samples in canonical
+    /// `(at, req)` order — the form every rollup function expects, and
+    /// the reason recording order (thread interleaving, dispatch order)
+    /// can never leak into a report.
+    pub fn into_sorted(mut self) -> Vec<CompletionSample> {
+        self.samples.sort_by_key(|s| (s.at, s.req));
+        self.samples
+    }
+}
+
+/// One half-open rollup window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Position in the generating sequence.
+    pub index: usize,
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl Window {
+    /// Window width.
+    pub fn width(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// Midpoint instant (used to correlate a window against a storm
+    /// calendar).
+    pub fn mid(&self) -> SimTime {
+        SimTime::from_nanos((self.start.as_nanos() + self.end.as_nanos()) / 2)
+    }
+
+    /// Whether `t` falls inside `[start, end)`.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Non-overlapping windows of `width` tiling `[0, horizon)`; the last
+/// window is clipped short only if the horizon is not a multiple of the
+/// width — boundaries are exact integer arithmetic, never floats. A zero
+/// width or zero horizon yields no windows.
+pub fn tumbling(horizon: SimTime, width: SimDuration) -> Vec<Window> {
+    sliding(horizon, width, width)
+}
+
+/// Overlapping windows of `width` whose starts advance by `stride`,
+/// covering `[0, horizon)`. Windows are clipped to the horizon. Zero
+/// stride, zero width, or a zero horizon yields no windows.
+pub fn sliding(horizon: SimTime, width: SimDuration, stride: SimDuration) -> Vec<Window> {
+    let horizon_ns = horizon.as_nanos();
+    let (width_ns, stride_ns) = (width.as_nanos(), stride.as_nanos());
+    if horizon_ns == 0 || width_ns == 0 || stride_ns == 0 {
+        return Vec::new();
+    }
+    let mut windows = Vec::new();
+    let mut start = 0u64;
+    while start < horizon_ns {
+        let end = start.saturating_add(width_ns).min(horizon_ns);
+        windows.push(Window {
+            index: windows.len(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        });
+        start = start.saturating_add(stride_ns);
+    }
+    windows
+}
+
+/// The contiguous slice of `samples` (sorted by `at`) settling inside
+/// `window` — the primitive per-tenant consumers filter further.
+pub fn window_range<'a>(
+    samples: &'a [CompletionSample],
+    window: &Window,
+) -> &'a [CompletionSample] {
+    let lo = samples.partition_point(|s| s.at < window.start);
+    let hi = samples.partition_point(|s| s.at < window.end);
+    &samples[lo..hi]
+}
+
+/// Nearest-rank `p`-quantile over an ascending-sorted latency slice
+/// (`SimDuration::ZERO` when empty) — integer rank math, no
+/// interpolation, so rollup tails are bit-stable.
+pub fn quantile_sorted(sorted: &[SimDuration], p: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Per-window rollup of settled requests: counts, tail latencies, and
+/// throughput for one [`Window`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStats {
+    /// The window these figures cover.
+    pub window: Window,
+    /// Requests that completed inside the window.
+    pub completed: u64,
+    /// Requests rejected inside the window.
+    pub rejected: u64,
+    /// Nearest-rank completion-latency quantiles (ZERO when nothing
+    /// completed in the window).
+    pub p50: SimDuration,
+    /// 99th-percentile completion latency.
+    pub p99: SimDuration,
+    /// 99.9th-percentile completion latency.
+    pub p999: SimDuration,
+    /// Sum of completion latencies (for exact window means).
+    pub latency_sum: SimDuration,
+}
+
+impl WindowStats {
+    /// Completed plus rejected.
+    pub fn total(&self) -> u64 {
+        self.completed + self.rejected
+    }
+
+    /// Rejected fraction of everything that settled, in parts per
+    /// million (0 for an empty window).
+    pub fn reject_ppm(&self) -> u64 {
+        if self.total() == 0 {
+            0
+        } else {
+            self.rejected * 1_000_000 / self.total()
+        }
+    }
+
+    /// Completions per virtual second over the window width.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let w = self.window.width().as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / w
+        }
+    }
+}
+
+/// Rolls `samples` (canonically sorted — see
+/// [`RollupCollector::into_sorted`]) into one [`WindowStats`] per
+/// window.
+pub fn window_stats(samples: &[CompletionSample], windows: &[Window]) -> Vec<WindowStats> {
+    windows
+        .iter()
+        .map(|w| {
+            let slice = window_range(samples, w);
+            let mut latencies: Vec<SimDuration> = slice
+                .iter()
+                .filter(|s| !s.rejected)
+                .map(|s| s.latency)
+                .collect();
+            latencies.sort_unstable();
+            let rejected = slice.len() as u64 - latencies.len() as u64;
+            let mut latency_sum = SimDuration::ZERO;
+            for l in &latencies {
+                latency_sum += *l;
+            }
+            WindowStats {
+                window: *w,
+                completed: latencies.len() as u64,
+                rejected,
+                p50: quantile_sorted(&latencies, 0.50),
+                p99: quantile_sorted(&latencies, 0.99),
+                p999: quantile_sorted(&latencies, 0.999),
+                latency_sum,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(SimDuration::millis(ms).as_nanos())
+    }
+
+    fn sample(req: u32, at_ms: u64, lat_ms: u64, rejected: bool) -> CompletionSample {
+        CompletionSample {
+            req,
+            tenant: req % 2,
+            at: t(at_ms),
+            latency: SimDuration::millis(lat_ms),
+            rejected,
+        }
+    }
+
+    #[test]
+    fn disabled_collector_is_a_no_op() {
+        let mut c = RollupCollector::new();
+        assert!(!c.is_enabled());
+        c.record(sample(0, 1, 1, false));
+        assert!(c.is_empty());
+        assert!(c.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn collector_canonicalizes_recording_order() {
+        let mut fwd = RollupCollector::enabled();
+        let mut rev = RollupCollector::enabled();
+        let samples = [
+            sample(0, 30, 3, false),
+            sample(1, 10, 1, false),
+            sample(2, 10, 2, true),
+        ];
+        for s in &samples {
+            fwd.record(*s);
+        }
+        for s in samples.iter().rev() {
+            rev.record(*s);
+        }
+        let canon = fwd.into_sorted();
+        assert_eq!(canon, rev.into_sorted());
+        assert_eq!(canon[0].req, 1, "ties broken by request index");
+        assert_eq!(canon[1].req, 2);
+    }
+
+    #[test]
+    fn tumbling_tiles_horizon_exactly() {
+        let ws = tumbling(t(95), SimDuration::millis(10));
+        assert_eq!(ws.len(), 10);
+        assert_eq!(ws[0].start, SimTime::ZERO);
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+        }
+        assert_eq!(ws[9].end, t(95), "last window clipped to horizon");
+        assert_eq!(ws[9].width(), SimDuration::millis(5));
+        assert!(ws[3].contains(t(35)));
+        assert!(!ws[3].contains(t(40)));
+        assert_eq!(ws[3].mid(), t(35));
+    }
+
+    #[test]
+    fn sliding_windows_overlap_by_stride() {
+        let ws = sliding(t(30), SimDuration::millis(10), SimDuration::millis(5));
+        assert_eq!(ws.len(), 6);
+        assert_eq!(ws[1].start, t(5));
+        assert_eq!(ws[1].end, t(15));
+        assert_eq!(ws[5].start, t(25));
+        assert_eq!(ws[5].end, t(30));
+    }
+
+    #[test]
+    fn degenerate_window_generation_is_empty() {
+        assert!(tumbling(SimTime::ZERO, SimDuration::millis(10)).is_empty());
+        assert!(tumbling(t(10), SimDuration::ZERO).is_empty());
+        assert!(sliding(t(10), SimDuration::millis(5), SimDuration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn window_stats_count_and_rank_correctly() {
+        let mut c = RollupCollector::enabled();
+        // Window [0,10): three completions 1/2/100ms, one rejection.
+        c.record(sample(0, 1, 1, false));
+        c.record(sample(1, 2, 2, false));
+        c.record(sample(2, 3, 100, false));
+        c.record(sample(3, 4, 0, true));
+        // Window [10,20): empty. Window [20,30): one rejection only.
+        c.record(sample(4, 25, 0, true));
+        let samples = c.into_sorted();
+        let ws = tumbling(t(30), SimDuration::millis(10));
+        let stats = window_stats(&samples, &ws);
+        assert_eq!(stats.len(), 3);
+
+        assert_eq!(stats[0].completed, 3);
+        assert_eq!(stats[0].rejected, 1);
+        assert_eq!(stats[0].total(), 4);
+        assert_eq!(stats[0].reject_ppm(), 250_000);
+        assert_eq!(stats[0].p50, SimDuration::millis(2));
+        assert_eq!(stats[0].p99, SimDuration::millis(100));
+        assert_eq!(stats[0].p999, SimDuration::millis(100));
+        assert_eq!(stats[0].latency_sum, SimDuration::millis(103));
+        assert!((stats[0].throughput_per_sec() - 300.0).abs() < 1e-9);
+
+        assert_eq!(stats[1].total(), 0);
+        assert_eq!(stats[1].p999, SimDuration::ZERO);
+        assert_eq!(stats[1].reject_ppm(), 0);
+
+        assert_eq!(stats[2].completed, 0);
+        assert_eq!(stats[2].rejected, 1);
+        assert_eq!(stats[2].reject_ppm(), 1_000_000);
+    }
+
+    #[test]
+    fn window_range_is_half_open() {
+        let samples = vec![
+            sample(0, 9, 1, false),
+            sample(1, 10, 1, false),
+            sample(2, 19, 1, false),
+            sample(3, 20, 1, false),
+        ];
+        let w = Window {
+            index: 1,
+            start: t(10),
+            end: t(20),
+        };
+        let slice = window_range(&samples, &w);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice[0].req, 1);
+        assert_eq!(slice[1].req, 2);
+    }
+
+    #[test]
+    fn quantile_sorted_degenerate_inputs() {
+        assert_eq!(quantile_sorted(&[], 0.99), SimDuration::ZERO);
+        let one = [SimDuration::millis(7)];
+        for p in [0.0, 0.5, 0.999] {
+            assert_eq!(quantile_sorted(&one, p), SimDuration::millis(7));
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod mode;
 pub mod planes;
 pub mod rng;
 mod size;
+pub mod slo;
 pub mod storm;
 mod time;
 
@@ -36,6 +37,7 @@ pub use fault::{FaultCounts, FaultInjector, FaultPlan, FaultSite, Recovery, Reco
 pub use mode::{CcMode, CopyKind, CpuModel, HostMemKind, MemSpace};
 pub use planes::Planes;
 pub use size::{Bandwidth, ByteSize};
+pub use slo::{burn_rate_milli, BurnPair};
 pub use storm::{LatencyBudget, StormIntensity, StormProfile, StormSchedule, StormWindow};
 pub use time::{SimDuration, SimTime};
 

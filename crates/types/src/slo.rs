@@ -1,0 +1,159 @@
+//! Error-budget and burn-rate math for streaming SLO monitoring.
+//!
+//! A [`LatencyBudget`] (see [`crate::storm`]) declares what a tenant
+//! tolerates over a whole soak: a p99 latency bound and a rejection
+//! allowance in parts per million. The watchtower needs the same contract
+//! re-expressed as an *error budget rate*: the fraction of requests that
+//! may go bad (miss p99 or get rejected) before the contract is burning.
+//! This module derives that rate and implements the multi-window
+//! burn-rate test popularised by the Google SRE workbook: an alert fires
+//! only when budget consumption exceeds a threshold in **both** a fast
+//! window (catches the spike) and a slow window (filters the blip).
+//!
+//! All arithmetic is integer (parts-per-million fractions, milli-x burn
+//! rates) so alert decisions are bit-identical across platforms and
+//! thread counts.
+
+use crate::storm::LatencyBudget;
+use crate::SimDuration;
+
+/// Burn rates are expressed in thousandths of the budget rate:
+/// `1000` milli-x means bad events arrive at exactly the budgeted rate.
+pub const BURN_ONE: u64 = 1_000;
+
+/// The p99 clause of a [`LatencyBudget`] tolerates 1% of requests over
+/// the bound; expressed in parts per million of the tenant's total.
+pub const P99_ALLOWANCE_PPM: u64 = 10_000;
+
+/// Computes a burn rate in milli-x: the observed bad fraction
+/// (`bad / total`) divided by the budgeted bad fraction
+/// (`budget_ppm / 1e6`), scaled by [`BURN_ONE`]. Zero totals and zero
+/// budgets burn nothing (an empty window cannot consume budget).
+#[must_use]
+pub fn burn_rate_milli(bad: u64, total: u64, budget_ppm: u64) -> u64 {
+    if total == 0 || budget_ppm == 0 {
+        return 0;
+    }
+    let num = u128::from(bad) * 1_000_000_000u128;
+    let den = u128::from(total) * u128::from(budget_ppm);
+    u64::try_from(num / den).unwrap_or(u64::MAX)
+}
+
+impl LatencyBudget {
+    /// The fraction of requests this budget tolerates going bad, in parts
+    /// per million: the p99 clause's 1% allowance plus the declared
+    /// rejection allowance, capped at 100%.
+    #[must_use]
+    pub fn error_budget_ppm(&self) -> u64 {
+        (P99_ALLOWANCE_PPM + self.max_reject_ppm).min(1_000_000)
+    }
+
+    /// Whether one completed-or-rejected request consumes error budget:
+    /// it was rejected outright, or it finished over the p99 bound.
+    #[must_use]
+    pub fn is_bad(&self, latency: SimDuration, rejected: bool) -> bool {
+        rejected || latency > self.p99
+    }
+}
+
+/// A fast/slow window pair with a shared burn threshold. The fast window
+/// is a tumbling window of width [`BurnPair::fast`]; the slow window is
+/// the trailing span covering [`BurnPair::slow_factor`] fast windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurnPair {
+    /// Width of the fast (tumbling) window, in virtual time.
+    pub fast: SimDuration,
+    /// Slow window width as a multiple of the fast width.
+    pub slow_factor: u32,
+    /// Alert threshold in milli-x ([`BURN_ONE`] = burning at exactly the
+    /// budgeted rate).
+    pub threshold_milli: u64,
+}
+
+impl BurnPair {
+    /// Width of the slow (trailing) window.
+    #[must_use]
+    pub fn slow(&self) -> SimDuration {
+        SimDuration::from_nanos(self.fast.as_nanos() * u64::from(self.slow_factor.max(1)))
+    }
+
+    /// The multi-window alert rule: fires iff the burn rate meets the
+    /// threshold in *both* windows of the pair.
+    #[must_use]
+    pub fn fires(&self, fast_milli: u64, slow_milli: u64) -> bool {
+        fast_milli >= self.threshold_milli && slow_milli >= self.threshold_milli
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> LatencyBudget {
+        LatencyBudget {
+            p99: SimDuration::millis(300),
+            p999: SimDuration::millis(400),
+            max_reject_ppm: 60_000,
+        }
+    }
+
+    #[test]
+    fn error_budget_adds_p99_clause_to_reject_allowance() {
+        assert_eq!(budget().error_budget_ppm(), 70_000);
+        let generous = LatencyBudget {
+            max_reject_ppm: 999_999_999,
+            ..budget()
+        };
+        assert_eq!(generous.error_budget_ppm(), 1_000_000);
+    }
+
+    #[test]
+    fn bad_events_are_rejections_or_p99_misses() {
+        let b = budget();
+        assert!(b.is_bad(SimDuration::ZERO, true));
+        assert!(b.is_bad(SimDuration::millis(301), false));
+        assert!(!b.is_bad(SimDuration::millis(300), false));
+        assert!(!b.is_bad(SimDuration::millis(1), false));
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget_fraction() {
+        // 7% bad against a 7% budget burns at exactly 1x.
+        assert_eq!(burn_rate_milli(70, 1000, 70_000), BURN_ONE);
+        // 14x burn: 98% bad against the same budget.
+        assert_eq!(burn_rate_milli(980, 1000, 70_000), 14 * BURN_ONE);
+        // Empty windows and zero budgets burn nothing.
+        assert_eq!(burn_rate_milli(0, 0, 70_000), 0);
+        assert_eq!(burn_rate_milli(5, 10, 0), 0);
+        assert_eq!(burn_rate_milli(0, 10, 70_000), 0);
+    }
+
+    #[test]
+    fn burn_rate_saturates_instead_of_overflowing() {
+        assert!(burn_rate_milli(u64::MAX, 1, 1) > 0);
+    }
+
+    #[test]
+    fn pair_fires_only_when_both_windows_burn() {
+        let pair = BurnPair {
+            fast: SimDuration::secs(5),
+            slow_factor: 6,
+            threshold_milli: 4_000,
+        };
+        assert_eq!(pair.slow(), SimDuration::secs(30));
+        assert!(pair.fires(4_000, 4_000));
+        assert!(pair.fires(14_000, 4_001));
+        assert!(!pair.fires(14_000, 3_999), "slow window must confirm");
+        assert!(!pair.fires(3_999, 14_000), "fast window must confirm");
+    }
+
+    #[test]
+    fn zero_slow_factor_degrades_to_fast_width() {
+        let pair = BurnPair {
+            fast: SimDuration::secs(5),
+            slow_factor: 0,
+            threshold_milli: 1_000,
+        };
+        assert_eq!(pair.slow(), SimDuration::secs(5));
+    }
+}

@@ -331,6 +331,32 @@ impl StormSchedule {
         }
     }
 
+    /// The 1-based ordinal of the storm episode in force at `t`, or
+    /// `None` when `t` falls in a calm stretch (or past the horizon). An
+    /// episode is a maximal run of non-calm windows, so the rising
+    /// shoulders and the peak of one escalation share an ordinal.
+    #[must_use]
+    pub fn episode_at(&self, t: SimTime) -> Option<u32> {
+        let idx = self.windows.partition_point(|w| w.start <= t);
+        if idx == 0 {
+            return None;
+        }
+        if t >= self.windows[idx - 1].end || self.windows[idx - 1].intensity == StormIntensity::Calm
+        {
+            return None;
+        }
+        let mut episode = 0u32;
+        let mut prev_calm = true;
+        for w in &self.windows[..idx] {
+            let stormy = w.intensity != StormIntensity::Calm;
+            if stormy && prev_calm {
+                episode += 1;
+            }
+            prev_calm = !stormy;
+        }
+        Some(episode)
+    }
+
     /// End times of every peak window, in order — the reference points
     /// for time-to-recover measurements.
     #[must_use]
@@ -448,6 +474,26 @@ mod tests {
             assert_eq!(s.intensity_at(mid), w.intensity);
         }
         assert_eq!(s.intensity_at(s.horizon), StormIntensity::Calm);
+    }
+
+    #[test]
+    fn episode_ordinals_follow_the_calendar() {
+        let s = StormSchedule::generate(42, SimDuration::secs(30), 3);
+        let mut seen = 0u32;
+        let mut prev_calm = true;
+        for w in &s.windows {
+            let stormy = w.intensity != StormIntensity::Calm;
+            if stormy && prev_calm {
+                seen += 1;
+            }
+            prev_calm = !stormy;
+            let expected = if stormy { Some(seen) } else { None };
+            assert_eq!(s.episode_at(w.start), expected);
+            let mid = SimTime::from_nanos((w.start.as_nanos() + w.end.as_nanos()) / 2);
+            assert_eq!(s.episode_at(mid), expected);
+        }
+        assert_eq!(seen, 3, "three episodes should be distinguishable");
+        assert_eq!(s.episode_at(s.horizon), None);
     }
 
     #[test]

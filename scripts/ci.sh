@@ -263,3 +263,56 @@ if [ -z "$chaos_fail" ] || [ "$chaos_fail" -eq 0 ]; then
 fi
 
 echo "tier-2: OK (chaos: $chaos_rps req/s under storm, $chaos_fail budget FAILs, leak-free)"
+
+# Tier-2 SLO watchtower smoke: the stormy chaos-shaped soak must render a
+# byte-identical incident log at 1 and 4 engine threads, fire at least
+# one burn-rate alert, correlate at least one incident to a
+# peak-intensity storm episode, and export the required BENCH_slo.json
+# fields (windows/sec, incident + alert counts). The calm serving soak
+# must render the explicit empty timeline — both alert polarities live.
+echo "==> tier-2: slo watchtower determinism and incident timeline"
+HCC_ENGINE_THREADS=1 ./target/release/slo_watch \
+    >"$t2_dir/slo1.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/slo_watch --json "$t2_dir/BENCH_slo.json" \
+    >"$t2_dir/slo4.out" 2>/dev/null
+
+if ! diff -u "$t2_dir/slo1.out" "$t2_dir/slo4.out"; then
+    echo "tier-2: FAIL — slo_watch incident log differs between 1 and 4 threads" >&2
+    exit 1
+fi
+if ! grep -q "x!" "$t2_dir/slo1.out"; then
+    echo "tier-2: FAIL — stormy soak fired no burn-rate alert" >&2
+    exit 1
+fi
+if ! grep -q "^  incident #" "$t2_dir/slo1.out"; then
+    echo "tier-2: FAIL — stormy soak raised no incident" >&2
+    exit 1
+fi
+if ! grep -q "incident #.*storm crypto-burst@peak" "$t2_dir/slo1.out"; then
+    echo "tier-2: FAIL — no incident correlated to a peak-intensity storm episode" >&2
+    exit 1
+fi
+
+slo_wps=$(sed -n 's/.*"windows_per_sec":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_slo.json")
+slo_incidents=$(sed -n 's/.*"incidents":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_slo.json" | head -n 1)
+slo_alerts=$(sed -n 's/.*"alerts":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_slo.json" | head -n 1)
+if [ -z "$slo_wps" ] || [ "$slo_wps" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_slo.json reports no wall-clock window throughput" >&2
+    exit 1
+fi
+if [ -z "$slo_incidents" ] || [ "$slo_incidents" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_slo.json records no incidents" >&2
+    exit 1
+fi
+if [ -z "$slo_alerts" ] || [ "$slo_alerts" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_slo.json records no alerts" >&2
+    exit 1
+fi
+
+./target/release/slo_watch --serve >"$t2_dir/slo_calm.out" 2>/dev/null
+if ! grep -q "(no incidents)" "$t2_dir/slo_calm.out"; then
+    echo "tier-2: FAIL — calm serving soak did not render an empty timeline" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (slo watchtower: $slo_wps windows/s wall-clock, $slo_incidents incidents, $slo_alerts alerts, calm timeline empty)"

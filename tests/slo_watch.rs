@@ -1,0 +1,178 @@
+//! Golden snapshot + contracts for the SLO watchtower.
+//!
+//! Both canonical soaks are frozen byte-for-byte in
+//! `tests/golden/slo_watch.txt`: the stormy chaos-shaped soak (whose
+//! peak windows must burn budgets into a storm-correlated incident
+//! timeline) and the calm low-utilisation serving soak (whose timeline
+//! must stay empty). Any drift in window layout, burn-rate math,
+//! incident coalescing, storm correlation, blame attribution, or text
+//! rendering is caught immediately. On top of the snapshot, the watch
+//! plane must be thread-count invariant and perturbation-free: enabling
+//! it must not move a single byte of the underlying soak figures.
+//!
+//! To bless a deliberate change:
+//! `HCC_BLESS=1 cargo test --test slo_watch`.
+
+use std::path::PathBuf;
+
+use hcc_bench::engine::ExperimentEngine;
+use hcc_bench::watch::{calm_soak, stormy_soak, WatchReport};
+use hcc_bench::{chaos, serving};
+
+fn stormy_watch(threads: usize) -> WatchReport {
+    let rep = chaos::run(&stormy_soak(), &ExperimentEngine::new(threads));
+    rep.profiles
+        .into_iter()
+        .next()
+        .and_then(|p| p.cells.into_iter().next())
+        .and_then(|c| c.watch)
+        .expect("stormy fixture enables the watch plane")
+}
+
+fn calm_watch(threads: usize) -> WatchReport {
+    let rep = serving::run(&calm_soak(), &ExperimentEngine::new(threads));
+    rep.runs
+        .into_iter()
+        .next()
+        .and_then(|r| r.watch)
+        .expect("calm fixture enables the watch plane")
+}
+
+/// Both polarities in one snapshot: the stormy timeline full of
+/// incidents, then the calm empty one.
+fn snapshot(threads: usize) -> String {
+    format!(
+        "=== stormy: chaos crypto-burst / abort ===\n{}\n=== calm: serve fifo ===\n{}",
+        stormy_watch(threads).render(),
+        calm_watch(threads).render()
+    )
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/slo_watch.txt")
+}
+
+#[test]
+fn watch_reports_match_golden_snapshot() {
+    let text = snapshot(2);
+    let path = golden_path();
+    if std::env::var_os("HCC_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with HCC_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, golden,
+        "watch report drifted from the golden snapshot; \
+         if intentional, re-bless with HCC_BLESS=1"
+    );
+}
+
+/// Every alert and incident replays byte-identically on 1 and 4 worker
+/// threads: nothing on the watch path reads wall time or thread
+/// identity.
+#[test]
+fn watch_reports_are_thread_count_invariant() {
+    assert_eq!(snapshot(1), snapshot(4));
+}
+
+/// The stormy polarity: the default chaos-shaped soak produces a
+/// non-empty incident timeline in which every incident names its
+/// tenant, window span, burn rate, active storm episode, and top
+/// blamed resource class.
+#[test]
+fn stormy_soak_produces_a_fully_attributed_incident_timeline() {
+    let watch = stormy_watch(2);
+    assert!(
+        !watch.incidents.is_empty(),
+        "stormy soak raised no incidents"
+    );
+    assert!(watch.alerts() > 0);
+    for inc in &watch.incidents {
+        assert!(
+            inc.tenant < watch.tenant_names.len(),
+            "incident names no tenant"
+        );
+        assert!(inc.first_window <= inc.last_window);
+        assert!(inc.peak_burn_milli > 0, "incident #{} has no burn", inc.id);
+        let storm = inc
+            .storm
+            .as_ref()
+            .unwrap_or_else(|| panic!("incident #{} lost its storm context", inc.id));
+        assert!(!storm.profile.is_empty());
+        assert!(storm.episode >= 1, "episodes are 1-based ordinals");
+        let blame = inc
+            .blame
+            .as_ref()
+            .unwrap_or_else(|| panic!("incident #{} has no blame", inc.id));
+        assert!(blame.pct <= 100);
+    }
+    assert_eq!(
+        watch.storm_correlated(),
+        watch.incidents.len(),
+        "every stormy incident must correlate to a storm episode"
+    );
+}
+
+/// The calm polarity: the low-utilisation serving soak burns no budget
+/// and renders the explicit empty-timeline marker.
+#[test]
+fn calm_soak_renders_an_empty_timeline() {
+    let watch = calm_watch(2);
+    assert_eq!(watch.alerts(), 0, "calm soak must not alert");
+    assert!(watch.incidents.is_empty());
+    assert!(watch.render().contains("(no incidents)"));
+}
+
+/// Perturbation-freedom, chaos side: enabling the watch plane must not
+/// move a single byte of the soak's own figures. Rendering the
+/// watch-enabled report with its watch sections stripped reproduces the
+/// watch-off render exactly.
+#[test]
+fn watch_plane_is_perturbation_free_for_chaos_soaks() {
+    let engine = ExperimentEngine::new(2);
+    let mut cfg = stormy_soak();
+    let with_watch = {
+        let mut rep = chaos::run(&cfg, &engine);
+        for p in &mut rep.profiles {
+            for c in &mut p.cells {
+                assert!(c.watch.is_some());
+                c.watch = None;
+            }
+        }
+        rep.render()
+    };
+    cfg.watch = None;
+    let without = chaos::run(&cfg, &engine).render();
+    assert_eq!(
+        with_watch, without,
+        "watch plane perturbed the chaos figures"
+    );
+}
+
+/// Perturbation-freedom, serving side.
+#[test]
+fn watch_plane_is_perturbation_free_for_serving_soaks() {
+    let engine = ExperimentEngine::new(2);
+    let mut cfg = calm_soak();
+    let with_watch = {
+        let mut rep = serving::run(&cfg, &engine);
+        for r in &mut rep.runs {
+            assert!(r.watch.is_some());
+            r.watch = None;
+        }
+        rep.render()
+    };
+    cfg.watch = None;
+    let without = serving::run(&cfg, &engine).render();
+    assert_eq!(
+        with_watch, without,
+        "watch plane perturbed the serving figures"
+    );
+}
