@@ -25,7 +25,7 @@ fn usage() -> ! {
         "usage: chaos [--requests N] [--days N] [--seed S] [--gpus N] [--tenants N] \
          [--profiles p1,p2|all] [--policies retry,degrade,abort|all] [--replicas N] \
          [--episodes-per-day N] [--arrival poisson|bursty|diurnal] \
-         [--scheduler fifo|priority|batching] [--watch] [--json <path>]"
+         [--scheduler fifo|priority|batching] [--watch] [--flight] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -140,6 +140,9 @@ fn main() {
             },
             "--watch" => {
                 cfg.watch = Some(hcc_bench::watch::WatchConfig::default().from_env());
+            }
+            "--flight" => {
+                cfg.flight = Some(hcc_trace::FlightConfig::default().from_env());
             }
             "--json" => json_path = args.next(),
             _ => bad(&arg, "unknown flag"),

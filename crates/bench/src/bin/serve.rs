@@ -19,7 +19,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--requests N] [--gpus N] [--tenants N] [--seed S] \
          [--arrival poisson|bursty|diurnal] [--scheduler fifo|priority|batching|all] \
-         [--util F] [--max-batch N] [--watch] [--json <path>]"
+         [--util F] [--max-batch N] [--watch] [--flight] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -94,6 +94,9 @@ fn main() {
             },
             "--watch" => {
                 cfg.watch = Some(hcc_bench::watch::WatchConfig::default().from_env());
+            }
+            "--flight" => {
+                cfg.flight = Some(hcc_trace::FlightConfig::default().from_env());
             }
             "--json" => json_path = args.next(),
             _ => bad(&arg, "unknown flag"),

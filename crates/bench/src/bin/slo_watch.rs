@@ -29,7 +29,7 @@ use hcc_types::StormProfile;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slo_watch [--serve] [--requests N] [--days N] [--gpus N] [--seed S] \
+        "usage: slo_watch [--serve] [--flight] [--requests N] [--days N] [--gpus N] [--seed S] \
          [--profile NAME] [--util F] [--json <path>] [--prom <path>]"
     );
     std::process::exit(2);
@@ -57,6 +57,7 @@ fn parse_u64(flag: &str, value: Option<String>) -> u64 {
 
 fn main() {
     let mut serve_mode = false;
+    let mut flight = false;
     let mut requests: Option<u64> = None;
     let mut days: Option<u64> = None;
     let mut gpus: Option<usize> = None;
@@ -70,6 +71,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--serve" => serve_mode = true,
+            "--flight" => flight = true,
             "--requests" => requests = Some(parse_u64(&arg, args.next()).max(1)),
             "--days" => days = Some(parse_u64(&arg, args.next()).clamp(1, 3650)),
             "--gpus" => gpus = Some(parse_u64(&arg, args.next()).max(1) as usize),
@@ -109,6 +111,9 @@ fn main() {
     let (header, report, healthy): (String, WatchReport, bool) = if serve_mode {
         let mut cfg = watch::calm_soak();
         cfg.watch = Some(watch::WatchConfig::default().from_env());
+        if flight {
+            cfg.flight = Some(hcc_trace::FlightConfig::default().from_env());
+        }
         if let Some(n) = requests {
             cfg.requests = n;
         }
@@ -138,6 +143,9 @@ fn main() {
     } else {
         let mut cfg = watch::stormy_soak();
         cfg.watch = Some(watch::WatchConfig::default().from_env());
+        if flight {
+            cfg.flight = Some(hcc_trace::FlightConfig::default().from_env());
+        }
         if let Some(n) = requests {
             cfg.requests = n;
         }

@@ -1,0 +1,353 @@
+//! Request flight forensics: replays a canonical soak with the flight
+//! recorder on and answers "why was this request slow?" — one request's
+//! span waterfall rendered against its window's p50 exemplar, the
+//! watchtower's incident→exemplar links, and cluster-scale
+//! Chrome/Perfetto + OpenMetrics exports.
+//!
+//! ```sh
+//! cargo run --release -p hcc-bench --bin why                    # exemplar index
+//! cargo run --release -p hcc-bench --bin why -- --request 1423  # one waterfall
+//! cargo run --release -p hcc-bench --bin why -- --incident 1    # incident forensics
+//! ```
+//!
+//! The default drives the canonical stormy chaos soak (crypto-burst
+//! calendar, Abort policy) with the watchtower and flight planes on;
+//! `--serve` drives the calm CC-on serving soak instead. Stdout carries
+//! only virtual-time figures and is byte-identical across
+//! `HCC_ENGINE_THREADS` settings (the tier-2 CI smoke diffs it).
+//!
+//! Exports: `--chrome <path>` writes the cluster-scale Chrome trace-event
+//! flight view (per-GPU tracks, arrival→settle flow arrows, load it in
+//! Perfetto); `--prom <path>` writes the request-latency histogram with
+//! OpenMetrics exemplars linking buckets back to request ids;
+//! `--json <path>` writes the full flight log.
+//!
+//! Exit codes: 0 = healthy, 1 = span-identity violation / unknown
+//! request or incident / unhealthy soak, 2 = usage error.
+
+use hcc_bench::watch::{self, WatchReport};
+use hcc_bench::{chaos, engine, serving};
+use hcc_trace::metrics::to_prometheus_with_exemplars;
+use hcc_trace::{ChromeExport, FlightConfig, FlightLog, Histogram, MetricsSet};
+use hcc_types::json::{Json, ToJson};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: why [--serve] [--request N] [--incident N] [--requests N] [--days N] \
+         [--gpus N] [--seed S] [--chrome <path>] [--prom <path>] [--json <path>]"
+    );
+    std::process::exit(2);
+}
+
+/// One-line diagnostic naming the flag and the offending value, then the
+/// usage line and a nonzero exit.
+fn bad(flag: &str, detail: &str) -> ! {
+    eprintln!("why: {flag}: {detail}");
+    usage()
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    let Some(raw) = value else {
+        bad(flag, "missing value")
+    };
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    };
+    parsed.unwrap_or_else(|| bad(flag, &format!("cannot parse {raw:?} as an integer")))
+}
+
+/// One incident summary line with its exemplar links — the bridge from a
+/// watchtower page to a `--request` invocation.
+fn incident_line(watch: &WatchReport, inc: &hcc_bench::watch::Incident) -> String {
+    let tenant = watch
+        .tenant_names
+        .get(inc.tenant)
+        .map(String::as_str)
+        .unwrap_or("?");
+    let storm = match &inc.storm {
+        Some(s) => format!("{} ep{} {}", s.profile, s.episode, s.intensity),
+        None => "uncorrelated".to_string(),
+    };
+    let exemplars = if inc.exemplars.is_empty() {
+        "(none kept)".to_string()
+    } else {
+        inc.exemplars
+            .iter()
+            .map(|r| format!("#{r}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    format!(
+        "  incident #{}: tenant {} | {}..{} | storm {} | exemplars {}",
+        inc.id, tenant, inc.start, inc.end, storm, exemplars
+    )
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut serve_mode = false;
+    let mut request: Option<u32> = None;
+    let mut incident: Option<usize> = None;
+    let mut requests: Option<u64> = None;
+    let mut days: Option<u64> = None;
+    let mut gpus: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serve" => serve_mode = true,
+            "--request" => request = Some(parse_u64(&arg, args.next()) as u32),
+            "--incident" => incident = Some(parse_u64(&arg, args.next()) as usize),
+            "--requests" => requests = Some(parse_u64(&arg, args.next()).max(1)),
+            "--days" => days = Some(parse_u64(&arg, args.next()).clamp(1, 3650)),
+            "--gpus" => gpus = Some(parse_u64(&arg, args.next()).max(1) as usize),
+            "--seed" => seed = Some(parse_u64(&arg, args.next())),
+            "--chrome" => chrome_path = args.next(),
+            "--prom" => prom_path = args.next(),
+            "--json" => json_path = args.next(),
+            _ => bad(&arg, "unknown flag"),
+        }
+    }
+
+    let flight_cfg = FlightConfig::default().from_env();
+    let serve_cfg = |flight: Option<FlightConfig>| {
+        let mut cfg = watch::calm_soak();
+        cfg.watch = Some(watch::WatchConfig::default().from_env());
+        cfg.flight = flight;
+        if let Some(n) = requests {
+            cfg.requests = n;
+        }
+        if let Some(g) = gpus {
+            cfg.gpus = g;
+        }
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        cfg
+    };
+    let chaos_cfg = |flight: Option<FlightConfig>| {
+        let mut cfg = watch::stormy_soak();
+        cfg.watch = Some(watch::WatchConfig::default().from_env());
+        cfg.flight = flight;
+        if let Some(n) = requests {
+            cfg.requests = n;
+        }
+        if let Some(d) = days {
+            cfg.days = d;
+        }
+        if let Some(g) = gpus {
+            cfg.gpus = g;
+        }
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        cfg
+    };
+
+    let wall = std::time::Instant::now();
+    let (header, watch_rep, flight, healthy): (String, Option<WatchReport>, FlightLog, bool) =
+        if serve_mode {
+            let cfg = serve_cfg(Some(flight_cfg));
+            let rep = serving::run(&cfg, engine::global());
+            let header = format!(
+                "=== why: request flight forensics ===\n\
+                 soak serve | requests {} | gpus {} | scheduler {} | seed {:#x}\n",
+                cfg.requests, cfg.gpus, cfg.schedulers[0], cfg.seed,
+            );
+            let healthy = rep.conserved();
+            let run = rep.runs.into_iter().next().expect("one scheduler run");
+            let flight = run.flight.expect("flight plane enabled");
+            (header, run.watch, flight, healthy)
+        } else {
+            let cfg = chaos_cfg(Some(flight_cfg));
+            let rep = chaos::run(&cfg, engine::global());
+            let header = format!(
+                "=== why: request flight forensics ===\n\
+                 soak chaos | requests {} | days {} | gpus {} | profile {} | policy {} | seed {:#x}\n",
+                cfg.requests, cfg.days, cfg.gpus, cfg.profiles[0].name, cfg.policies[0], cfg.seed,
+            );
+            let healthy = rep.healthy();
+            let cell = rep
+                .profiles
+                .into_iter()
+                .next()
+                .and_then(|p| p.cells.into_iter().next())
+                .expect("one policy cell");
+            let flight = cell.flight.expect("flight plane enabled");
+            (header, cell.watch, flight, healthy)
+        };
+    let elapsed = wall.elapsed();
+
+    print!("{header}");
+    println!(
+        "flight | window {}ms | worst {} | reservoir {} | seed {:#x}",
+        flight.cfg.window.as_nanos() / 1_000_000,
+        flight.cfg.worst,
+        flight.cfg.reservoir,
+        flight.cfg.seed,
+    );
+
+    let mut lookup_failed = false;
+    if let Some(req) = request {
+        match flight.find(req) {
+            Some(sample) => {
+                let baseline = flight
+                    .p50_exemplar(sample.window)
+                    .filter(|b| b.skeleton.req != req);
+                print!("{}", flight.render_waterfall(sample, baseline));
+            }
+            None => {
+                println!(
+                    "request #{req} was not kept by the sampler \
+                     (raise HCC_FLIGHT_WORST / HCC_FLIGHT_RESERVOIR or widen the window)"
+                );
+                lookup_failed = true;
+            }
+        }
+    } else if let Some(id) = incident {
+        match watch_rep
+            .as_ref()
+            .and_then(|w| w.incidents.iter().find(|i| i.id == id))
+        {
+            Some(inc) => {
+                let watch = watch_rep.as_ref().expect("incident came from the report");
+                println!("{}", incident_line(watch, inc));
+                match inc.exemplars.first().and_then(|r| flight.find(*r)) {
+                    Some(worst) => {
+                        let baseline = flight
+                            .p50_exemplar(worst.window)
+                            .filter(|b| b.skeleton.req != worst.skeleton.req);
+                        print!("{}", flight.render_waterfall(worst, baseline));
+                    }
+                    None => println!("  (no exemplar settled inside the incident span)"),
+                }
+            }
+            None => {
+                println!("incident #{id} not found in the watch report");
+                lookup_failed = true;
+            }
+        }
+    } else {
+        if let Some(watch) = &watch_rep {
+            if watch.incidents.is_empty() {
+                println!("incidents: (none)");
+            } else {
+                println!("incidents:");
+                for inc in &watch.incidents {
+                    println!("{}", incident_line(watch, inc));
+                }
+            }
+        }
+        let mut tails: Vec<_> = flight.samples.iter().filter(|s| s.tail).collect();
+        tails.sort_by_key(|s| (std::cmp::Reverse(s.latency()), s.skeleton.req));
+        println!("tail exemplars (worst kept, use --request <id>):");
+        for s in tails.iter().take(10) {
+            println!(
+                "  #{:<8} w{:<6} latency {:>12} | tenant {} | gpu {} | {}",
+                s.skeleton.req,
+                s.window,
+                s.latency().to_string(),
+                s.skeleton.tenant,
+                s.skeleton.gpu,
+                if s.skeleton.cold { "cold spdm" } else { "warm" },
+            );
+        }
+    }
+
+    let identity = flight.identity_holds();
+    println!(
+        "flight: requests {} | windows {} | kept {} | bound {} | span-identity {}",
+        flight.recorded,
+        flight.windows,
+        flight.kept_entries,
+        flight.entry_bound(),
+        if identity { "OK" } else { "VIOLATED" },
+    );
+
+    if let Some(path) = chrome_path {
+        write_or_die(&path, &ChromeExport::render_flight(&flight));
+    }
+
+    if let Some(path) = prom_path {
+        let mut set = MetricsSet::new();
+        set.push_hist(
+            "request.latency",
+            Histogram::from_durations(flight.samples.iter().map(|s| s.latency())),
+        );
+        write_or_die(
+            &path,
+            &to_prometheus_with_exemplars(&set, &flight.exemplar_points()),
+        );
+    }
+
+    if let Some(path) = json_path {
+        // Flight-off replay of the identical soak for the overhead
+        // figure. It runs second, so the engine's shape cache is warm
+        // for it but cold for the flight-on run — any bias overstates
+        // the recorder's overhead, never hides it.
+        let off_wall = std::time::Instant::now();
+        if serve_mode {
+            let rep = serving::run(&serve_cfg(None), engine::global());
+            assert!(rep.conserved());
+        } else {
+            let rep = chaos::run(&chaos_cfg(None), engine::global());
+            assert!(rep.healthy());
+        }
+        let off_elapsed = off_wall.elapsed();
+        let stats = engine::global().stats();
+        let doc = Json::Obj(vec![
+            (
+                "bench".to_string(),
+                Json::Obj(vec![
+                    ("kept".to_string(), Json::U64(flight.kept_entries)),
+                    (
+                        "store_bound_entries".to_string(),
+                        Json::U64(flight.entry_bound()),
+                    ),
+                    (
+                        "store_peak_bytes".to_string(),
+                        Json::U64(flight.estimated_bytes()),
+                    ),
+                    (
+                        "wall_ms_flight_on".to_string(),
+                        Json::U64(elapsed.as_millis() as u64),
+                    ),
+                    (
+                        "wall_ms_flight_off".to_string(),
+                        Json::U64(off_elapsed.as_millis() as u64),
+                    ),
+                ]),
+            ),
+            ("flight".to_string(), flight.to_json()),
+            ("engine".to_string(), stats.to_json()),
+        ]);
+        write_or_die(&path, &doc.to_string());
+    }
+
+    engine::emit_stats();
+
+    if !healthy {
+        eprintln!("why: underlying soak violated a structural invariant");
+        std::process::exit(1);
+    }
+    if !identity {
+        eprintln!("why: span-identity violated in the flight log");
+        std::process::exit(1);
+    }
+    if lookup_failed {
+        std::process::exit(1);
+    }
+}

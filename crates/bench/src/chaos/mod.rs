@@ -114,6 +114,14 @@ pub struct ChaosConfig {
     /// rollup plane disabled and the rendered report byte-identical to
     /// a watch-free build.
     pub watch: Option<crate::watch::WatchConfig>,
+    /// Request flight recorder: when set, every cell samples per-request
+    /// span trees (tail exemplars plus a seeded uniform reservoir per
+    /// tumbling window), the cell's leak audit enforces the exemplar
+    /// store's `windows × budget` memory bound over the full soak, and
+    /// the cell carries the resolved [`hcc_trace::FlightLog`]. `None`
+    /// (the default) keeps the flight plane disabled and the rendered
+    /// report byte-identical to a flight-free build.
+    pub flight: Option<hcc_trace::FlightConfig>,
 }
 
 impl Default for ChaosConfig {
@@ -143,6 +151,7 @@ impl Default for ChaosConfig {
             shape_seed: DEFAULT_SHAPE_SEED,
             tdx: TdxCalib::default(),
             watch: None,
+            flight: None,
         }
     }
 }
@@ -424,9 +433,8 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                     None => aborted_shapes += 1,
                 }
             }
-            if let Err(e) = audit.check() {
-                violations.push(format!("cell aggregate: {e}"));
-            }
+            // The cell-aggregate check runs after the cluster pass, once
+            // the flight recorder's store accounting has been folded in.
 
             // Per-request service resolution + fault ledger.
             let mut service: Vec<Result<SimDuration, String>> = Vec::with_capacity(requests.len());
@@ -448,6 +456,10 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
             } else {
                 hcc_trace::RollupCollector::new()
             };
+            let mut flight_rec = hcc_trace::FlightRecorder::for_planes(
+                hcc_types::Planes::NONE.set(hcc_types::Planes::FLIGHT, cfg.flight.is_some()),
+                cfg.flight.unwrap_or_default(),
+            );
             let raw = cluster::simulate(
                 &requests,
                 &service,
@@ -458,7 +470,18 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                 cfg.max_batch,
                 &cfg.tdx,
                 &mut rollup,
+                &mut flight_rec,
             );
+
+            // Fold the flight store's accounting into the cell audit:
+            // the exemplar store may never outgrow its
+            // `windows × (worst + reservoir)` bound over the full soak.
+            audit.flight_kept = flight_rec.kept_entries();
+            audit.flight_windows = flight_rec.window_count();
+            audit.flight_window_budget = cfg.flight.map_or(0, |f| f.per_window_budget());
+            if let Err(e) = audit.check() {
+                violations.push(format!("cell aggregate: {e}"));
+            }
             let sessions_established = raw.sessions_established;
             let sessions_closed = raw.sessions_closed;
             let mode = serving_report::mode_run(
@@ -499,9 +522,11 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
             // burn rates and incidents, correlated against this
             // profile's calendar and blamed via the critical paths of
             // the shapes its requests rode.
-            let watch = cfg.watch.as_ref().map(|wcfg| {
-                let samples = rollup.into_sorted();
-                let shape_of: Vec<u32> = assignment
+            // Request→shape mapping shared by the watchtower's blame
+            // table and the flight recorder's span decomposition (calm
+            // shape table first, then the cell's storm table).
+            let shape_of: Vec<u32> = if cfg.watch.is_some() || cfg.flight.is_some() {
+                assignment
                     .iter()
                     .enumerate()
                     .map(|(ri, &(intensity, replica))| {
@@ -511,7 +536,12 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                             StormIntensity::Peak => apps.len() + slot_of(app_of[ri], 1, replica),
                         }) as u32
                     })
-                    .collect();
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut watch = cfg.watch.as_ref().map(|wcfg| {
+                let samples = rollup.into_sorted();
                 let attrs: Vec<hcc_trace::Attribution> = calm_entries
                     .iter()
                     .chain(entries.iter())
@@ -540,6 +570,29 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                 )
             });
 
+            // Resolve the kept skeletons into span trees against the
+            // same shape tables the blame view indexes, then hand the
+            // watchtower its incident→exemplar links.
+            let flight = cfg.flight.map(|_| {
+                let decomps: Vec<hcc_trace::flight::ShapeDecomp> = calm_entries
+                    .iter()
+                    .chain(entries.iter())
+                    .map(|entry| match entry.run() {
+                        Ok(r) => hcc_trace::flight::ShapeDecomp {
+                            total: SimDuration::from_nanos(r.end.as_nanos()),
+                            attr: hcc_trace::critpath::extract(&r.timeline, &r.causal)
+                                .attribution(),
+                            faults: r.fault,
+                        },
+                        Err(_) => hcc_trace::flight::ShapeDecomp::default(),
+                    })
+                    .collect();
+                flight_rec.resolve(&shape_of, &decomps)
+            });
+            if let (Some(w), Some(f)) = (watch.as_mut(), flight.as_ref()) {
+                w.link_exemplars(f);
+            }
+
             cells.push(PolicyCell {
                 policy: policy.clone(),
                 mode,
@@ -555,6 +608,7 @@ pub fn run(cfg: &ChaosConfig, engine: &ExperimentEngine) -> ChaosReport {
                 verdicts,
                 violations,
                 watch,
+                flight,
             });
         }
 

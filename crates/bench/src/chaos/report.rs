@@ -161,6 +161,10 @@ pub struct PolicyCell {
     /// SLO watchtower over the cell's soak (`None` unless the config
     /// enabled the watch plane).
     pub watch: Option<crate::watch::WatchReport>,
+    /// Flight-recorder exemplar log over the cell's soak (`None` unless
+    /// the config enabled the flight plane). Never feeds `render()`:
+    /// the text report stays byte-identical to a flight-free build.
+    pub flight: Option<hcc_trace::FlightLog>,
 }
 
 impl PolicyCell {
@@ -613,6 +617,9 @@ impl ToJson for PolicyCell {
         ];
         if let Some(watch) = &self.watch {
             fields.push(("watch".to_string(), watch.to_json()));
+        }
+        if let Some(flight) = &self.flight {
+            fields.push(("flight".to_string(), flight.to_json()));
         }
         Json::Obj(fields)
     }

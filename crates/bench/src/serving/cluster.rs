@@ -17,6 +17,7 @@
 use std::collections::{BTreeSet, BinaryHeap};
 
 use hcc_tee::{SessionPool, TdCounters};
+use hcc_trace::flight::{FlightRecorder, FlightSkeleton};
 use hcc_trace::rollup::CompletionSample;
 use hcc_trace::{Gauge, MetricsSet, RollupCollector};
 use hcc_types::calib::TdxCalib;
@@ -41,6 +42,11 @@ pub struct Outcome {
     /// Admission charge (session setup + doorbells) folded into the
     /// batch's service on this request's behalf; zero for rejections.
     pub admission: SimDuration,
+    /// SPDM session-establishment share of `admission` (zero on session
+    /// reuse and for rejections); the remainder is the doorbell pair.
+    pub spdm: SimDuration,
+    /// Whether admission was a cold start (paid the SPDM handshake).
+    pub cold: bool,
     /// Size of the device batch the request rode in.
     pub batch: u32,
     /// Whether the request was rejected because its shape scenario fails
@@ -85,7 +91,10 @@ pub struct ClusterRun {
 /// `rollup` receives one [`CompletionSample`] per settled request (at
 /// its completion instant for admitted work, at its dispatch instant for
 /// rejections) when enabled; a disabled collector costs one branch per
-/// settle and never allocates.
+/// settle and never allocates. `flight` receives one [`FlightSkeleton`]
+/// per settled request under the same contract — the skeleton carries
+/// this request's *own* SPDM/doorbell admission split (co-batched
+/// members' admissions surface later as the batch-margin span).
 pub fn simulate(
     requests: &[Request],
     service: &[Result<SimDuration, String>],
@@ -96,6 +105,7 @@ pub fn simulate(
     max_batch: usize,
     tdx: &TdxCalib,
     rollup: &mut RollupCollector,
+    flight: &mut FlightRecorder,
 ) -> ClusterRun {
     assert_eq!(requests.len(), service.len());
     assert!(gpus > 0, "a cluster needs at least one GPU");
@@ -104,6 +114,8 @@ pub fn simulate(
         dispatch: SimTime::ZERO,
         completion: SimTime::ZERO,
         admission: SimDuration::ZERO,
+        spdm: SimDuration::ZERO,
+        cold: false,
         batch: 0,
         rejected: false,
     };
@@ -146,6 +158,8 @@ pub fn simulate(
                             dispatch: now,
                             completion: now,
                             admission: SimDuration::ZERO,
+                            spdm: SimDuration::ZERO,
+                            cold: false,
                             batch: batch.len() as u32,
                             rejected: true,
                         };
@@ -154,6 +168,19 @@ pub fn simulate(
                             tenant: requests[i].tenant as u32,
                             at: now,
                             latency: now.saturating_since(requests[i].arrival),
+                            rejected: true,
+                        });
+                        flight.record(FlightSkeleton {
+                            req: i as u32,
+                            tenant: requests[i].tenant as u32,
+                            gpu: 0,
+                            batch: batch.len() as u32,
+                            arrival: requests[i].arrival,
+                            dispatch: now,
+                            settle: now,
+                            spdm: SimDuration::ZERO,
+                            doorbell: SimDuration::ZERO,
+                            cold: false,
                             rejected: true,
                         });
                     }
@@ -168,6 +195,8 @@ pub fn simulate(
                 cold_starts += u64::from(adm.cold);
                 admission_sum += adm.total();
                 outcomes[i].admission = adm.total();
+                outcomes[i].spdm = adm.flight_split().0;
+                outcomes[i].cold = adm.cold;
             }
             let extra = shape.scale(BATCH_MARGIN * (batch.len() - 1) as f64);
             let service_time = shape + extra + admission_sum;
@@ -186,6 +215,19 @@ pub fn simulate(
                     tenant: requests[i].tenant as u32,
                     at: done,
                     latency: done.saturating_since(requests[i].arrival),
+                    rejected: false,
+                });
+                flight.record(FlightSkeleton {
+                    req: i as u32,
+                    tenant: requests[i].tenant as u32,
+                    gpu: gpu as u32,
+                    batch: batch.len() as u32,
+                    arrival: requests[i].arrival,
+                    dispatch: now,
+                    settle: done,
+                    spdm: outcomes[i].spdm,
+                    doorbell: outcomes[i].admission - outcomes[i].spdm,
+                    cold: outcomes[i].cold,
                     rejected: false,
                 });
             }
@@ -297,6 +339,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         // All three ran back to back on one device.
         assert_eq!(run.batches, 3);
@@ -330,6 +373,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         let rejected: Vec<bool> = run.outcomes.iter().map(|o| o.rejected).collect();
         assert_eq!(rejected, vec![false, true, false]);
@@ -353,6 +397,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         assert_eq!(run.cold_starts, 2, "one handshake per tenant on the device");
         assert!(run.outcomes[0].admission > run.outcomes[2].admission);
@@ -367,6 +412,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         assert_eq!(off.cold_starts, 0);
         assert!(off.busy < run.busy, "CC-on admission costs device time");
@@ -387,6 +433,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         let cb = simulate(
             &reqs,
@@ -398,6 +445,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         assert_eq!(cb.batches, 1);
         assert_eq!(cb.outcomes[0].batch, 4);
@@ -423,6 +471,7 @@ mod tests {
             8,
             &TdxCalib::default(),
             &mut RollupCollector::new(),
+            &mut FlightRecorder::new(),
         );
         let depth = run.metrics.gauge_series("serving.queue_depth").unwrap();
         assert_eq!(depth.peak(), 2, "two requests queued behind the first");

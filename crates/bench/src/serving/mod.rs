@@ -92,6 +92,14 @@ pub struct ServingConfig {
     /// rollup plane disabled and the rendered report byte-identical to
     /// a watch-free build.
     pub watch: Option<crate::watch::WatchConfig>,
+    /// Request flight recorder: when set, the CC-on run of every
+    /// scheduler samples per-request span trees (tail exemplars plus a
+    /// seeded uniform reservoir per tumbling window) and the report
+    /// carries the resolved [`hcc_trace::FlightLog`]. `None` (the
+    /// default) keeps the flight plane disabled — the cluster loop pays
+    /// one branch per settled request and the rendered report stays
+    /// byte-identical to a flight-free build.
+    pub flight: Option<hcc_trace::FlightConfig>,
 }
 
 impl Default for ServingConfig {
@@ -110,6 +118,7 @@ impl Default for ServingConfig {
             recovery: None,
             tdx: TdxCalib::default(),
             watch: None,
+            flight: None,
         }
     }
 }
@@ -268,11 +277,34 @@ pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
         (shape_of, attrs)
     });
 
+    // Flight-recorder inputs: the same request→shape mapping plus one
+    // full decomposition (service total, critical-path attribution,
+    // recovery counters) per distinct CC-on shape. Built once per soak,
+    // not per request.
+    let flight_tables = cfg.flight.map(|_| {
+        let shape_of: Vec<u32> = requests
+            .iter()
+            .map(|r| app_index[cfg.tenants[r.tenant].mix[r.class].app] as u32)
+            .collect();
+        let decomps: Vec<hcc_trace::flight::ShapeDecomp> = (0..apps.len())
+            .map(|ai| match prefetched[apps.len() + ai].run() {
+                Ok(r) => hcc_trace::flight::ShapeDecomp {
+                    total: SimDuration::from_nanos(r.end.as_nanos()),
+                    attr: hcc_trace::critpath::extract(&r.timeline, &r.causal).attribution(),
+                    faults: r.fault,
+                },
+                Err(_) => hcc_trace::flight::ShapeDecomp::default(),
+            })
+            .collect();
+        (shape_of, decomps)
+    });
+
     let runs = cfg
         .schedulers
         .iter()
         .map(|&kind| {
             let mut rollup = hcc_trace::RollupCollector::new();
+            let mut flight_rec = hcc_trace::FlightRecorder::new();
             let modes = [CcMode::Off, CcMode::On].map(|cc| {
                 let mi = usize::from(cc.is_on());
                 let mut collector = if cc.is_on() && cfg.watch.is_some() {
@@ -280,6 +312,14 @@ pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
                 } else {
                     hcc_trace::RollupCollector::new()
                 };
+                // The flight plane rides the Planes mask: only the
+                // CC-on run of a flight-enabled soak records.
+                let planes = hcc_types::Planes::NONE.set(
+                    hcc_types::Planes::FLIGHT,
+                    cc.is_on() && cfg.flight.is_some(),
+                );
+                let mut flight =
+                    hcc_trace::FlightRecorder::for_planes(planes, cfg.flight.unwrap_or_default());
                 let raw = cluster::simulate(
                     &requests,
                     &service[mi],
@@ -290,13 +330,15 @@ pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
                     cfg.max_batch,
                     &cfg.tdx,
                     &mut collector,
+                    &mut flight,
                 );
                 if cc.is_on() {
                     rollup = collector;
+                    flight_rec = flight;
                 }
                 report::mode_run(cc, cfg.gpus, &cfg.tenants, &requests, &service[mi], raw)
             });
-            let watch = cfg.watch.as_ref().map(|wcfg| {
+            let mut watch = cfg.watch.as_ref().map(|wcfg| {
                 let samples = std::mem::take(&mut rollup).into_sorted();
                 let on = &modes[1];
                 crate::watch::observe(
@@ -314,10 +356,17 @@ pub fn run(cfg: &ServingConfig, engine: &ExperimentEngine) -> ServingReport {
                     },
                 )
             });
+            let flight = flight_tables.as_ref().map(|(shape_of, decomps)| {
+                std::mem::take(&mut flight_rec).resolve(shape_of, decomps)
+            });
+            if let (Some(w), Some(f)) = (watch.as_mut(), flight.as_ref()) {
+                w.link_exemplars(f);
+            }
             SchedulerRun {
                 scheduler: kind,
                 modes,
                 watch,
+                flight,
             }
         })
         .collect();

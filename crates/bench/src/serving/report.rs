@@ -105,6 +105,10 @@ pub struct SchedulerRun {
     /// SLO watchtower over the CC-on run (`None` unless the config
     /// enabled the watch plane).
     pub watch: Option<crate::watch::WatchReport>,
+    /// Flight-recorder exemplar log over the CC-on run (`None` unless
+    /// the config enabled the flight plane). Never feeds `render()`:
+    /// the text report stays byte-identical to a flight-free build.
+    pub flight: Option<hcc_trace::FlightLog>,
 }
 
 impl SchedulerRun {
@@ -397,6 +401,9 @@ impl ToJson for ServingReport {
                             ];
                             if let Some(watch) = &r.watch {
                                 fields.push(("watch".to_string(), watch.to_json()));
+                            }
+                            if let Some(flight) = &r.flight {
+                                fields.push(("flight".to_string(), flight.to_json()));
                             }
                             Json::Obj(fields)
                         })

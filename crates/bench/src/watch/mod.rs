@@ -378,6 +378,7 @@ fn build_incident(
         peak_burn_milli: peak_burn,
         storm,
         blame,
+        exemplars: Vec::new(),
     }
 }
 

@@ -88,6 +88,11 @@ pub struct Incident {
     pub storm: Option<IncidentStorm>,
     /// Critical-path blame (None when nothing completed inside).
     pub blame: Option<IncidentBlame>,
+    /// Flight-recorder exemplar request ids settling inside the
+    /// incident's span, worst first (empty when the flight plane was
+    /// off). Render-neutral: only the JSON export and the `why` bin
+    /// surface these — see [`WatchReport::link_exemplars`].
+    pub exemplars: Vec<u32>,
 }
 
 /// The full watchtower output for one soak.
@@ -144,6 +149,23 @@ impl WatchReport {
     /// Incidents that overlapped a storm episode.
     pub fn storm_correlated(&self) -> usize {
         self.incidents.iter().filter(|i| i.storm.is_some()).count()
+    }
+
+    /// Links every incident to the flight log's exemplar request ids
+    /// settling inside its span (the incident tenant's ids first; any
+    /// tenant as the fallback, so a non-empty log always yields a
+    /// concrete request to feed `why --request`). Never touches
+    /// `render()`: the text timeline stays byte-identical to a
+    /// flight-free soak.
+    pub fn link_exemplars(&mut self, flight: &hcc_trace::FlightLog) {
+        for inc in &mut self.incidents {
+            let own = flight.exemplars_between(Some(inc.tenant as u32), inc.start, inc.end);
+            inc.exemplars = if own.is_empty() {
+                flight.exemplars_between(None, inc.start, inc.end)
+            } else {
+                own
+            };
+        }
     }
 
     /// Renders the rollup table, incident timeline, and trailer.
@@ -403,6 +425,15 @@ impl ToJson for Incident {
             )),
             None => fields.push(("blame".to_string(), Json::Null)),
         }
+        fields.push((
+            "exemplars".to_string(),
+            Json::Arr(
+                self.exemplars
+                    .iter()
+                    .map(|&r| Json::U64(u64::from(r)))
+                    .collect(),
+            ),
+        ));
         Json::Obj(fields)
     }
 }

@@ -39,6 +39,14 @@ pub struct LeakAudit {
     pub events: usize,
     /// Fault-injection ledger for the run.
     pub fault: FaultCounts,
+    /// Flight-recorder exemplar entries kept at the end of the soak.
+    pub flight_kept: u64,
+    /// Tumbling windows the flight recorder populated.
+    pub flight_windows: u64,
+    /// Configured per-window exemplar budget (`worst + reservoir`);
+    /// zero means the flight plane was off and the bound is not
+    /// checked.
+    pub flight_window_budget: u64,
 }
 
 impl LeakAudit {
@@ -87,6 +95,17 @@ impl LeakAudit {
                 resolved, self.fault.injected
             ));
         }
+        if self.flight_window_budget > 0 {
+            let bound = self
+                .flight_windows
+                .saturating_mul(self.flight_window_budget);
+            if self.flight_kept > bound {
+                return Err(format!(
+                    "flight store keeps {} exemplar entries > bound {} ({} windows x {} budget)",
+                    self.flight_kept, bound, self.flight_windows, self.flight_window_budget
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -106,5 +125,10 @@ impl LeakAudit {
         self.fault.recovered += other.fault.recovered;
         self.fault.degraded += other.fault.degraded;
         self.fault.aborted += other.fault.aborted;
+        self.flight_kept += other.flight_kept;
+        self.flight_windows += other.flight_windows;
+        // Budgets don't sum: the aggregate bound uses the widest
+        // per-window budget any absorbed audit ran under.
+        self.flight_window_budget = self.flight_window_budget.max(other.flight_window_budget);
     }
 }

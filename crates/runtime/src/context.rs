@@ -372,6 +372,12 @@ impl CudaContext {
             uvm_pages_batched: self.uvm.pages_batched(),
             events: self.timeline.len(),
             fault: self.faults.counts(),
+            // The flight plane lives in the serving layer; per-context
+            // audits carry no exemplar store (budget 0 disables the
+            // bound check until the chaos harness fills these in).
+            flight_kept: 0,
+            flight_windows: 0,
+            flight_window_budget: 0,
         }
     }
 

@@ -38,6 +38,15 @@ impl Admission {
     pub fn total(&self) -> SimDuration {
         self.setup + self.transitions
     }
+
+    /// The admission split as flight-recorder spans: `(spdm, doorbell)`,
+    /// where `spdm` is the one-time handshake (`setup`) and `doorbell`
+    /// the steady-state hypercall pair (`transitions`). The two parts
+    /// partition [`Admission::total`] exactly — the invariant the
+    /// serving layer's per-request span identity rides on.
+    pub fn flight_split(&self) -> (SimDuration, SimDuration) {
+        (self.setup, self.transitions)
+    }
 }
 
 /// One device's tenant sessions: a [`TdContext`] per tenant, established
@@ -198,6 +207,18 @@ mod tests {
         // plus 2 for tenant 1's warm admission.
         assert_eq!(pool.counters().hypercalls, 18 + 18 + 2);
         assert!(pool.counters().transition_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn flight_split_partitions_the_admission_exactly() {
+        let mut pool = SessionPool::new(CcMode::On, TdxCalib::default());
+        for tenant in [1, 1, 2] {
+            let a = pool.admit(tenant);
+            let (spdm, doorbell) = a.flight_split();
+            assert_eq!(spdm + doorbell, a.total(), "no gap, no overlap");
+            assert_eq!(spdm.is_zero(), !a.cold, "spdm span iff cold start");
+            assert!(!doorbell.is_zero(), "every admission rings the pair");
+        }
     }
 
     #[test]

@@ -176,6 +176,13 @@ impl Attribution {
         self.totals[r.index()]
     }
 
+    /// Charges `d` more critical time to `r` — how consumers outside the
+    /// extractor (the flight recorder's shape decompositions, tests)
+    /// assemble an attribution by hand.
+    pub fn add(&mut self, r: ResourceClass, d: SimDuration) {
+        self.totals[r.index()] += d;
+    }
+
     /// Sum over every class (equals the observed span by the identity).
     pub fn total(&self) -> SimDuration {
         self.totals.iter().copied().sum()

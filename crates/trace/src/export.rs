@@ -9,6 +9,7 @@ use hcc_types::{CopyKind, MemSpace};
 
 use crate::causal::CausalGraph;
 use crate::event::{EventKind, TraceEvent};
+use crate::flight::{FlightLog, SpanKind};
 use crate::metrics::MetricsSet;
 use crate::timeline::Timeline;
 
@@ -150,6 +151,72 @@ impl<'a> ChromeExport<'a> {
     #[must_use]
     pub fn render(&self, timeline: &Timeline) -> String {
         render(timeline, self.metrics, self.causal)
+    }
+
+    /// Serializes a flight-recorder log as a cluster-scale Chrome
+    /// trace-event JSON array: queue wait renders under the `queue`
+    /// process, every other span under its request's `gpu{N}` process
+    /// (one row per tenant), and each sampled request gets an
+    /// arrival→settle flow arrow (`"ph": "s"`/`"f"`, id = request id)
+    /// so the dispatch handoff draws as an arrow crossing processes.
+    /// Rejected requests keep their queue slice but get no arrow.
+    #[must_use]
+    pub fn render_flight(log: &FlightLog) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for sample in &log.samples {
+            let skel = &sample.skeleton;
+            let mut cursor = skel.arrival;
+            for &(kind, dur) in &sample.spans {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let process = match kind {
+                    SpanKind::QueueWait => "queue".to_string(),
+                    _ => format!("gpu{}", skel.gpu),
+                };
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"{name}\", \"cat\": \"flight\", \"ph\": \"X\", \
+                     \"ts\": {ts:.3}, \"dur\": {dur:.3}, \"pid\": \"{process}\", \
+                     \"tid\": {tid}, \"args\": {{\"request\": {req}, \"window\": {win}}}}}",
+                    name = kind.name(),
+                    ts = cursor.as_micros_f64(),
+                    dur = dur.as_micros_f64(),
+                    tid = skel.tenant,
+                    req = skel.req,
+                    win = sample.window,
+                );
+                cursor = cursor + dur;
+            }
+            if skel.rejected {
+                continue;
+            }
+            let mut write_flow = |ph: &str, ts: f64, process: &str, bind: &str| {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "  {{\"name\": \"request\", \"cat\": \"flight\", \"ph\": \"{ph}\", \
+                     \"id\": {id}, \"ts\": {ts:.3}, \"pid\": \"{process}\", \
+                     \"tid\": {tid}{bind}}}",
+                    id = skel.req,
+                    tid = skel.tenant,
+                );
+            };
+            write_flow("s", skel.arrival.as_micros_f64(), "queue", "");
+            write_flow(
+                "f",
+                skel.settle.as_micros_f64(),
+                &format!("gpu{}", skel.gpu),
+                ", \"bp\": \"e\"",
+            );
+        }
+        out.push_str("\n]\n");
+        out
     }
 }
 
@@ -356,6 +423,74 @@ mod tests {
         ));
         let json = ChromeExport::new().with_causal(&dangling).render(&tl);
         assert!(!json.contains("\"ph\": \"s\""));
+    }
+
+    #[test]
+    fn flight_log_exports_per_gpu_tracks_and_request_arrows() {
+        use crate::flight::{FlightConfig, FlightRecorder, FlightSkeleton, ShapeDecomp};
+
+        let mut rec = FlightRecorder::enabled(FlightConfig::default());
+        rec.record(FlightSkeleton {
+            req: 7,
+            tenant: 1,
+            gpu: 2,
+            batch: 1,
+            arrival: t(0),
+            dispatch: t(10),
+            settle: t(110),
+            spdm: SimDuration::ZERO,
+            doorbell: SimDuration::micros(4),
+            cold: false,
+            rejected: false,
+        });
+        rec.record(FlightSkeleton {
+            req: 9,
+            tenant: 3,
+            gpu: 0,
+            batch: 0,
+            arrival: t(5),
+            dispatch: t(20),
+            settle: t(20),
+            spdm: SimDuration::ZERO,
+            doorbell: SimDuration::ZERO,
+            cold: false,
+            rejected: true,
+        });
+        let shape_of = [0u32; 16];
+        let log = rec.resolve(&shape_of, &[ShapeDecomp::default()]);
+        assert!(log.identity_holds());
+
+        let json = ChromeExport::render_flight(&log);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Queue wait on the shared queue track, the rest on the GPU's own
+        // process; the rejected request never leaves the queue.
+        assert!(json.contains("\"name\": \"queue_wait\""));
+        assert!(json.contains("\"pid\": \"queue\""));
+        assert!(json.contains("\"pid\": \"gpu2\""));
+        assert!(!json.contains("\"pid\": \"gpu0\""));
+        // Exactly one arrival→settle arrow (request 7; request 9 was
+        // rejected), bound to the request id.
+        assert_eq!(json.matches("\"ph\": \"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\": \"f\"").count(), 1);
+        assert!(json.contains("\"ph\": \"s\", \"id\": 7, \"ts\": 0.000"));
+        assert!(json.contains("\"ph\": \"f\", \"id\": 7, \"ts\": 110.000"));
+        assert!(json.contains("\"bp\": \"e\""));
+        // Spans tile the request: queue wait starts at arrival, the next
+        // span starts where it ends (dispatch).
+        assert!(json.contains("\"name\": \"queue_wait\", \"cat\": \"flight\", \"ph\": \"X\", \"ts\": 0.000, \"dur\": 10.000"));
+        assert!(json.contains("\"ts\": 10.000"));
+        assert!(json.contains("\"args\": {\"request\": 7, \"window\": 0}"));
+    }
+
+    #[test]
+    fn empty_flight_log_is_an_empty_array() {
+        use crate::flight::{FlightConfig, FlightRecorder, ShapeDecomp};
+
+        let rec = FlightRecorder::enabled(FlightConfig::default());
+        let log = rec.resolve(&[], &[ShapeDecomp::default()]);
+        assert_eq!(ChromeExport::render_flight(&log), "[\n\n]\n");
     }
 
     #[test]

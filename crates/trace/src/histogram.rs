@@ -87,11 +87,10 @@ impl Histogram {
     /// an empty histogram yields `SimDuration::ZERO`, and a single-sample
     /// histogram yields its bucket's lower bound for every `p`.
     pub fn quantile(&self, p: f64) -> SimDuration {
-        if self.count == 0 {
+        let Some(index) = crate::quantile::nearest_rank_index(self.count as usize, p) else {
             return SimDuration::ZERO;
-        }
-        let p = p.clamp(0.0, 1.0);
-        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        };
+        let rank = index as u64 + 1;
         let mut seen = 0u64;
         for (i, c) in self.buckets.iter().enumerate() {
             seen += c;

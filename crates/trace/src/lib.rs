@@ -36,8 +36,10 @@ pub mod causal;
 pub mod critpath;
 mod event;
 pub mod export;
+pub mod flight;
 mod histogram;
 pub mod metrics;
+pub mod quantile;
 pub mod rollup;
 mod stats;
 mod timeline;
@@ -47,6 +49,7 @@ pub use causal::{CausalEdge, CausalGraph, EdgeKind, EventId};
 pub use critpath::{Attribution, CritPath, ResourceClass, Segment};
 pub use event::{EventKind, HypercallReason, KernelId, StreamId, TraceEvent};
 pub use export::ChromeExport;
+pub use flight::{FlightConfig, FlightLog, FlightRecorder, FlightSample, FlightSkeleton, SpanKind};
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge, MetricsSet, Series};
 pub use rollup::{CompletionSample, RollupCollector, Window, WindowStats};
@@ -214,6 +217,125 @@ mod proptests {
             for w in p.segments().windows(2) {
                 ensure_eq!(w[0].end, w[1].start);
             }
+        });
+    }
+
+    /// Raw flight tuples `((arrival, queue), (spdm, doorbell, shape))`
+    /// shrunk by the strategies into well-formed skeletons: the wiring
+    /// guarantees `dispatch = arrival + queue` and
+    /// `settle = dispatch + spdm + doorbell + shape (+ margin)`, which
+    /// is exactly what the serving layer records.
+    fn skeletons_from(raw: &[((u64, u64), (u64, u64, u64))]) -> Vec<flight::FlightSkeleton> {
+        raw.iter()
+            .enumerate()
+            .map(|(i, &((arrival, queue), (spdm, doorbell, shape)))| {
+                let arrival = SimTime::from_nanos(arrival);
+                let dispatch = arrival + SimDuration::from_nanos(queue);
+                let settle = dispatch + SimDuration::from_nanos(spdm + doorbell + shape);
+                flight::FlightSkeleton {
+                    req: i as u32,
+                    tenant: (i % 3) as u32,
+                    gpu: (i % 2) as u32,
+                    batch: 1,
+                    arrival,
+                    dispatch,
+                    settle,
+                    spdm: SimDuration::from_nanos(spdm),
+                    doorbell: SimDuration::from_nanos(doorbell),
+                    cold: spdm > 0,
+                    rejected: false,
+                }
+            })
+            .collect()
+    }
+
+    fn raw_flights() -> impl hcc_check::Strategy<Value = Vec<((u64, u64), (u64, u64, u64))>> {
+        vecs(
+            (
+                (u64s(0..1_000_000_000), u64s(0..50_000_000)),
+                (u64s(0..20_000_000), u64s(0..100_000), u64s(0..80_000_000)),
+            ),
+            1..80,
+        )
+    }
+
+    fn flight_cfg(seed: u64) -> FlightConfig {
+        FlightConfig {
+            window: SimDuration::millis(50),
+            worst: 3,
+            reservoir: 2,
+            seed,
+        }
+    }
+
+    fn record_all(
+        cfg: FlightConfig,
+        skels: impl IntoIterator<Item = flight::FlightSkeleton>,
+    ) -> (FlightLog, usize) {
+        let mut rec = FlightRecorder::enabled(cfg);
+        let mut n = 0;
+        for s in skels {
+            rec.record(s);
+            n += 1;
+        }
+        let shape_of: Vec<u32> = (0..n as u32).collect();
+        let shapes: Vec<flight::ShapeDecomp> =
+            (0..n).map(|_| flight::ShapeDecomp::default()).collect();
+        (rec.resolve(&shape_of, &shapes), n)
+    }
+
+    /// The per-request span identity on arbitrary well-formed
+    /// skeletons: every kept exemplar's spans partition
+    /// `settle − arrival` exactly, and the store honours its
+    /// `windows × (worst + reservoir)` bound.
+    #[test]
+    fn flight_span_identity_on_random_skeletons() {
+        forall!(Config::new(0x7ACE_0009), raw in raw_flights() => {
+            let (log, n) = record_all(flight_cfg(0xF11A), skeletons_from(&raw));
+            ensure_eq!(log.recorded, n as u64);
+            ensure!(!log.samples.is_empty(), "sampler kept nothing");
+            for s in &log.samples {
+                ensure!(s.identity_holds(), "request #{} broke the identity", s.req());
+            }
+            ensure!(log.kept_entries <= log.entry_bound());
+        });
+    }
+
+    /// The sampler is insertion-order invariant: recording the same
+    /// skeletons in reverse yields a byte-identical log (the property
+    /// that makes the flight plane thread-count invariant — engine
+    /// completions may interleave in any order).
+    #[test]
+    fn flight_sampler_is_insertion_order_invariant() {
+        use hcc_types::json::ToJson as _;
+        forall!(Config::new(0x7ACE_000A), raw in raw_flights() => {
+            let skels = skeletons_from(&raw);
+            let (fwd, _) = record_all(flight_cfg(0xF11A), skels.iter().copied());
+            let (rev, _) = record_all(flight_cfg(0xF11A), skels.iter().rev().copied());
+            ensure_eq!(fwd.to_json().to_string(), rev.to_json().to_string());
+        });
+    }
+
+    /// Seeded reservoir replay: the same seed reproduces the log
+    /// byte-for-byte, and a different seed may reshuffle the uniform
+    /// reservoir but never the tail (worst-K) exemplars.
+    #[test]
+    fn flight_reservoir_replays_for_a_seed() {
+        use hcc_types::json::ToJson as _;
+        forall!(
+            Config::new(0x7ACE_000B),
+            (seed, raw) in (u64s(0..u64::MAX), raw_flights()) =>
+        {
+            let skels = skeletons_from(&raw);
+            let (a, _) = record_all(flight_cfg(seed), skels.iter().copied());
+            let (b, _) = record_all(flight_cfg(seed), skels.iter().copied());
+            ensure_eq!(a.to_json().to_string(), b.to_json().to_string());
+            let (c, _) = record_all(flight_cfg(seed ^ 0x5EED), skels.iter().copied());
+            let tails = |log: &FlightLog| -> Vec<u32> {
+                log.samples.iter().filter(|s| s.tail).map(|s| s.req()).collect()
+            };
+            // Tail exemplars must be seed-independent.
+            ensure_eq!(tails(&a), tails(&c));
         });
     }
 

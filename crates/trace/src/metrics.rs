@@ -545,10 +545,61 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// One histogram exemplar sourced from the flight recorder:
+/// `(request id, observed latency, settle time)`.
+pub type FlightExemplar = (u32, SimDuration, SimTime);
+
 /// Renders the snapshot as a Prometheus-style text exposition page.
 /// Gauges are summarized (peak / final / integral / sample count) rather
 /// than dumped as raw series; use the JSON export for the full samples.
 pub fn to_prometheus(set: &MetricsSet) -> String {
+    prometheus_page(set, &[])
+}
+
+/// [`to_prometheus`] with OpenMetrics-style exemplars: each histogram
+/// `_bucket` line whose latency range contains at least one flight
+/// exemplar gets a ` # {request_id="…"} <latency_ns> <settle_s>` suffix
+/// pointing at the worst request that landed in that bucket, so a scrape
+/// of aggregate latency links straight to a `why --request` forensics
+/// target. Lines without a matching exemplar are byte-identical to the
+/// plain export.
+pub fn to_prometheus_with_exemplars(set: &MetricsSet, exemplars: &[FlightExemplar]) -> String {
+    prometheus_page(set, exemplars)
+}
+
+/// The worst exemplar whose latency falls in `(lo, hi]` nanoseconds
+/// (`lo = None` means from zero inclusive, `hi = None` means unbounded —
+/// the `+Inf` bucket). Ties break toward the smaller request id.
+fn pick_exemplar(
+    exemplars: &[FlightExemplar],
+    lo: Option<u64>,
+    hi: Option<u64>,
+) -> Option<&FlightExemplar> {
+    exemplars
+        .iter()
+        .filter(|(_, lat, _)| {
+            let ns = lat.as_nanos();
+            lo.map_or(true, |l| ns > l) && hi.map_or(true, |h| ns <= h)
+        })
+        .max_by_key(|(req, lat, _)| (lat.as_nanos(), std::cmp::Reverse(*req)))
+}
+
+fn exemplar_suffix(e: Option<&FlightExemplar>) -> String {
+    match e {
+        Some(&(req, lat, at)) => {
+            let ns = at.as_nanos();
+            format!(
+                " # {{request_id=\"{req}\"}} {} {}.{:09}",
+                lat.as_nanos(),
+                ns / 1_000_000_000,
+                ns % 1_000_000_000
+            )
+        }
+        None => String::new(),
+    }
+}
+
+fn prometheus_page(set: &MetricsSet, exemplars: &[FlightExemplar]) -> String {
     let mut out = String::new();
     for (name, total) in &set.counters {
         let n = prom_name(name);
@@ -567,15 +618,23 @@ pub fn to_prometheus(set: &MetricsSet) -> String {
         let n = prom_name(name);
         let _ = writeln!(out, "# TYPE hcc_{n} histogram");
         let mut cumulative = 0u64;
+        let mut prev: Option<u64> = None;
         for (lo, c) in h.buckets() {
             cumulative += c;
+            let le = lo.as_nanos() * 2;
             let _ = writeln!(
                 out,
-                "hcc_{n}_bucket{{le=\"{}\"}} {cumulative}",
-                lo.as_nanos() * 2
+                "hcc_{n}_bucket{{le=\"{le}\"}} {cumulative}{}",
+                exemplar_suffix(pick_exemplar(exemplars, prev, Some(le)))
             );
+            prev = Some(le);
         }
-        let _ = writeln!(out, "hcc_{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(
+            out,
+            "hcc_{n}_bucket{{le=\"+Inf\"}} {}{}",
+            h.count(),
+            exemplar_suffix(pick_exemplar(exemplars, prev, None))
+        );
         let _ = writeln!(out, "hcc_{n}_sum {}", h.total().as_nanos());
         let _ = writeln!(out, "hcc_{n}_count {}", h.count());
     }
@@ -823,6 +882,44 @@ hcc_stage_lat_sum 1007
 hcc_stage_lat_count 4
 ";
         assert_eq!(to_prometheus(&set), expected);
+    }
+
+    #[test]
+    fn prometheus_exemplar_format_is_pinned() {
+        let mut set = MetricsSet::new();
+        set.push_hist(
+            "req.latency",
+            Histogram::from_durations([
+                SimDuration::from_nanos(1),
+                SimDuration::from_nanos(3),
+                SimDuration::from_nanos(3),
+                SimDuration::micros(1),
+            ]),
+        );
+        // Flight exemplars: request 9 lands in the le="2" bucket, request
+        // 7 in (2, 4], request 12 tops the le="1024" bucket, and nothing
+        // overflows into +Inf (its line stays bare).
+        let exemplars: Vec<FlightExemplar> = vec![
+            (9, SimDuration::from_nanos(2), t(1)),
+            (7, SimDuration::from_nanos(3), t(2)),
+            (
+                12,
+                SimDuration::micros(1),
+                SimTime::from_nanos(1_500_000_500),
+            ),
+        ];
+        let expected = "\
+# TYPE hcc_req_latency histogram
+hcc_req_latency_bucket{le=\"2\"} 1 # {request_id=\"9\"} 2 0.000001000
+hcc_req_latency_bucket{le=\"4\"} 3 # {request_id=\"7\"} 3 0.000002000
+hcc_req_latency_bucket{le=\"1024\"} 4 # {request_id=\"12\"} 1000 1.500000500
+hcc_req_latency_bucket{le=\"+Inf\"} 4
+hcc_req_latency_sum 1007
+hcc_req_latency_count 4
+";
+        assert_eq!(to_prometheus_with_exemplars(&set, &exemplars), expected);
+        // The empty-exemplar page stays byte-identical to the plain export.
+        assert_eq!(to_prometheus_with_exemplars(&set, &[]), to_prometheus(&set));
     }
 
     #[test]

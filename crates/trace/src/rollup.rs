@@ -166,14 +166,10 @@ pub fn window_range<'a>(
 
 /// Nearest-rank `p`-quantile over an ascending-sorted latency slice
 /// (`SimDuration::ZERO` when empty) — integer rank math, no
-/// interpolation, so rollup tails are bit-stable.
+/// interpolation, so rollup tails are bit-stable. Thin alias for
+/// [`crate::quantile::nearest_rank`], the shared rank formula.
 pub fn quantile_sorted(sorted: &[SimDuration], p: f64) -> SimDuration {
-    if sorted.is_empty() {
-        return SimDuration::ZERO;
-    }
-    let p = p.clamp(0.0, 1.0);
-    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
-    sorted[rank.min(sorted.len()) - 1]
+    crate::quantile::nearest_rank(sorted, p)
 }
 
 /// Per-window rollup of settled requests: counts, tail latencies, and

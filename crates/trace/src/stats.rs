@@ -51,12 +51,7 @@ impl Cdf {
     /// single-sample CDF yields that sample for every `p`. The serving
     /// p50/p99/p999 tables lean on this.
     pub fn quantile(&self, p: f64) -> SimDuration {
-        if self.sorted.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let p = p.clamp(0.0, 1.0);
-        let rank = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
-        self.sorted[rank.min(self.sorted.len() - 1)]
+        crate::quantile::nearest_rank(&self.sorted, p)
     }
 
     /// Arithmetic mean over **all** samples. Fig. 11 computes the average

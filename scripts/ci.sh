@@ -316,3 +316,51 @@ if ! grep -q "(no incidents)" "$t2_dir/slo_calm.out"; then
 fi
 
 echo "tier-2: OK (slo watchtower: $slo_wps windows/s wall-clock, $slo_incidents incidents, $slo_alerts alerts, calm timeline empty)"
+
+# Tier-2 flight smoke: the request flight recorder must render a
+# byte-identical forensics page at 1 and 4 engine threads, hold the
+# per-request span identity on the stormy soak, link every incident to
+# concrete exemplar request ids, and resolve a linked id back to a
+# span waterfall with `why --request`. The BENCH_flight.json side file
+# must record the flight-on vs flight-off wall cost and the exemplar
+# store's peak bytes.
+echo "==> tier-2: request flight recorder forensics"
+HCC_ENGINE_THREADS=1 ./target/release/why \
+    >"$t2_dir/why1.out" 2>/dev/null
+HCC_ENGINE_THREADS=4 ./target/release/why --json "$t2_dir/BENCH_flight.json" \
+    >"$t2_dir/why4.out" 2>/dev/null
+
+if ! diff -u "$t2_dir/why1.out" "$t2_dir/why4.out"; then
+    echo "tier-2: FAIL — why stdout differs between 1 and 4 threads" >&2
+    exit 1
+fi
+if ! grep -q "span-identity OK$" "$t2_dir/why1.out"; then
+    echo "tier-2: FAIL — flight trailer missing or span identity violated" >&2
+    exit 1
+fi
+if ! grep -q "incident #.*exemplars #" "$t2_dir/why1.out"; then
+    echo "tier-2: FAIL — no incident links a flight exemplar" >&2
+    exit 1
+fi
+
+why_req=$(sed -n 's/.*exemplars #\([0-9][0-9]*\).*/\1/p' "$t2_dir/why1.out" | head -n 1)
+./target/release/why --request "$why_req" >"$t2_dir/why_req.out" 2>/dev/null
+if ! grep -q "^request #$why_req " "$t2_dir/why_req.out" \
+    || ! grep -q "span-identity OK" "$t2_dir/why_req.out"; then
+    echo "tier-2: FAIL — incident exemplar #$why_req did not resolve to a waterfall" >&2
+    exit 1
+fi
+
+store_bytes=$(sed -n 's/.*"store_peak_bytes":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_flight.json")
+wall_on=$(sed -n 's/.*"wall_ms_flight_on":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_flight.json")
+wall_off=$(sed -n 's/.*"wall_ms_flight_off":\([0-9][0-9]*\).*/\1/p' "$t2_dir/BENCH_flight.json")
+if [ -z "$store_bytes" ] || [ "$store_bytes" -eq 0 ]; then
+    echo "tier-2: FAIL — BENCH_flight.json reports no exemplar-store bytes" >&2
+    exit 1
+fi
+if [ -z "$wall_on" ] || [ -z "$wall_off" ]; then
+    echo "tier-2: FAIL — BENCH_flight.json missing flight-on/off wall figures" >&2
+    exit 1
+fi
+
+echo "tier-2: OK (flight: exemplar #$why_req resolved, store $store_bytes bytes, ${wall_on}ms on vs ${wall_off}ms off)"

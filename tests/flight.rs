@@ -1,0 +1,190 @@
+//! Contracts for the request flight recorder on the canonical soaks.
+//!
+//! The per-request span identity (Σ spans == settle − arrival, integer
+//! virtual time, no gaps or overlaps) must hold for every exemplar the
+//! sampler keeps on a real stormy soak; every watchtower incident must
+//! link to at least one concrete exemplar request id resolvable back to
+//! a waterfall; the exemplar store must respect its hard memory bound;
+//! the whole plane must be thread-count invariant and — when disabled —
+//! perturbation-free: not a single byte of the soak's own figures moves.
+
+use hcc_bench::engine::ExperimentEngine;
+use hcc_bench::watch::{calm_soak, stormy_soak, WatchReport};
+use hcc_bench::{chaos, serving};
+use hcc_trace::{FlightConfig, FlightLog};
+use hcc_types::json::ToJson;
+
+fn stormy_flight(threads: usize) -> (WatchReport, FlightLog) {
+    let mut cfg = stormy_soak();
+    cfg.flight = Some(FlightConfig::default());
+    let rep = chaos::run(&cfg, &ExperimentEngine::new(threads));
+    assert!(rep.healthy(), "stormy flight soak must stay healthy");
+    let cell = rep
+        .profiles
+        .into_iter()
+        .next()
+        .and_then(|p| p.cells.into_iter().next())
+        .expect("one policy cell");
+    (
+        cell.watch.expect("stormy fixture enables the watch plane"),
+        cell.flight.expect("flight plane enabled"),
+    )
+}
+
+fn calm_flight(threads: usize) -> FlightLog {
+    let mut cfg = calm_soak();
+    cfg.flight = Some(FlightConfig::default());
+    let rep = serving::run(&cfg, &ExperimentEngine::new(threads));
+    assert!(rep.conserved());
+    rep.runs
+        .into_iter()
+        .next()
+        .and_then(|r| r.flight)
+        .expect("flight plane enabled")
+}
+
+/// The tentpole invariant on a real soak: every kept exemplar's spans
+/// partition `settle − arrival` exactly, and the store never exceeds
+/// its `windows × (worst + reservoir)` bound.
+#[test]
+fn stormy_flight_log_holds_the_span_identity() {
+    let (_, flight) = stormy_flight(2);
+    assert!(flight.recorded > 0, "stormy soak recorded no requests");
+    assert!(!flight.samples.is_empty(), "sampler kept no exemplars");
+    for s in &flight.samples {
+        assert!(
+            s.identity_holds(),
+            "request #{} violates the span identity",
+            s.req()
+        );
+    }
+    assert!(flight.identity_holds());
+    assert!(
+        flight.kept_entries <= flight.entry_bound(),
+        "exemplar store {} exceeds bound {}",
+        flight.kept_entries,
+        flight.entry_bound()
+    );
+}
+
+/// Serving side of the same identity, on the calm CC-on soak.
+#[test]
+fn calm_flight_log_holds_the_span_identity() {
+    let flight = calm_flight(2);
+    assert!(!flight.samples.is_empty());
+    assert!(flight.identity_holds());
+    assert!(flight.kept_entries <= flight.entry_bound());
+}
+
+/// Every incident the stormy watchtower raises links to at least one
+/// concrete exemplar request id, and every linked id resolves to a kept
+/// waterfall — the `why --incident` contract.
+#[test]
+fn every_stormy_incident_links_to_a_resolvable_exemplar() {
+    let (watch, flight) = stormy_flight(2);
+    assert!(
+        !watch.incidents.is_empty(),
+        "stormy soak raised no incidents"
+    );
+    for inc in &watch.incidents {
+        assert!(
+            !inc.exemplars.is_empty(),
+            "incident #{} links no exemplar",
+            inc.id
+        );
+        for &req in &inc.exemplars {
+            let sample = flight
+                .find(req)
+                .unwrap_or_else(|| panic!("incident #{} exemplar #{req} not kept", inc.id));
+            assert!(sample.identity_holds());
+            assert!(
+                inc.start <= sample.skeleton.settle && sample.skeleton.settle < inc.end,
+                "exemplar #{req} settled outside incident #{}",
+                inc.id
+            );
+        }
+    }
+}
+
+/// The flight log — samples, spans, exemplar flags, store accounting —
+/// replays byte-identically on 1 and 4 worker threads; so does every
+/// rendered waterfall. Nothing on the flight path reads wall time or
+/// thread identity.
+#[test]
+fn flight_log_is_thread_count_invariant() {
+    let (watch1, flight1) = stormy_flight(1);
+    let (watch4, flight4) = stormy_flight(4);
+    assert_eq!(flight1.to_json().to_string(), flight4.to_json().to_string());
+    assert_eq!(
+        watch1.to_json().to_string(),
+        watch4.to_json().to_string(),
+        "incident exemplar links drifted across thread counts"
+    );
+    for (a, b) in flight1.samples.iter().zip(&flight4.samples) {
+        let base1 = flight1.p50_exemplar(a.window);
+        let base4 = flight4.p50_exemplar(b.window);
+        assert_eq!(
+            flight1.render_waterfall(a, base1),
+            flight4.render_waterfall(b, base4)
+        );
+    }
+}
+
+/// Perturbation-freedom, chaos side: enabling the flight plane must not
+/// move a single byte of the soak's own figures. Rendering the
+/// flight-enabled report with its flight logs (and exemplar links)
+/// stripped reproduces the flight-off render exactly.
+#[test]
+fn flight_plane_is_perturbation_free_for_chaos_soaks() {
+    let engine = ExperimentEngine::new(2);
+    let mut cfg = stormy_soak();
+    cfg.flight = Some(FlightConfig::default());
+    let with_flight = {
+        let mut rep = chaos::run(&cfg, &engine);
+        for p in &mut rep.profiles {
+            for c in &mut p.cells {
+                assert!(c.flight.is_some());
+                c.flight = None;
+                if let Some(w) = &mut c.watch {
+                    for inc in &mut w.incidents {
+                        inc.exemplars.clear();
+                    }
+                }
+            }
+        }
+        rep.render()
+    };
+    cfg.flight = None;
+    let without = chaos::run(&cfg, &engine).render();
+    assert_eq!(
+        with_flight, without,
+        "flight plane perturbed the chaos figures"
+    );
+}
+
+/// Perturbation-freedom, serving side.
+#[test]
+fn flight_plane_is_perturbation_free_for_serving_soaks() {
+    let engine = ExperimentEngine::new(2);
+    let mut cfg = calm_soak();
+    cfg.flight = Some(FlightConfig::default());
+    let with_flight = {
+        let mut rep = serving::run(&cfg, &engine);
+        for r in &mut rep.runs {
+            assert!(r.flight.is_some());
+            r.flight = None;
+            if let Some(w) = &mut r.watch {
+                for inc in &mut w.incidents {
+                    inc.exemplars.clear();
+                }
+            }
+        }
+        rep.render()
+    };
+    cfg.flight = None;
+    let without = serving::run(&cfg, &engine).render();
+    assert_eq!(
+        with_flight, without,
+        "flight plane perturbed the serving figures"
+    );
+}
